@@ -1,0 +1,123 @@
+#ifndef E2GCL_BENCH_BENCH_COMMON_H_
+#define E2GCL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/protocol.h"
+#include "graph/datasets.h"
+
+/// \file
+/// Shared helpers for the table/figure reproduction binaries. Each
+/// binary regenerates one table or figure of the paper on the synthetic
+/// dataset stand-ins (see DESIGN.md) and prints the same rows/series the
+/// paper reports. Absolute numbers differ from the paper (different
+/// data, CPU instead of GPU); the comparison *shape* is the target.
+
+namespace e2gcl {
+namespace bench {
+
+/// Per-dataset node-count scale used by the benches so the whole suite
+/// finishes on a laptop CPU. The five small datasets keep their paper
+/// node counts on Cora/Citeseer and are shrunk proportionally on the
+/// larger ones; the experiment *ratios* (budget fractions, ST/TT) are
+/// scale-free. Override the global multiplier with E2GCL_BENCH_SCALE.
+inline double BenchScale(const std::string& dataset) {
+  double base = 1.0;
+  if (dataset == "photo") base = 0.22;
+  if (dataset == "computers") base = 0.13;
+  if (dataset == "cs") base = 0.10;
+  if (dataset == "arxiv") base = 0.35;
+  if (dataset == "products") base = 0.22;
+  const char* env = std::getenv("E2GCL_BENCH_SCALE");
+  if (env != nullptr) base *= std::atof(env);
+  return base > 1.0 ? 1.0 : base;
+}
+
+/// Loads the bench-scaled stand-in for `dataset`.
+inline Graph LoadBenchDataset(const std::string& dataset,
+                              std::uint64_t seed = 0x5eed) {
+  return LoadDatasetScaled(dataset, BenchScale(dataset), seed);
+}
+
+/// Number of repeated runs per cell (paper: 10; bench default: 2).
+inline int BenchRuns() {
+  const char* env = std::getenv("E2GCL_BENCH_RUNS");
+  return env != nullptr ? std::max(1, std::atoi(env)) : 2;
+}
+
+/// Pre-training epochs per run (bench default keeps cells in seconds).
+inline int BenchEpochs() {
+  const char* env = std::getenv("E2GCL_BENCH_EPOCHS");
+  return env != nullptr ? std::max(1, std::atoi(env)) : 22;
+}
+
+/// Default experiment configuration shared by all benches.
+inline RunConfig DefaultRunConfig() {
+  RunConfig cfg;
+  cfg.epochs = BenchEpochs();
+  cfg.supervised.epochs = 4 * BenchEpochs();
+  cfg.deepwalk.epochs = 2;
+  cfg.probe.epochs = 120;
+  return cfg;
+}
+
+/// Minimal fixed-width table printer (similar row format to the paper).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header,
+                 std::vector<int> widths = {})
+      : header_(std::move(header)), widths_(std::move(widths)) {
+    if (widths_.empty()) widths_.assign(header_.size(), 14);
+  }
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    PrintRow(header_);
+    std::string sep;
+    for (int w : widths_) sep += std::string(w, '-') + "  ";
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row);
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& row) const {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const int w = i < widths_.size() ? widths_[i] : 14;
+      std::printf("%-*s  ", w, row[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> header_;
+  std::vector<int> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string FormatMeanStd(const MeanStd& ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f±%.2f", ms.mean, ms.std);
+  return buf;
+}
+
+inline std::string FormatF(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline void PrintHeader(const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("Synthetic dataset stand-ins (see DESIGN.md); shapes, not\n");
+  std::printf("absolute numbers, are comparable to the paper.\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace e2gcl
+
+#endif  // E2GCL_BENCH_BENCH_COMMON_H_

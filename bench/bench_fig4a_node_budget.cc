@@ -1,0 +1,41 @@
+// Reproduces Fig. 4(a): node classification accuracy as the node budget
+// ratio r shrinks from 1 to 1/2^10 on the five small datasets.
+//
+// Paper shape to verify: accuracy stays flat for moderate r (redundant
+// nodes exist) and then drops as r becomes tiny, with the dense
+// Photo/Computers dropping hardest.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace e2gcl;
+  using namespace e2gcl::bench;
+
+  PrintHeader("Fig. 4(a): accuracy vs node budget ratio r");
+
+  std::vector<double> ratios;
+  for (int p = 0; p <= 10; ++p) ratios.push_back(1.0 / (1 << p));
+
+  const auto datasets = SmallDatasets();
+  std::vector<std::string> header = {"r"};
+  for (const auto& d : datasets) header.push_back(d);
+  Table table(header, {9, 10, 10, 10, 10, 10});
+
+  // Load each dataset once.
+  std::vector<Graph> graphs;
+  for (const auto& d : datasets) graphs.push_back(LoadBenchDataset(d));
+
+  for (double r : ratios) {
+    std::vector<std::string> row = {FormatF(r, 5)};
+    for (const Graph& g : graphs) {
+      RunConfig cfg = DefaultRunConfig();
+      cfg.e2gcl.node_ratio = r;
+      RunResult res = RunNodeClassification(ModelKind::kE2gcl, g, cfg);
+      row.push_back(FormatF(res.accuracy * 100.0));
+      std::fflush(stdout);
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

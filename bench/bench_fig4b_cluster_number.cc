@@ -1,0 +1,46 @@
+// Reproduces Fig. 4(b): effect of the cluster count n_c on accuracy,
+// selection time, and total training time (Computers and arxiv-like),
+// all normalized to the first point (n_c = 30) as in the paper.
+//
+// Paper shape to verify: selection time grows with n_c while accuracy
+// and total time barely move.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace e2gcl;
+  using namespace e2gcl::bench;
+
+  PrintHeader("Fig. 4(b): sweep of cluster number n_c (normalized to first)");
+
+  const std::vector<std::int64_t> ncs = {30, 60, 90, 120, 180};
+
+  for (const std::string dataset : {"computers", "arxiv"}) {
+    Graph g = LoadBenchDataset(dataset);
+    std::printf("\n%s (n_s = 300)\n", dataset.c_str());
+    Table table({"n_c", "acc(norm)", "ST(norm)", "TT(norm)", "acc%", "ST(s)",
+                 "TT(s)"},
+                {6, 10, 10, 10, 8, 8, 8});
+    double acc0 = 0.0, st0 = 0.0, tt0 = 0.0;
+    for (std::int64_t nc : ncs) {
+      RunConfig cfg = DefaultRunConfig();
+      cfg.e2gcl.selector.num_clusters = nc;
+      cfg.e2gcl.selector.sample_size = 300;
+      RunResult res = RunNodeClassification(ModelKind::kE2gcl, g, cfg);
+      if (nc == ncs.front()) {
+        acc0 = res.accuracy;
+        st0 = res.selection_seconds;
+        tt0 = res.total_seconds;
+      }
+      table.AddRow({std::to_string(nc), FormatF(res.accuracy / acc0, 3),
+                    FormatF(res.selection_seconds / st0, 3),
+                    FormatF(res.total_seconds / tt0, 3),
+                    FormatF(res.accuracy * 100.0),
+                    FormatF(res.selection_seconds, 3),
+                    FormatF(res.total_seconds, 2)});
+      std::fflush(stdout);
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Fig. 4(c): effect of the per-round sample count n_s on
+// accuracy, selection time, and total training time (Computers and
+// arxiv-like), normalized to the first point (n_s = 100).
+//
+// Paper shape to verify: selection time grows with n_s; accuracy rises
+// then stabilizes; total time barely moves.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace e2gcl;
+  using namespace e2gcl::bench;
+
+  PrintHeader("Fig. 4(c): sweep of sample number n_s (normalized to first)");
+
+  const std::vector<std::int64_t> nss = {100, 200, 400, 700, 1000};
+
+  for (const std::string dataset : {"computers", "arxiv"}) {
+    Graph g = LoadBenchDataset(dataset);
+    std::printf("\n%s (n_c = 120)\n", dataset.c_str());
+    Table table({"n_s", "acc(norm)", "ST(norm)", "TT(norm)", "acc%", "ST(s)",
+                 "TT(s)"},
+                {6, 10, 10, 10, 8, 8, 8});
+    double acc0 = 0.0, st0 = 0.0, tt0 = 0.0;
+    for (std::int64_t ns : nss) {
+      RunConfig cfg = DefaultRunConfig();
+      cfg.e2gcl.selector.num_clusters = 120;
+      cfg.e2gcl.selector.sample_size = ns;
+      cfg.e2gcl.selector.auto_sample_size = false;
+      // Keep the sweep tractable: n_s * k evaluations per run.
+      cfg.e2gcl.node_ratio = 0.1;
+      RunResult res = RunNodeClassification(ModelKind::kE2gcl, g, cfg);
+      if (ns == nss.front()) {
+        acc0 = res.accuracy;
+        st0 = res.selection_seconds;
+        tt0 = res.total_seconds;
+      }
+      table.AddRow({std::to_string(ns), FormatF(res.accuracy / acc0, 3),
+                    FormatF(res.selection_seconds / st0, 3),
+                    FormatF(res.total_seconds / tt0, 3),
+                    FormatF(res.accuracy * 100.0),
+                    FormatF(res.selection_seconds, 3),
+                    FormatF(res.total_seconds, 2)});
+      std::fflush(stdout);
+    }
+    table.Print();
+  }
+  return 0;
+}

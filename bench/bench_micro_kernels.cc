@@ -1,0 +1,115 @@
+// Engineering micro-benchmarks (google-benchmark) for the kernels every
+// experiment leans on: SpMM (GCN propagation), dense GEMM, KMeans, the
+// coreset selector, and view generation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.h"
+#include "core/node_selector.h"
+#include "core/raw_aggregation.h"
+#include "core/view_generator.h"
+#include "graph/generators.h"
+#include "tensor/csr.h"
+
+namespace e2gcl {
+namespace {
+
+Graph BenchGraph(std::int64_t n) {
+  SbmSpec spec;
+  spec.num_nodes = n;
+  spec.num_classes = 8;
+  spec.feature_dim = 128;
+  spec.avg_degree = 12;
+  spec.informative_dims_per_class = 8;
+  return GenerateSbm(spec, 0xbe7c);
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(n, 128, 0, 1, rng);
+  Matrix b = Matrix::RandomNormal(128, 64, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 128 * 64);
+}
+BENCHMARK(BM_Gemm)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Spmm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Graph g = BenchGraph(n);
+  CsrMatrix an = NormalizedAdjacency(g);
+  Rng rng(2);
+  Matrix x = Matrix::RandomNormal(n, 64, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Spmm(an, x));
+  }
+  state.SetItemsProcessed(state.iterations() * an.nnz() * 64);
+}
+BENCHMARK(BM_Spmm)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_RawAggregation(benchmark::State& state) {
+  Graph g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RawAggregation(g, 2));
+  }
+}
+BENCHMARK(BM_RawAggregation)->Arg(2048)->Arg(8192);
+
+void BM_KMeans(benchmark::State& state) {
+  Graph g = BenchGraph(4096);
+  Matrix r = RawAggregation(g, 2);
+  KMeansOptions opts;
+  opts.num_clusters = state.range(0);
+  opts.max_iters = 10;
+  for (auto _ : state) {
+    Rng rng(3);
+    benchmark::DoNotOptimize(KMeans(r, opts, rng));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(30)->Arg(120);
+
+void BM_SelectCoreset(benchmark::State& state) {
+  Graph g = BenchGraph(4096);
+  Matrix r = RawAggregation(g, 2);
+  SelectorConfig cfg;
+  cfg.budget = state.range(0);
+  cfg.num_clusters = 64;
+  for (auto _ : state) {
+    Rng rng(4);
+    benchmark::DoNotOptimize(SelectCoreset(r, cfg, rng));
+  }
+}
+BENCHMARK(BM_SelectCoreset)->Arg(128)->Arg(512)->Arg(1638);
+
+void BM_GlobalViewGeneration(benchmark::State& state) {
+  Graph g = BenchGraph(state.range(0));
+  ViewGenerator gen(g);
+  ViewConfig cfg{.tau = 0.8f, .eta = 0.4f};
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.GenerateGlobalView(cfg, rng));
+  }
+}
+BENCHMARK(BM_GlobalViewGeneration)->Arg(2048)->Arg(8192);
+
+void BM_PerNodeViewGeneration(benchmark::State& state) {
+  Graph g = BenchGraph(4096);
+  ViewGenerator gen(g);
+  ViewConfig cfg{.tau = 0.8f, .eta = 0.4f};
+  Rng rng(6);
+  std::int64_t root = 0;
+  for (auto _ : state) {
+    std::int64_t root_idx;
+    benchmark::DoNotOptimize(
+        gen.GeneratePerNodeView(root, 2, cfg, rng, &root_idx));
+    root = (root + 1) % g.num_nodes;
+  }
+}
+BENCHMARK(BM_PerNodeViewGeneration);
+
+}  // namespace
+}  // namespace e2gcl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Reproduces Table IV: node classification accuracy (mean ± std, %) of
+// all 13 models on the five small datasets.
+//
+// Paper shape to verify: E2GCL tops every column; GCL models (GCA,
+// GRACE, MVGRL, AFGRL) beat traditional unsupervised (DW/N2V); MLP is
+// the weakest.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace e2gcl;
+  using namespace e2gcl::bench;
+
+  PrintHeader("Table IV: node classification accuracy (% +- std)");
+
+  const auto datasets = SmallDatasets();
+  std::vector<std::string> header = {"Model"};
+  for (const auto& d : datasets) header.push_back(d);
+  Table table(header, {8, 13, 13, 13, 13, 13});
+
+  const int runs = BenchRuns();
+  for (ModelKind kind : Table4Models()) {
+    std::vector<std::string> row = {ModelKindName(kind)};
+    for (const auto& dataset : datasets) {
+      Graph g = LoadBenchDataset(dataset);
+      RunConfig cfg = DefaultRunConfig();
+      AggregateResult agg = RunRepeated(kind, g, cfg, runs);
+      row.push_back(FormatMeanStd(agg.accuracy));
+      std::fflush(stdout);
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Graph-classification scenario (Table IX, right): pre-train one
+// encoder on the disjoint union of many small molecule-like graphs,
+// readout with SUM, probe graph labels.
+//
+//   ./build/examples/graph_classification
+
+#include <cstdio>
+
+#include "eval/graph_level.h"
+#include "graph/tu_generator.h"
+
+int main() {
+  using namespace e2gcl;
+
+  TuDataset ds = GenerateTuDataset(GetTuSpec("proteins"), /*seed=*/5);
+  std::int64_t total_nodes = 0;
+  for (const Graph& g : ds.graphs) total_nodes += g.num_nodes;
+  std::printf("proteins-like dataset: %zu graphs, %lld nodes total\n",
+              ds.graphs.size(), (long long)total_nodes);
+
+  std::printf("%-8s %10s\n", "model", "accuracy%");
+  for (ModelKind kind :
+       {ModelKind::kGrace, ModelKind::kGca, ModelKind::kE2gcl}) {
+    RunConfig cfg;
+    cfg.epochs = 40;
+    const double acc = RunGraphClassification(kind, ds, cfg);
+    std::printf("%-8s %10.2f\n", ModelKindName(kind).c_str(), acc);
+  }
+  std::printf(
+      "\nThe encoder is shared across graphs (pre-trained on their\n"
+      "disjoint union); z_i = SUM over node embeddings (the paper's\n"
+      "READOUT), probed by an l2-regularized linear decoder.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Link-prediction scenario (Table IX, left): pre-train on the training
+// edges only, score held-out edges with a Hadamard logistic probe.
+//
+//   ./build/examples/link_prediction
+
+#include <cstdio>
+
+#include "eval/graph_level.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace e2gcl;
+
+  Graph g = LoadDatasetScaled("photo", 0.4, /*seed=*/21);
+  std::printf("photo-like co-purchase graph: %lld nodes, %lld edges\n",
+              (long long)g.num_nodes, (long long)g.num_edges());
+  std::printf("70%%/10%%/20%% edge split; AUC on held-out test edges.\n\n");
+
+  std::printf("%-8s %10s\n", "model", "test AUC%");
+  for (ModelKind kind :
+       {ModelKind::kGrace, ModelKind::kGca, ModelKind::kE2gcl}) {
+    RunConfig cfg;
+    cfg.epochs = 40;
+    const double auc = RunLinkPrediction(kind, g, cfg);
+    std::printf("%-8s %10.2f\n", ModelKindName(kind).c_str(), auc);
+  }
+  std::printf(
+      "\nValidation/test edges are removed from the graph before\n"
+      "pre-training, so no leakage into GNN propagation.\n");
+  return 0;
+}

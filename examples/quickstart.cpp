@@ -1,0 +1,55 @@
+// Quickstart: pre-train E2GCL on a small synthetic attributed graph and
+// evaluate the frozen embedding with the standard linear probe.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "eval/linear_probe.h"
+#include "graph/generators.h"
+#include "graph/splits.h"
+
+int main() {
+  using namespace e2gcl;
+
+  // 1. A graph. Any undirected attributed graph works; here we plant a
+  //    5-class community graph with class-correlated features.
+  SbmSpec spec;
+  spec.num_nodes = 1000;
+  spec.num_classes = 5;
+  spec.feature_dim = 64;
+  spec.avg_degree = 8;
+  spec.informative_dims_per_class = 8;
+  Graph g = GenerateSbm(spec, /*seed=*/42);
+  std::printf("graph: %lld nodes, %lld edges, %lld features, %lld classes\n",
+              (long long)g.num_nodes, (long long)g.num_edges(),
+              (long long)g.feature_dim(), (long long)g.num_classes);
+
+  // 2. Configure E2GCL: select 40% of the nodes as the training coreset
+  //    (Sec. III of the paper) and generate importance-aware positive
+  //    views (Sec. IV).
+  E2gclConfig config;
+  config.node_ratio = 0.4;
+  config.epochs = 40;
+  config.seed = 7;
+
+  // 3. Pre-train. No labels are used here.
+  E2gclTrainer trainer(g, config);
+  trainer.Train();
+  std::printf("selected %zu coreset nodes in %.3fs; total training %.2fs\n",
+              trainer.selection().nodes.size(),
+              trainer.stats().selection_seconds,
+              trainer.stats().total_seconds);
+
+  // 4. Linear-probe evaluation (labels only used by the probe).
+  Matrix embedding = trainer.encoder().Encode(g);
+  Rng split_rng(1);
+  NodeSplit split = RandomNodeSplit(g.num_nodes, 0.1, 0.1, split_rng);
+  const double acc =
+      LinearProbeAccuracy(embedding, g.labels, g.num_classes, split);
+  std::printf("linear-probe test accuracy: %.2f%%\n", 100.0 * acc);
+  return 0;
+}

@@ -1,0 +1,323 @@
+#include "autograd/loss.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "autograd/ops.h"
+#include "tensor/check.h"
+
+namespace e2gcl {
+namespace ag {
+
+using internal_autograd::Node;
+
+namespace {
+
+Var MakeScalarNode(float value, std::vector<Var> parents,
+                   std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  Matrix v(1, 1);
+  v(0, 0) = value;
+  node->value = std::move(v);
+  for (const Var& p : parents) {
+    node->parents.push_back(p.node());
+    node->requires_grad = node->requires_grad || p.node()->requires_grad;
+  }
+  if (node->requires_grad) node->backward = std::move(backward);
+  return Var(std::move(node));
+}
+
+float WeightAt(const std::vector<float>& w, std::int64_t i) {
+  return w.empty() ? 1.0f : w[i];
+}
+
+float WeightTotal(const std::vector<float>& w, std::int64_t n) {
+  if (w.empty()) return static_cast<float>(n);
+  double acc = 0.0;
+  for (float x : w) acc += x;
+  return static_cast<float>(acc);
+}
+
+}  // namespace
+
+Var SoftmaxCrossEntropy(const Var& logits,
+                        const std::vector<std::int64_t>& labels,
+                        const std::vector<float>& row_weights) {
+  const Matrix& x = logits.value();
+  const std::int64_t n = x.rows(), c = x.cols();
+  E2GCL_CHECK(static_cast<std::int64_t>(labels.size()) == n);
+  E2GCL_CHECK(row_weights.empty() ||
+              static_cast<std::int64_t>(row_weights.size()) == n);
+  const float wtot = WeightTotal(row_weights, n);
+  E2GCL_CHECK(wtot > 0.0f);
+
+  // Forward: weighted mean of -log softmax(x)[label]. Cache the softmax
+  // for the backward pass.
+  auto probs = std::make_shared<Matrix>(SoftmaxRows(x));
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < n; ++r) {
+    E2GCL_CHECK(labels[r] >= 0 && labels[r] < c);
+    const float p = std::max((*probs)(r, labels[r]), 1e-12f);
+    loss -= static_cast<double>(WeightAt(row_weights, r)) * std::log(p);
+  }
+  loss /= wtot;
+
+  return MakeScalarNode(
+      static_cast<float>(loss), {logits},
+      [probs, labels, row_weights, wtot](Node& node) {
+        Node* px = node.parents[0].get();
+        if (!px->requires_grad) return;
+        const float gscale = node.grad(0, 0) / wtot;
+        Matrix g = *probs;
+        for (std::int64_t r = 0; r < g.rows(); ++r) {
+          const float w = WeightAt(row_weights, r) * gscale;
+          float* row = g.RowPtr(r);
+          for (std::int64_t cc = 0; cc < g.cols(); ++cc) row[cc] *= w;
+          row[labels[r]] -= w;
+        }
+        px->AccumulateGrad(g);
+      });
+}
+
+Var InfoNce(const Var& z1, const Var& z2, float temperature,
+            const std::vector<float>& row_weights) {
+  const Matrix& a = z1.value();
+  const Matrix& b = z2.value();
+  E2GCL_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  E2GCL_CHECK(temperature > 0.0f);
+  const std::int64_t n = a.rows();
+  E2GCL_CHECK(n > 1);
+  E2GCL_CHECK(row_weights.empty() ||
+              static_cast<std::int64_t>(row_weights.size()) == n);
+  const float wtot = WeightTotal(row_weights, n);
+  const float inv_t = 1.0f / temperature;
+
+  // Similarity matrices scaled by 1/t. For normalized rows entries are
+  // bounded by 1/t, so exp() is safe without max-subtraction; we still
+  // subtract the row max for robustness with unnormalized inputs.
+  Matrix sim12 = e2gcl::MatMulTransposedB(a, b);
+  Matrix sim11 = e2gcl::MatMulTransposedB(a, a);
+  Matrix sim22 = e2gcl::MatMulTransposedB(b, b);
+  for (Matrix* m : {&sim12, &sim11, &sim22}) {
+    for (std::int64_t i = 0; i < m->size(); ++i) m->data()[i] *= inv_t;
+  }
+
+  // Direction 1 -> 2: anchor a_i, positive b_i, negatives {b_j} u {a_j, j != i}.
+  // Direction 2 -> 1 mirrors with sim12 transposed and sim22.
+  // We cache the soft assignment matrices for backward.
+  auto p12 = std::make_shared<Matrix>(n, n);  // d l1_i / d sim12_ij (+delta)
+  auto p11 = std::make_shared<Matrix>(n, n);
+  auto p21 = std::make_shared<Matrix>(n, n);  // direction 2: over sim12^T
+  auto p22 = std::make_shared<Matrix>(n, n);
+
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float w = WeightAt(row_weights, i);
+    // Row max for stability.
+    float mx = sim12(i, 0);
+    for (std::int64_t j = 0; j < n; ++j) {
+      mx = std::max(mx, sim12(i, j));
+      if (j != i) mx = std::max(mx, sim11(i, j));
+    }
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float e12 = std::exp(sim12(i, j) - mx);
+      (*p12)(i, j) = e12;
+      denom += e12;
+      if (j != i) {
+        const float e11 = std::exp(sim11(i, j) - mx);
+        (*p11)(i, j) = e11;
+        denom += e11;
+      }
+    }
+    const float inv_denom = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < n; ++j) {
+      (*p12)(i, j) *= inv_denom;
+      (*p11)(i, j) *= inv_denom;
+    }
+    loss += w * (-(sim12(i, i) - mx) + std::log(denom));
+
+    // Direction 2 -> 1.
+    float mx2 = sim12(0, i);
+    for (std::int64_t j = 0; j < n; ++j) {
+      mx2 = std::max(mx2, sim12(j, i));
+      if (j != i) mx2 = std::max(mx2, sim22(i, j));
+    }
+    double denom2 = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float e21 = std::exp(sim12(j, i) - mx2);
+      (*p21)(i, j) = e21;
+      denom2 += e21;
+      if (j != i) {
+        const float e22 = std::exp(sim22(i, j) - mx2);
+        (*p22)(i, j) = e22;
+        denom2 += e22;
+      }
+    }
+    const float inv_denom2 = static_cast<float>(1.0 / denom2);
+    for (std::int64_t j = 0; j < n; ++j) {
+      (*p21)(i, j) *= inv_denom2;
+      (*p22)(i, j) *= inv_denom2;
+    }
+    loss += w * (-(sim12(i, i) - mx2) + std::log(denom2));
+  }
+  loss /= 2.0 * wtot;
+
+  return MakeScalarNode(
+      static_cast<float>(loss), {z1, z2},
+      [p12, p11, p21, p22, row_weights, wtot, inv_t](Node& node) {
+        Node* pa = node.parents[0].get();
+        Node* pb = node.parents[1].get();
+        const Matrix& a = pa->value;
+        const Matrix& b = pb->value;
+        const std::int64_t n = a.rows(), d = a.cols();
+        const float gscale = node.grad(0, 0) * inv_t / (2.0f * wtot);
+
+        // Effective gradient coefficient matrices:
+        //   dL/d sim12_ij = w_i * (p12_ij - delta_ij)      (dir 1)
+        //                 + w_j * (p21_ji - delta_ij)      (dir 2)
+        //   dL/d sim11_ij = w_i * p11_ij (i != j)           (dir 1)
+        //   dL/d sim22_ij = w_i * p22_ij (i != j)           (dir 2)
+        // sim12 = A B^T / t, sim11 = A A^T / t, sim22 = B B^T / t.
+        Matrix g12(n, n), g11(n, n), g22(n, n);
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float wi = WeightAt(row_weights, i);
+          for (std::int64_t j = 0; j < n; ++j) {
+            const float wj = WeightAt(row_weights, j);
+            float v = wi * (*p12)(i, j) + wj * (*p21)(j, i);
+            if (i == j) v -= wi + wj;
+            g12(i, j) = v;
+            if (i != j) {
+              g11(i, j) = wi * (*p11)(i, j);
+              g22(i, j) = wi * (*p22)(i, j);
+            }
+          }
+        }
+        if (pa->requires_grad) {
+          // dA = (G12 B + (G11 + G11^T) A) * gscale.
+          Matrix da = e2gcl::MatMul(g12, b);
+          Matrix g11_sym = e2gcl::Add(g11, e2gcl::Transpose(g11));
+          AddInPlace(da, e2gcl::MatMul(g11_sym, a));
+          for (std::int64_t i = 0; i < n * d; ++i) da.data()[i] *= gscale;
+          pa->AccumulateGrad(da);
+        }
+        if (pb->requires_grad) {
+          Matrix db = e2gcl::MatMulTransposedA(g12, a);
+          Matrix g22_sym = e2gcl::Add(g22, e2gcl::Transpose(g22));
+          AddInPlace(db, e2gcl::MatMul(g22_sym, b));
+          for (std::int64_t i = 0; i < n * d; ++i) db.data()[i] *= gscale;
+          pb->AccumulateGrad(db);
+        }
+      });
+}
+
+Var EuclideanContrastive(const Var& z1, const Var& z2,
+                         const std::vector<std::int64_t>& neg_perm,
+                         const std::vector<float>& row_weights) {
+  const Matrix& a = z1.value();
+  const Matrix& b = z2.value();
+  E2GCL_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  const std::int64_t n = a.rows(), d = a.cols();
+  E2GCL_CHECK(static_cast<std::int64_t>(neg_perm.size()) == n);
+  const float wtot = WeightTotal(row_weights, n);
+
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float w = WeightAt(row_weights, i);
+    loss += w * RowSquaredDistance(a, i, b, i);
+    const std::int64_t u = neg_perm[i];
+    E2GCL_CHECK(u >= 0 && u < n);
+    // Negative views drawn from the first view's embeddings (the paper
+    // averages over both positive views; we use one sampled negative per
+    // anchor per view).
+    loss -= 0.5 * w *
+            (RowSquaredDistance(a, i, a, u) + RowSquaredDistance(b, i, a, u));
+  }
+  loss /= wtot;
+
+  return MakeScalarNode(
+      static_cast<float>(loss), {z1, z2},
+      [neg_perm, row_weights, wtot, n, d](Node& node) {
+        Node* pa = node.parents[0].get();
+        Node* pb = node.parents[1].get();
+        const Matrix& a = pa->value;
+        const Matrix& b = pb->value;
+        const float gs = node.grad(0, 0) / wtot;
+        Matrix da(n, d), db(n, d);
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float w = WeightAt(row_weights, i) * gs;
+          const std::int64_t u = neg_perm[i];
+          const float* ai = a.RowPtr(i);
+          const float* bi = b.RowPtr(i);
+          const float* au = a.RowPtr(u);
+          float* dai = da.RowPtr(i);
+          float* dbi = db.RowPtr(i);
+          float* dau = da.RowPtr(u);
+          for (std::int64_t c = 0; c < d; ++c) {
+            const float pos = 2.0f * (ai[c] - bi[c]);
+            dai[c] += w * pos;
+            dbi[c] -= w * pos;
+            const float neg_a = ai[c] - au[c];
+            const float neg_b = bi[c] - au[c];
+            dai[c] -= w * neg_a;
+            dau[c] += w * neg_a;
+            dbi[c] -= w * neg_b;
+            dau[c] += w * neg_b;
+          }
+        }
+        if (pa->requires_grad) pa->AccumulateGrad(da);
+        if (pb->requires_grad) pb->AccumulateGrad(db);
+      });
+}
+
+Var BceWithLogits(const Var& logits, const std::vector<float>& targets) {
+  const Matrix& x = logits.value();
+  const std::int64_t n = x.size();
+  E2GCL_CHECK(static_cast<std::int64_t>(targets.size()) == n);
+  E2GCL_CHECK(n > 0);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float z = x.data()[i];
+    const float t = targets[i];
+    // log(1 + exp(z)) - t*z, computed stably.
+    const float softplus = z > 0 ? z + std::log1p(std::exp(-z))
+                                 : std::log1p(std::exp(z));
+    loss += softplus - t * z;
+  }
+  loss /= static_cast<double>(n);
+
+  return MakeScalarNode(
+      static_cast<float>(loss), {logits}, [targets, n](Node& node) {
+        Node* px = node.parents[0].get();
+        if (!px->requires_grad) return;
+        const float gs = node.grad(0, 0) / static_cast<float>(n);
+        Matrix g(px->value.rows(), px->value.cols());
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float z = px->value.data()[i];
+          const float sig = 1.0f / (1.0f + std::exp(-z));
+          g.data()[i] = gs * (sig - targets[i]);
+        }
+        px->AccumulateGrad(g);
+      });
+}
+
+Var CosinePredictionLoss(const Var& pred, const Var& target) {
+  Var p = NormalizeRowsL2(pred);
+  Var t = NormalizeRowsL2(target);
+  Var dots = SumAll(Hadamard(p, t));  // sum_i cos(p_i, t_i)
+  const float n = static_cast<float>(pred.rows());
+  // 2 - 2/n * sum cos.
+  Var scaled = Scale(dots, -2.0f / n);
+  Matrix two(1, 1);
+  two(0, 0) = 2.0f;
+  return Add(Var::Constant(std::move(two)), scaled);
+}
+
+Var MseLoss(const Var& a, const Var& b) {
+  Var diff = Sub(a, b);
+  return MeanAll(Hadamard(diff, diff));
+}
+
+}  // namespace ag
+}  // namespace e2gcl

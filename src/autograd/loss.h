@@ -1,0 +1,56 @@
+#ifndef E2GCL_AUTOGRAD_LOSS_H_
+#define E2GCL_AUTOGRAD_LOSS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace e2gcl {
+namespace ag {
+
+/// Fused loss functions. Each returns a scalar (1x1) Var with a
+/// hand-derived backward pass; all are verified against finite
+/// differences in tests/autograd_loss_test.cc.
+
+/// Mean softmax cross-entropy of `logits` (n x C) against integer class
+/// labels (size n, values in [0, C)). If `row_weights` is non-empty it
+/// must have size n; rows are weighted and the loss is the weighted mean.
+Var SoftmaxCrossEntropy(const Var& logits,
+                        const std::vector<std::int64_t>& labels,
+                        const std::vector<float>& row_weights = {});
+
+/// InfoNCE / NT-Xent between two aligned views (n x d each; callers
+/// normally pass row-L2-normalized projections). For each anchor i the
+/// positive is row i of the other view; negatives are all other rows of
+/// both views (intra-view negatives included, as in GRACE). The loss is
+/// symmetrized over the two directions. `row_weights` (optional, size n)
+/// weights each anchor's term — E2GCL uses the coreset weights lambda
+/// here.
+Var InfoNce(const Var& z1, const Var& z2, float temperature,
+            const std::vector<float>& row_weights = {});
+
+/// The paper's Eq. (5): mean_i ||z1_i - z2_i||^2
+///   - 1/(2|Neg|) * sum over both positive views of mean negative
+///     distance, with the negative set approximated by `neg_perm`, a
+///     permutation giving each row its sampled negative row (of z1/z2
+///     themselves). `row_weights` as above.
+Var EuclideanContrastive(const Var& z1, const Var& z2,
+                         const std::vector<std::int64_t>& neg_perm,
+                         const std::vector<float>& row_weights = {});
+
+/// Mean binary cross-entropy of logits (any shape) against {0,1} targets
+/// of the same size (flattened order).
+Var BceWithLogits(const Var& logits, const std::vector<float>& targets);
+
+/// BYOL/BGRL-style predictive loss: 2 - 2 * mean_i cos(p_i, y_i), where
+/// `target` is treated as constant (stop-gradient) by the caller passing
+/// a Constant Var.
+Var CosinePredictionLoss(const Var& pred, const Var& target);
+
+/// Mean squared error between two same-shaped Vars.
+Var MseLoss(const Var& a, const Var& b);
+
+}  // namespace ag
+}  // namespace e2gcl
+
+#endif  // E2GCL_AUTOGRAD_LOSS_H_

@@ -1,0 +1,100 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+namespace internal_autograd {
+
+void Node::AccumulateGrad(const Matrix& g) {
+  if (!requires_grad) return;
+  if (!grad_initialized) {
+    grad = Matrix(value.rows(), value.cols());
+    grad_initialized = true;
+  }
+  AddInPlace(grad, g);
+}
+
+}  // namespace internal_autograd
+
+using internal_autograd::Node;
+
+Var Var::Constant(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return Var(std::move(node));
+}
+
+Var Var::Param(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return Var(std::move(node));
+}
+
+const Matrix& Var::value() const {
+  E2GCL_CHECK(node_ != nullptr);
+  return node_->value;
+}
+
+Matrix& Var::mutable_value() {
+  E2GCL_CHECK(node_ != nullptr);
+  return node_->value;
+}
+
+const Matrix& Var::grad() const {
+  E2GCL_CHECK(node_ != nullptr);
+  static const Matrix kEmpty;
+  return node_->grad_initialized ? node_->grad : kEmpty;
+}
+
+bool Var::requires_grad() const {
+  E2GCL_CHECK(node_ != nullptr);
+  return node_->requires_grad;
+}
+
+void Var::ZeroGrad() {
+  E2GCL_CHECK(node_ != nullptr);
+  node_->grad_initialized = false;
+  node_->grad = Matrix();
+}
+
+void Var::Backward() const {
+  E2GCL_CHECK(node_ != nullptr);
+  E2GCL_CHECK_MSG(node_->value.rows() == 1 && node_->value.cols() == 1,
+                  "Backward() must start from a scalar");
+
+  // Topological order via iterative post-order DFS.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [cur, idx] = stack.back();
+    if (idx < cur->parents.size()) {
+      Node* parent = cur->parents[idx].get();
+      ++idx;
+      if (visited.insert(parent).second) stack.emplace_back(parent, 0);
+    } else {
+      order.push_back(cur);
+      stack.pop_back();
+    }
+  }
+
+  // Seed and sweep in reverse topological order (self first).
+  Matrix seed(1, 1);
+  seed(0, 0) = 1.0f;
+  // Root may not itself require grad (e.g. loss of constants only).
+  node_->grad = seed;
+  node_->grad_initialized = true;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward && n->grad_initialized) n->backward(*n);
+  }
+}
+
+}  // namespace e2gcl

@@ -1,0 +1,87 @@
+#ifndef E2GCL_AUTOGRAD_VARIABLE_H_
+#define E2GCL_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace e2gcl {
+
+namespace internal_autograd {
+struct Node;
+}  // namespace internal_autograd
+
+/// A handle to a node in a dynamically-built reverse-mode autograd tape.
+///
+/// Semantics mirror the familiar define-by-run model: every op in
+/// autograd/ops.h creates a fresh node whose `backward` closure scatters
+/// the incoming gradient to its parents. Calling Backward() on a scalar
+/// (1x1) Var runs a topological sweep and accumulates `grad()` on every
+/// reachable node with requires_grad set.
+///
+/// Var is a cheap shared handle; copies alias the same node.
+class Var {
+ public:
+  Var() = default;
+
+  /// Wraps a constant (no gradient requested).
+  static Var Constant(Matrix value);
+
+  /// Wraps a parameter/leaf that accumulates gradient.
+  static Var Param(Matrix value);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Matrix& value() const;
+  Matrix& mutable_value();
+
+  /// Gradient accumulated by the last Backward() sweep. Zero-shaped
+  /// until backward has touched this node.
+  const Matrix& grad() const;
+
+  bool requires_grad() const;
+
+  /// Zeroes the stored gradient (optimizers call this between steps).
+  void ZeroGrad();
+
+  /// Runs backpropagation from this node, which must hold a 1x1 scalar.
+  /// Seeds d(self)/d(self) = 1 and accumulates into every reachable
+  /// requires-grad node.
+  void Backward() const;
+
+  std::int64_t rows() const { return value().rows(); }
+  std::int64_t cols() const { return value().cols(); }
+
+  /// Internal: used by ops.cc to build the tape.
+  std::shared_ptr<internal_autograd::Node> node() const { return node_; }
+  explicit Var(std::shared_ptr<internal_autograd::Node> node)
+      : node_(std::move(node)) {}
+
+ private:
+  std::shared_ptr<internal_autograd::Node> node_;
+};
+
+namespace internal_autograd {
+
+/// Tape node. `backward` receives the node itself (its grad has already
+/// been accumulated) and is responsible for pushing gradient into
+/// `parents` via AccumulateGrad.
+struct Node {
+  Matrix value;
+  Matrix grad;
+  bool requires_grad = false;
+  bool grad_initialized = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward;
+
+  /// Adds `g` into this node's gradient, materializing storage lazily.
+  void AccumulateGrad(const Matrix& g);
+};
+
+}  // namespace internal_autograd
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_AUTOGRAD_VARIABLE_H_

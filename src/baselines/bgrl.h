@@ -1,0 +1,66 @@
+#ifndef E2GCL_BASELINES_BGRL_H_
+#define E2GCL_BASELINES_BGRL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "baselines/grace.h"
+#include "core/trainer.h"
+#include "graph/graph.h"
+#include "nn/gcn.h"
+#include "nn/mlp.h"
+
+namespace e2gcl {
+
+/// BGRL [Thakoor et al. 2021]: negative-free bootstrapped GCL. An online
+/// encoder + predictor regress the EMA target encoder's embedding of the
+/// other view; views come from GRACE-style uniform ED + FM.
+///
+/// With `augmentation_free` set, this becomes our AFGRL-style variant
+/// [Lee et al. 2022]: no augmentation at all; the prediction target of a
+/// node is the neighborhood-averaged target embedding (neighbor
+/// positives instead of augmentation positives).
+struct BgrlConfig {
+  float drop_edge_1 = 0.2f;
+  float drop_edge_2 = 0.4f;
+  float mask_feature_1 = 0.2f;
+  float mask_feature_2 = 0.3f;
+  float ema_decay = 0.9f;
+  bool augmentation_free = false;  // AFGRL variant.
+
+  std::int64_t hidden_dim = 64;
+  std::int64_t embed_dim = 64;
+  int num_layers = 2;
+  float dropout = 0.1f;
+  float lr = 5e-3f;
+  float weight_decay = 1e-5f;
+  int epochs = 60;
+  std::int64_t batch_size = 500;
+  std::uint64_t seed = 1;
+};
+
+class BgrlTrainer {
+ public:
+  BgrlTrainer(const Graph& graph, const BgrlConfig& config);
+
+  void Train(const EpochCallback& callback = nullptr);
+
+  const GcnEncoder& encoder() const { return *online_; }
+  const E2gclStats& stats() const { return stats_; }
+
+ private:
+  Graph SampleView(float drop_edge, float mask_feature);
+
+  const Graph* graph_;
+  BgrlConfig config_;
+  std::unique_ptr<GcnEncoder> online_;
+  std::unique_ptr<GcnEncoder> target_;
+  std::unique_ptr<Mlp> predictor_;
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges_;
+  E2gclStats stats_;
+  Rng rng_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_BASELINES_BGRL_H_

@@ -1,0 +1,127 @@
+#include "baselines/deepwalk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tensor/check.h"
+#include "tensor/rng.h"
+
+namespace e2gcl {
+
+namespace {
+
+/// One biased (node2vec) random-walk step from `cur` with predecessor
+/// `prev` (-1 for the first step). Rejection sampling over the
+/// unnormalized bias keeps this O(1) expected per step.
+std::int64_t WalkStep(const Graph& g, std::int64_t prev, std::int64_t cur,
+                      float p, float q, Rng& rng) {
+  const auto nb = g.Neighbors(cur);
+  if (nb.empty()) return -1;
+  if (prev < 0 || (p == 1.0f && q == 1.0f)) {
+    return nb[rng.UniformInt(static_cast<std::int64_t>(nb.size()))];
+  }
+  const float max_bias =
+      std::max({1.0f, 1.0f / p, 1.0f / q});
+  for (int tries = 0; tries < 32; ++tries) {
+    const std::int64_t cand =
+        nb[rng.UniformInt(static_cast<std::int64_t>(nb.size()))];
+    float bias;
+    if (cand == prev) {
+      bias = 1.0f / p;
+    } else if (g.HasEdge(cand, prev)) {
+      bias = 1.0f;
+    } else {
+      bias = 1.0f / q;
+    }
+    if (rng.Uniform() * max_bias <= bias) return cand;
+  }
+  return nb[rng.UniformInt(static_cast<std::int64_t>(nb.size()))];
+}
+
+}  // namespace
+
+Matrix TrainDeepWalk(const Graph& g, const DeepWalkConfig& config) {
+  const std::int64_t n = g.num_nodes;
+  const std::int64_t d = config.embed_dim;
+  Rng rng(config.seed);
+  Matrix emb = Matrix::RandomUniform(n, d, -0.5f / d, 0.5f / d, rng);
+  Matrix ctx(n, d);  // context table starts at zero (word2vec convention)
+
+  // Degree^{3/4} negative-sampling table (word2vec style), as a CDF.
+  std::vector<double> neg_cdf(n);
+  double acc = 0.0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    acc += std::pow(static_cast<double>(g.Degree(v)) + 1.0, 0.75);
+    neg_cdf[v] = acc;
+  }
+  auto sample_negative = [&]() {
+    const double u = static_cast<double>(rng.Uniform()) * acc;
+    return static_cast<std::int64_t>(
+        std::distance(neg_cdf.begin(),
+                      std::upper_bound(neg_cdf.begin(), neg_cdf.end(), u)));
+  };
+
+  std::vector<float> grad_center(d);
+  std::vector<std::int64_t> order(n);
+  for (std::int64_t i = 0; i < n; ++i) order[i] = i;
+  float lr = config.lr;
+  const float lr_min = config.lr * 0.05f;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (std::int64_t start : order) {
+      for (int w = 0; w < config.walks_per_node; ++w) {
+        // Generate the walk.
+        std::vector<std::int64_t> walk{start};
+        std::int64_t prev = -1, cur = start;
+        for (int s = 1; s < config.walk_length; ++s) {
+          const std::int64_t nxt =
+              WalkStep(g, prev, cur, config.p, config.q, rng);
+          if (nxt < 0) break;
+          walk.push_back(nxt);
+          prev = cur;
+          cur = nxt;
+        }
+        // SGNS over window pairs.
+        for (std::size_t i = 0; i < walk.size(); ++i) {
+          const std::int64_t center = walk[i];
+          float* ec = emb.RowPtr(center);
+          const std::size_t lo =
+              i >= static_cast<std::size_t>(config.window)
+                  ? i - config.window
+                  : 0;
+          const std::size_t hi =
+              std::min(walk.size() - 1, i + config.window);
+          for (std::size_t j = lo; j <= hi; ++j) {
+            if (j == i) continue;
+            std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+            // Positive pair + negatives.
+            for (int neg = -1; neg < config.negatives; ++neg) {
+              const std::int64_t target =
+                  neg < 0 ? walk[j] : sample_negative();
+              if (neg >= 0 && target == walk[j]) continue;
+              const float label = neg < 0 ? 1.0f : 0.0f;
+              float* ct = ctx.RowPtr(target);
+              float dot = 0.0f;
+              for (std::int64_t kk = 0; kk < d; ++kk) dot += ec[kk] * ct[kk];
+              const float sig = 1.0f / (1.0f + std::exp(-dot));
+              const float gscale = lr * (label - sig);
+              for (std::int64_t kk = 0; kk < d; ++kk) {
+                grad_center[kk] += gscale * ct[kk];
+                ct[kk] += gscale * ec[kk];
+              }
+            }
+            for (std::int64_t kk = 0; kk < d; ++kk) {
+              ec[kk] += grad_center[kk];
+            }
+          }
+        }
+      }
+    }
+    lr = std::max(lr_min, lr * 0.5f);
+  }
+  return emb;
+}
+
+}  // namespace e2gcl

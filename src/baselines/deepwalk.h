@@ -1,0 +1,35 @@
+#ifndef E2GCL_BASELINES_DEEPWALK_H_
+#define E2GCL_BASELINES_DEEPWALK_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+
+namespace e2gcl {
+
+/// DeepWalk / node2vec: truncated random walks + skip-gram with
+/// negative sampling (SGNS), implemented directly on the embedding
+/// tables (no autograd; SGNS is its own closed-form update). node2vec's
+/// return parameter p and in-out parameter q bias the walk; p = q = 1
+/// reduces to DeepWalk.
+struct DeepWalkConfig {
+  std::int64_t embed_dim = 64;
+  int walks_per_node = 8;
+  int walk_length = 20;
+  int window = 5;
+  int negatives = 4;
+  float lr = 0.025f;
+  int epochs = 2;
+  /// node2vec bias parameters (1, 1) == DeepWalk.
+  float p = 1.0f;
+  float q = 1.0f;
+  std::uint64_t seed = 1;
+};
+
+/// Learns embeddings; returns the input (center) embedding table.
+Matrix TrainDeepWalk(const Graph& g, const DeepWalkConfig& config);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_BASELINES_DEEPWALK_H_

@@ -1,0 +1,50 @@
+#ifndef E2GCL_BASELINES_DGI_H_
+#define E2GCL_BASELINES_DGI_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/trainer.h"
+#include "graph/graph.h"
+#include "nn/gcn.h"
+
+namespace e2gcl {
+
+/// Deep Graph Infomax [Velickovic et al. 2019]. Maximizes mutual
+/// information between node embeddings and a graph-level summary via a
+/// bilinear discriminator; negatives come from a feature-row-shuffled
+/// corruption of the graph.
+struct DgiConfig {
+  std::int64_t hidden_dim = 64;
+  std::int64_t embed_dim = 64;
+  int num_layers = 1;  // DGI's canonical encoder is a single PReLU GCN.
+  float lr = 5e-3f;
+  float weight_decay = 1e-5f;
+  int epochs = 60;
+  /// Per-epoch discriminator batch (pos + neg each this size).
+  std::int64_t batch_size = 500;
+  std::uint64_t seed = 1;
+};
+
+class DgiTrainer {
+ public:
+  DgiTrainer(const Graph& graph, const DgiConfig& config);
+
+  void Train(const EpochCallback& callback = nullptr);
+
+  const GcnEncoder& encoder() const { return *encoder_; }
+  const E2gclStats& stats() const { return stats_; }
+
+ private:
+  const Graph* graph_;
+  DgiConfig config_;
+  std::unique_ptr<GcnEncoder> encoder_;
+  ParamSet disc_params_;
+  Var disc_w_;  // bilinear discriminator weight (d x d)
+  E2gclStats stats_;
+  Rng rng_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_BASELINES_DGI_H_

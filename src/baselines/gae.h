@@ -1,0 +1,53 @@
+#ifndef E2GCL_BASELINES_GAE_H_
+#define E2GCL_BASELINES_GAE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/trainer.h"
+#include "graph/graph.h"
+#include "nn/gcn.h"
+
+namespace e2gcl {
+
+/// (Variational) Graph Auto-Encoder [Kipf & Welling 2016]. A GCN
+/// encoder produces Z (for VGAE: mu and logvar heads with a
+/// reparameterized sample); an inner-product decoder reconstructs
+/// edges. Loss: BCE over positive edges and an equal number of sampled
+/// negatives (+ KL for VGAE). Embedding: Z (GAE) / mu (VGAE).
+struct GaeConfig {
+  bool variational = false;
+  std::int64_t hidden_dim = 64;
+  std::int64_t embed_dim = 64;
+  float lr = 5e-3f;
+  float weight_decay = 1e-5f;
+  int epochs = 60;
+  std::int64_t batch_edges = 1000;
+  float kl_weight = 1e-2f;
+  std::uint64_t seed = 1;
+};
+
+class GaeTrainer {
+ public:
+  GaeTrainer(const Graph& graph, const GaeConfig& config);
+
+  void Train(const EpochCallback& callback = nullptr);
+
+  /// Embedding matrix (Z for GAE, mu for VGAE).
+  Matrix Embed() const;
+  const E2gclStats& stats() const { return stats_; }
+  const GcnEncoder& encoder() const { return *encoder_; }
+
+ private:
+  const Graph* graph_;
+  GaeConfig config_;
+  std::unique_ptr<GcnEncoder> encoder_;   // shared trunk -> mu head
+  std::unique_ptr<GcnEncoder> logvar_;    // VGAE only
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges_;
+  E2gclStats stats_;
+  Rng rng_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_BASELINES_GAE_H_

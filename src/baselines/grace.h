@@ -1,0 +1,82 @@
+#ifndef E2GCL_BASELINES_GRACE_H_
+#define E2GCL_BASELINES_GRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/trainer.h"
+#include "graph/graph.h"
+#include "nn/gcn.h"
+#include "nn/mlp.h"
+
+namespace e2gcl {
+
+/// The GRACE / GCA family of perturbation-based GCL baselines, plus the
+/// operation-upgrade switches used by the Fig. 2 study.
+///
+/// GRACE [Zhu et al. 2020]: two views via uniform edge dropping (ED) and
+/// uniform feature masking (FM); InfoNCE with intra-view negatives.
+/// GCA [Zhu et al. 2021]: the same pipeline with degree-centrality-
+/// adaptive edge-drop and feature-mask probabilities.
+/// Fig. 2 upgrades: `add_edge_ratio` > 0 enables EA (random 2-hop edge
+/// addition) and `feature_perturb_eta` > 0 enables FP (Eq. 16-style
+/// multiplicative noise) on top of the native operation set.
+struct GraceConfig {
+  // --- Augmentation. -----------------------------------------------------
+  float drop_edge_1 = 0.2f;
+  float drop_edge_2 = 0.4f;
+  float mask_feature_1 = 0.2f;
+  float mask_feature_2 = 0.3f;
+  /// GCA-style adaptive (importance-weighted) probabilities.
+  bool adaptive = false;
+  /// EA upgrade: adds this fraction of |E| new edges per view.
+  float add_edge_ratio = 0.0f;
+  /// FP upgrade: multiplicative feature noise strength (0 = off).
+  float feature_perturb_eta = 0.0f;
+  /// Disable FM (for ADGCL-style {ED}-only ablations).
+  bool mask_features = true;
+
+  // --- Encoder / optimization (mirrors E2gclConfig). ----------------------
+  std::int64_t hidden_dim = 64;
+  std::int64_t embed_dim = 64;
+  int num_layers = 2;
+  float dropout = 0.1f;
+  float lr = 1e-3f;
+  float weight_decay = 1e-5f;
+  int epochs = 60;
+  std::int64_t batch_size = 500;
+  float temperature = 0.5f;
+  bool projection_head = true;
+  std::uint64_t seed = 1;
+};
+
+/// Pre-trains a GCN encoder with the GRACE/GCA objective.
+class GraceTrainer {
+ public:
+  GraceTrainer(const Graph& graph, const GraceConfig& config);
+
+  void Train(const EpochCallback& callback = nullptr);
+
+  const GcnEncoder& encoder() const { return *encoder_; }
+  const E2gclStats& stats() const { return stats_; }
+
+  /// Samples one augmented view (exposed for tests and Fig. 2).
+  Graph SampleView(float drop_edge, float mask_feature, Rng& rng) const;
+
+ private:
+  const Graph* graph_;
+  GraceConfig config_;
+  std::unique_ptr<GcnEncoder> encoder_;
+  std::unique_ptr<Mlp> projector_;
+  E2gclStats stats_;
+  Rng rng_;
+  // Adaptive (GCA) importance weights.
+  std::vector<float> edge_keep_weight_;   // per undirected edge
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges_;
+  std::vector<float> feature_mask_weight_;  // per dimension
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_BASELINES_GRACE_H_

@@ -1,0 +1,59 @@
+#ifndef E2GCL_BASELINES_MVGRL_H_
+#define E2GCL_BASELINES_MVGRL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/trainer.h"
+#include "graph/graph.h"
+#include "graph/ppr.h"
+#include "nn/gcn.h"
+
+namespace e2gcl {
+
+/// MVGRL [Hassani & Khasahmadi 2020]: diffusion-based GCL. The first
+/// view is the original adjacency, the second the PPR diffusion graph
+/// (edge deletion + addition driven by global topology). Two encoders
+/// (one per view) are trained with a DGI-style cross-view discriminator;
+/// the node embedding is the sum of the two views' embeddings.
+struct MvgrlConfig {
+  PprOptions ppr;
+  /// FP upgrade (Fig. 2): multiplicative feature noise strength applied
+  /// to the encoder inputs each epoch (0 = native MVGRL).
+  float feature_perturb_eta = 0.0f;
+  std::int64_t hidden_dim = 64;
+  std::int64_t embed_dim = 64;
+  int num_layers = 1;
+  float lr = 5e-3f;
+  float weight_decay = 1e-5f;
+  int epochs = 60;
+  std::int64_t batch_size = 500;
+  std::uint64_t seed = 1;
+};
+
+class MvgrlTrainer {
+ public:
+  MvgrlTrainer(const Graph& graph, const MvgrlConfig& config);
+
+  void Train(const EpochCallback& callback = nullptr);
+
+  /// Combined embedding (sum of both views' encoders).
+  Matrix Embed() const;
+  const E2gclStats& stats() const { return stats_; }
+  const Graph& diffusion_view() const { return diffusion_; }
+
+ private:
+  const Graph* graph_;
+  MvgrlConfig config_;
+  Graph diffusion_;
+  std::unique_ptr<GcnEncoder> enc_a_;  // adjacency view
+  std::unique_ptr<GcnEncoder> enc_d_;  // diffusion view
+  ParamSet disc_params_;
+  Var disc_w_;
+  E2gclStats stats_;
+  Rng rng_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_BASELINES_MVGRL_H_

@@ -1,0 +1,38 @@
+#ifndef E2GCL_BASELINES_SELECTORS_H_
+#define E2GCL_BASELINES_SELECTORS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/node_selector.h"
+#include "graph/graph.h"
+
+namespace e2gcl {
+
+/// Node-selection strategies compared in Table VII. All return a
+/// SelectionResult with lambda weights computed the same way (nearest
+/// selected node in raw-aggregation space) so downstream training is
+/// identical and only the selection differs.
+enum class SelectorKind {
+  kRandom,         // uniform k nodes
+  kDegree,         // sample k nodes with prob ∝ log(D_v + 1)
+  kKMeans,         // 10 clusters, k nodes drawn evenly across clusters
+  kKCenterGreedy,  // KCG [Sener & Savarese]: farthest-point traversal
+  kGrain,          // Grain-style diversified influence maximization
+  kE2gcl,          // ours (Alg. 2)
+};
+
+/// Parses "random", "degree", "kmeans", "kcg", "grain", "ours".
+SelectorKind SelectorKindFromName(const std::string& name);
+std::string SelectorKindName(SelectorKind kind);
+
+/// Runs the chosen strategy. `r` is the raw aggregation matrix
+/// A_n^L X shared by all strategies that need geometry; `config` is
+/// used by kE2gcl (budget is always taken from `budget`).
+SelectionResult SelectNodes(SelectorKind kind, const Graph& g,
+                            const Matrix& r, std::int64_t budget,
+                            const SelectorConfig& config, Rng& rng);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_BASELINES_SELECTORS_H_

@@ -1,0 +1,117 @@
+#include "baselines/supervised.h"
+
+#include <algorithm>
+
+#include "autograd/loss.h"
+#include "nn/optim.h"
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+namespace {
+
+/// Fraction of `nodes` whose argmax logit equals the label.
+double ArgmaxAccuracy(const Matrix& logits,
+                      const std::vector<std::int64_t>& labels,
+                      const std::vector<std::int64_t>& nodes) {
+  if (nodes.empty()) return 0.0;
+  std::int64_t hit = 0;
+  for (std::int64_t v : nodes) {
+    const float* row = logits.RowPtr(v);
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    if (best == labels[v]) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(nodes.size());
+}
+
+}  // namespace
+
+double TrainSupervisedGcn(const Graph& g, const NodeSplit& split,
+                          const SupervisedConfig& config) {
+  E2GCL_CHECK(!g.labels.empty());
+  Rng rng(config.seed);
+  GcnConfig enc;
+  enc.dims.assign(config.num_layers + 1, config.hidden_dim);
+  enc.dims.front() = g.feature_dim();
+  enc.dims.back() = g.num_classes;
+  enc.dropout = config.dropout;
+  GcnEncoder model(enc, rng);
+  auto adj = std::make_shared<const CsrMatrix>(NormalizedAdjacency(g));
+
+  Adam::Options opts;
+  opts.lr = config.lr;
+  opts.weight_decay = config.weight_decay;
+  Adam adam(model.params().params(), opts);
+
+  std::vector<std::int64_t> train_labels;
+  for (std::int64_t v : split.train) train_labels.push_back(g.labels[v]);
+
+  double best_val = -1.0, best_test = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    Var logits =
+        model.Forward(adj, Var::Constant(g.features), rng, /*training=*/true);
+    Var train_logits = ag::GatherRows(logits, split.train);
+    Var loss = ag::SoftmaxCrossEntropy(train_logits, train_labels);
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+
+    Rng eval_rng(0);
+    Var eval_logits = model.Forward(adj, Var::Constant(g.features), eval_rng,
+                                    /*training=*/false);
+    const double val = ArgmaxAccuracy(eval_logits.value(), g.labels,
+                                      split.val);
+    if (val > best_val) {
+      best_val = val;
+      best_test =
+          ArgmaxAccuracy(eval_logits.value(), g.labels, split.test);
+    }
+  }
+  return best_test;
+}
+
+double TrainSupervisedMlp(const Graph& g, const NodeSplit& split,
+                          const SupervisedConfig& config) {
+  E2GCL_CHECK(!g.labels.empty());
+  Rng rng(config.seed);
+  MlpConfig mc;
+  mc.dims = {g.feature_dim(), config.hidden_dim, g.num_classes};
+  mc.dropout = config.dropout;
+  Mlp model(mc, rng);
+
+  Adam::Options opts;
+  opts.lr = config.lr;
+  opts.weight_decay = config.weight_decay;
+  Adam adam(model.params().params(), opts);
+
+  std::vector<std::int64_t> train_labels;
+  for (std::int64_t v : split.train) train_labels.push_back(g.labels[v]);
+
+  Var x_all = Var::Constant(g.features);
+  double best_val = -1.0, best_test = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    Var logits = model.Forward(x_all, rng, /*training=*/true);
+    Var loss =
+        ag::SoftmaxCrossEntropy(ag::GatherRows(logits, split.train),
+                                train_labels);
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+
+    Rng eval_rng(0);
+    Var eval_logits = model.Forward(x_all, eval_rng, /*training=*/false);
+    const double val =
+        ArgmaxAccuracy(eval_logits.value(), g.labels, split.val);
+    if (val > best_val) {
+      best_val = val;
+      best_test =
+          ArgmaxAccuracy(eval_logits.value(), g.labels, split.test);
+    }
+  }
+  return best_test;
+}
+
+}  // namespace e2gcl

@@ -1,0 +1,149 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+namespace {
+
+/// kmeans++ seeding: first center uniform, subsequent centers sampled
+/// proportionally to squared distance from the nearest chosen center.
+Matrix SeedPlusPlus(const Matrix& points, std::int64_t k, Rng& rng) {
+  const std::int64_t n = points.rows();
+  Matrix centers(k, points.cols());
+  std::vector<float> d2(n, std::numeric_limits<float>::max());
+  std::int64_t first = rng.UniformInt(n);
+  std::copy(points.RowPtr(first), points.RowPtr(first) + points.cols(),
+            centers.RowPtr(0));
+  for (std::int64_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::int64_t v = 0; v < n; ++v) {
+      const float d = RowSquaredDistance(points, v, centers, c - 1);
+      d2[v] = std::min(d2[v], d);
+      total += d2[v];
+    }
+    std::int64_t pick = 0;
+    if (total > 0.0) {
+      double u = static_cast<double>(rng.Uniform()) * total;
+      for (std::int64_t v = 0; v < n; ++v) {
+        u -= d2[v];
+        if (u <= 0.0) {
+          pick = v;
+          break;
+        }
+      }
+    } else {
+      pick = rng.UniformInt(n);
+    }
+    std::copy(points.RowPtr(pick), points.RowPtr(pick) + points.cols(),
+              centers.RowPtr(c));
+  }
+  return centers;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Matrix& points, const KMeansOptions& opts,
+                    Rng& rng) {
+  const std::int64_t n = points.rows();
+  const std::int64_t d = points.cols();
+  std::int64_t k = std::min<std::int64_t>(opts.num_clusters, n);
+  E2GCL_CHECK(k > 0);
+
+  KMeansResult res;
+  if (opts.kmeanspp) {
+    res.centers = SeedPlusPlus(points, k, rng);
+  } else {
+    auto seeds = rng.SampleWithoutReplacement(n, k);
+    res.centers = GatherRows(points, seeds);
+  }
+  res.assignment.assign(n, 0);
+
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < opts.max_iters; ++iter) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::int64_t v = 0; v < n; ++v) {
+      float best = std::numeric_limits<float>::max();
+      std::int64_t best_c = 0;
+      for (std::int64_t c = 0; c < k; ++c) {
+        const float dist = RowSquaredDistance(points, v, res.centers, c);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      res.assignment[v] = best_c;
+      inertia += best;
+    }
+    res.inertia = inertia;
+
+    // Update step.
+    Matrix sums(k, d);
+    std::vector<std::int64_t> counts(k, 0);
+    for (std::int64_t v = 0; v < n; ++v) {
+      const std::int64_t c = res.assignment[v];
+      counts[c] += 1;
+      const float* row = points.RowPtr(v);
+      float* srow = sums.RowPtr(c);
+      for (std::int64_t j = 0; j < d; ++j) srow[j] += row[j];
+    }
+    for (std::int64_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with the point farthest from its center.
+        float worst = -1.0f;
+        std::int64_t worst_v = 0;
+        for (std::int64_t v = 0; v < n; ++v) {
+          const float dist =
+              RowSquaredDistance(points, v, res.centers, res.assignment[v]);
+          if (dist > worst) {
+            worst = dist;
+            worst_v = v;
+          }
+        }
+        std::copy(points.RowPtr(worst_v), points.RowPtr(worst_v) + d,
+                  res.centers.RowPtr(c));
+        res.assignment[worst_v] = c;
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      float* crow = res.centers.RowPtr(c);
+      const float* srow = sums.RowPtr(c);
+      for (std::int64_t j = 0; j < d; ++j) crow[j] = srow[j] * inv;
+    }
+
+    if (prev_inertia - inertia <= opts.tol * std::max(prev_inertia, 1e-12)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+
+  // Final bookkeeping: clusters, radii, inertia under final centers.
+  res.clusters.assign(k, {});
+  res.max_radius.assign(k, 0.0f);
+  double inertia = 0.0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    float best = std::numeric_limits<float>::max();
+    std::int64_t best_c = 0;
+    for (std::int64_t c = 0; c < k; ++c) {
+      const float dist = RowSquaredDistance(points, v, res.centers, c);
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    res.assignment[v] = best_c;
+    res.clusters[best_c].push_back(v);
+    inertia += best;
+    res.max_radius[best_c] =
+        std::max(res.max_radius[best_c], std::sqrt(best));
+  }
+  res.inertia = inertia;
+  return res;
+}
+
+}  // namespace e2gcl

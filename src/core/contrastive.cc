@@ -1,0 +1,45 @@
+#include "core/contrastive.h"
+
+#include <numeric>
+
+#include "autograd/ops.h"
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+std::vector<std::int64_t> SampleNegativePermutation(std::int64_t n,
+                                                    Rng& rng) {
+  E2GCL_CHECK(n >= 2);
+  std::vector<std::int64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  // Remove fixed points by rotating any colliding entry with its
+  // successor (cyclically); the result has no i with perm[i] == i.
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (perm[i] == i) {
+      const std::int64_t j = (i + 1) % n;
+      std::swap(perm[i], perm[j]);
+    }
+  }
+  return perm;
+}
+
+Var ComputeContrastiveLoss(ContrastiveLossKind kind, const Var& z1,
+                           const Var& z2, float temperature, Rng& rng,
+                           const std::vector<float>& row_weights) {
+  switch (kind) {
+    case ContrastiveLossKind::kInfoNce: {
+      Var n1 = ag::NormalizeRowsL2(z1);
+      Var n2 = ag::NormalizeRowsL2(z2);
+      return ag::InfoNce(n1, n2, temperature, row_weights);
+    }
+    case ContrastiveLossKind::kEuclidean: {
+      auto perm = SampleNegativePermutation(z1.rows(), rng);
+      return ag::EuclideanContrastive(z1, z2, perm, row_weights);
+    }
+  }
+  E2GCL_CHECK(false);
+  return Var();
+}
+
+}  // namespace e2gcl

@@ -1,0 +1,36 @@
+#ifndef E2GCL_CORE_CONTRASTIVE_H_
+#define E2GCL_CORE_CONTRASTIVE_H_
+
+#include <vector>
+
+#include "autograd/loss.h"
+#include "autograd/variable.h"
+#include "tensor/rng.h"
+
+namespace e2gcl {
+
+/// Which contrastive objective the trainer optimizes.
+enum class ContrastiveLossKind {
+  /// InfoNCE / NT-Xent on L2-normalized projections (GRACE-family; the
+  /// practical default).
+  kInfoNce,
+  /// The paper's Eq. (5) Euclidean margin loss with sampled negatives
+  /// (used by the theory; available for replication studies).
+  kEuclidean,
+};
+
+/// Computes the selected loss between two aligned embedding batches.
+/// For kEuclidean a random negative permutation (derangement-ish) is
+/// sampled from `rng`. `row_weights` carries the coreset weights
+/// lambda (may be empty for unweighted training).
+Var ComputeContrastiveLoss(ContrastiveLossKind kind, const Var& z1,
+                           const Var& z2, float temperature, Rng& rng,
+                           const std::vector<float>& row_weights = {});
+
+/// Samples a negative-assignment permutation with no fixed points (each
+/// anchor gets some other row as its negative).
+std::vector<std::int64_t> SampleNegativePermutation(std::int64_t n, Rng& rng);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_CORE_CONTRASTIVE_H_

@@ -1,0 +1,214 @@
+#include "core/node_selector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+namespace {
+
+/// Clustered distance of Eq. (13): exact within u's cluster, relaxed
+/// (center distance + cluster radius) across clusters.
+float ClusteredDistance(const Matrix& r, const KMeansResult& km,
+                        std::int64_t v, std::int64_t u) {
+  const std::int64_t cv = km.assignment[v];
+  const std::int64_t cu = km.assignment[u];
+  if (cv == cu) return RowDistance(r, v, r, u);
+  return RowDistance(km.centers, cv, r, u) + km.max_radius[cv];
+}
+
+}  // namespace
+
+double RepresentativityObjective(const Matrix& r, const KMeansResult& km,
+                                 const std::vector<std::int64_t>& selected) {
+  E2GCL_CHECK(!selected.empty());
+  double total = 0.0;
+  for (std::int64_t v = 0; v < r.rows(); ++v) {
+    float best = std::numeric_limits<float>::max();
+    for (std::int64_t u : selected) {
+      best = std::min(best, ClusteredDistance(r, km, v, u));
+    }
+    total += best;
+  }
+  return total;
+}
+
+SelectionResult SelectCoreset(const Matrix& r, const SelectorConfig& config,
+                              Rng& rng) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t n = r.rows();
+  E2GCL_CHECK(config.budget > 0 && config.budget <= n);
+  const std::int64_t k = config.budget;
+
+  // --- Line 2: cluster on the raw aggregation. ---------------------------
+  KMeansOptions km_opts;
+  km_opts.num_clusters = std::min<std::int64_t>(config.num_clusters, n);
+  km_opts.max_iters = config.kmeans_iters;
+  KMeansResult km = KMeans(r, km_opts, rng);
+  const std::int64_t nc = km.centers.rows();
+
+  // Initial "unrepresented" distance: an upper bound on any achievable
+  // clustered distance so first-pick gains are well defined.
+  float center_spread = 0.0f;
+  for (std::int64_t i = 0; i < nc; ++i) {
+    for (std::int64_t j = i + 1; j < nc; ++j) {
+      center_spread =
+          std::max(center_spread, RowDistance(km.centers, i, km.centers, j));
+    }
+  }
+  float max_radius = 0.0f;
+  for (float rad : km.max_radius) max_radius = std::max(max_radius, rad);
+  const float d_init = center_spread + 2.0f * max_radius + 1.0f;
+
+  std::vector<float> best_dist(n, d_init);
+  std::vector<char> selected_mask(n, 0);
+
+  // Effective per-round sample size (Theorem 3).
+  std::int64_t ns = config.sample_size;
+  if (config.auto_sample_size) {
+    const double theory =
+        std::ceil(static_cast<double>(n) / static_cast<double>(k) *
+                  std::log(1.0 / std::max(config.approx_eps, 1e-6)));
+    ns = std::min<std::int64_t>(
+        config.sample_size,
+        std::max<std::int64_t>(config.min_sample_size,
+                               static_cast<std::int64_t>(theory)));
+  }
+  ns = std::max<std::int64_t>(1, std::min(ns, n));
+
+  SelectionResult result;
+  result.nodes.reserve(k);
+
+  // Scratch: gain of adding candidate u =
+  //   sum_v max(0, best_dist[v] - d_new(v, u)).
+  std::vector<float> center_dist(nc);
+  while (static_cast<std::int64_t>(result.nodes.size()) < k) {
+    // --- Line 4: sample candidates from the unselected pool. -------------
+    std::vector<std::int64_t> pool;
+    pool.reserve(ns);
+    std::int64_t guard = 0;
+    while (static_cast<std::int64_t>(pool.size()) < ns && guard++ < ns * 30) {
+      const std::int64_t c = rng.UniformInt(n);
+      if (!selected_mask[c]) pool.push_back(c);
+    }
+    if (pool.empty()) {
+      for (std::int64_t v = 0; v < n && static_cast<std::int64_t>(pool.size()) < ns;
+           ++v) {
+        if (!selected_mask[v]) pool.push_back(v);
+      }
+    }
+    if (pool.empty()) break;  // Everything selected.
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+
+    // --- Lines 5-8: pick the candidate with maximal marginal gain. -------
+    double best_gain = -1.0;
+    std::int64_t best_u = pool.front();
+    for (std::int64_t u : pool) {
+      const std::int64_t cu = km.assignment[u];
+      for (std::int64_t j = 0; j < nc; ++j) {
+        center_dist[j] = RowDistance(km.centers, j, r, u);
+      }
+      double gain = 0.0;
+      // Exact distances within u's cluster.
+      for (std::int64_t v : km.clusters[cu]) {
+        const float d = RowDistance(r, v, r, u);
+        if (d < best_dist[v]) gain += best_dist[v] - d;
+      }
+      // Relaxed distances for all other clusters: threshold per cluster.
+      for (std::int64_t j = 0; j < nc; ++j) {
+        if (j == cu) continue;
+        const float t = center_dist[j] + km.max_radius[j];
+        for (std::int64_t v : km.clusters[j]) {
+          if (best_dist[v] > t) gain += best_dist[v] - t;
+        }
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_u = u;
+      }
+    }
+
+    // --- Line 9: commit and update best distances. ------------------------
+    selected_mask[best_u] = 1;
+    result.nodes.push_back(best_u);
+    const std::int64_t cu = km.assignment[best_u];
+    for (std::int64_t j = 0; j < nc; ++j) {
+      center_dist[j] = RowDistance(km.centers, j, r, best_u);
+    }
+    for (std::int64_t v : km.clusters[cu]) {
+      best_dist[v] = std::min(best_dist[v], RowDistance(r, v, r, best_u));
+    }
+    for (std::int64_t j = 0; j < nc; ++j) {
+      if (j == cu) continue;
+      const float t = center_dist[j] + km.max_radius[j];
+      for (std::int64_t v : km.clusters[j]) {
+        best_dist[v] = std::min(best_dist[v], t);
+      }
+    }
+  }
+
+  // --- Line 10: representation weights lambda. ----------------------------
+  // Each node is assigned to its nearest selected node under the
+  // clustered metric. To keep this O(n * (|Vs ∩ cluster| + nc)) instead
+  // of O(n * |Vs|), precompute per cluster the best relaxed
+  // representative.
+  const std::int64_t ks = static_cast<std::int64_t>(result.nodes.size());
+  result.weights.assign(ks, 0.0f);
+  std::vector<std::int64_t> sel_index(n, -1);
+  for (std::int64_t i = 0; i < ks; ++i) sel_index[result.nodes[i]] = i;
+
+  // Group selected nodes by cluster.
+  std::vector<std::vector<std::int64_t>> sel_by_cluster(nc);
+  for (std::int64_t i = 0; i < ks; ++i) {
+    sel_by_cluster[km.assignment[result.nodes[i]]].push_back(result.nodes[i]);
+  }
+  // Best relaxed representative per *target* cluster j: the selected u
+  // minimizing ||c_j - R[u]|| (the +d_j^max offset is common).
+  std::vector<std::int64_t> best_cross(nc, -1);
+  std::vector<float> best_cross_dist(nc, std::numeric_limits<float>::max());
+  for (std::int64_t j = 0; j < nc; ++j) {
+    for (std::int64_t u : result.nodes) {
+      if (km.assignment[u] == j) continue;  // Eq. 13: u2 outside C_i.
+      const float d = RowDistance(km.centers, j, r, u);
+      if (d < best_cross_dist[j]) {
+        best_cross_dist[j] = d;
+        best_cross[j] = u;
+      }
+    }
+  }
+  double objective = 0.0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    const std::int64_t cv = km.assignment[v];
+    float best = std::numeric_limits<float>::max();
+    std::int64_t rep = -1;
+    for (std::int64_t u : sel_by_cluster[cv]) {
+      const float d = RowDistance(r, v, r, u);
+      if (d < best) {
+        best = d;
+        rep = u;
+      }
+    }
+    if (best_cross[cv] >= 0) {
+      const float d = best_cross_dist[cv] + km.max_radius[cv];
+      if (d < best) {
+        best = d;
+        rep = best_cross[cv];
+      }
+    }
+    if (rep < 0) rep = result.nodes.front();
+    result.weights[sel_index[rep]] += 1.0f;
+    objective += best == std::numeric_limits<float>::max() ? 0.0 : best;
+  }
+  result.representativity = objective;
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return result;
+}
+
+}  // namespace e2gcl

@@ -1,0 +1,21 @@
+#include "core/raw_aggregation.h"
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+Matrix RawAggregation(const Graph& g, int num_layers) {
+  CsrMatrix an = NormalizedAdjacency(g);
+  return RawAggregation(an, g.features, num_layers);
+}
+
+Matrix RawAggregation(const CsrMatrix& normalized_adj, const Matrix& x,
+                      int num_layers) {
+  E2GCL_CHECK(num_layers >= 0);
+  E2GCL_CHECK(normalized_adj.cols() == x.rows());
+  Matrix r = x;
+  for (int l = 0; l < num_layers; ++l) r = Spmm(normalized_adj, r);
+  return r;
+}
+
+}  // namespace e2gcl

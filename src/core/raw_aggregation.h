@@ -1,0 +1,25 @@
+#ifndef E2GCL_CORE_RAW_AGGREGATION_H_
+#define E2GCL_CORE_RAW_AGGREGATION_H_
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+
+namespace e2gcl {
+
+/// Raw aggregated node information R = A_n^L X (Sec. III-A, Theorem 1).
+///
+/// This parameter-free quantity is the backbone of the whole framework:
+/// Theorem 1 bounds per-node contrastive gradient differences by
+/// distances between rows of R, so the node selector clusters and
+/// selects on R, and the view-generation objective measures diversity
+/// on the views' R. Computed with L sparse SpMM passes, O(L * nnz * d).
+Matrix RawAggregation(const Graph& g, int num_layers);
+
+/// Same but over an externally supplied propagation matrix (used to
+/// compute the r-hat of a generated view).
+Matrix RawAggregation(const CsrMatrix& normalized_adj, const Matrix& x,
+                      int num_layers);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_CORE_RAW_AGGREGATION_H_

@@ -1,0 +1,133 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "core/raw_aggregation.h"
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+namespace {
+
+double SecondsSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+E2gclTrainer::E2gclTrainer(const Graph& graph, const E2gclConfig& config)
+    : graph_(&graph), config_(config), rng_(config.seed) {
+  E2GCL_CHECK(graph.num_nodes > 1);
+  E2GCL_CHECK(!graph.features.empty());
+  GcnConfig enc;
+  enc.dims.assign(config.num_layers + 1, config.hidden_dim);
+  enc.dims.front() = graph.feature_dim();
+  enc.dims.back() = config.embed_dim;
+  enc.dropout = config.dropout;
+  encoder_ = std::make_unique<GcnEncoder>(enc, rng_);
+  if (config.projection_head) {
+    MlpConfig proj;
+    proj.dims = {config.embed_dim, config.embed_dim, config.embed_dim};
+    projector_ = std::make_unique<Mlp>(proj, rng_);
+  }
+  generator_ = std::make_unique<ViewGenerator>(graph, config.view_hat.beta);
+}
+
+void E2gclTrainer::Train(const EpochCallback& callback) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t n = graph_->num_nodes;
+
+  // --- Node selection (Sec. III). ----------------------------------------
+  std::vector<std::int64_t> train_nodes;
+  std::vector<float> node_weights;
+  if (config_.use_selector) {
+    const std::int64_t k = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(std::llround(config_.node_ratio * n)));
+    SelectorConfig sel = config_.selector;
+    sel.budget = std::min<std::int64_t>(k, n);
+    Matrix r = RawAggregation(*graph_, config_.num_layers);
+    selection_ = config_.external_selector
+                     ? config_.external_selector(r, *graph_, sel, rng_)
+                     : SelectCoreset(r, sel, rng_);
+    train_nodes = selection_.nodes;
+    node_weights = selection_.weights;
+    stats_.selection_seconds = selection_.seconds;
+  } else {
+    train_nodes.resize(n);
+    std::iota(train_nodes.begin(), train_nodes.end(), 0);
+    node_weights.assign(n, 1.0f);
+  }
+
+  // --- Contrastive pre-training (Alg. 1 lines 1-5). ------------------------
+  std::vector<Var> params;
+  for (const Var& p : encoder_->params().params()) params.push_back(p);
+  if (projector_ != nullptr) {
+    for (const Var& p : projector_->params().params()) params.push_back(p);
+  }
+  Adam::Options opts;
+  opts.lr = config_.lr;
+  opts.weight_decay = config_.weight_decay;
+  Adam adam(params, opts);
+
+  const std::int64_t pool = static_cast<std::int64_t>(train_nodes.size());
+  const std::int64_t batch =
+      std::min<std::int64_t>(config_.batch_size, pool);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Line 3: generate the two positive views.
+    const auto tv = std::chrono::steady_clock::now();
+    Graph view_hat = generator_->GenerateGlobalView(config_.view_hat, rng_);
+    Graph view_tilde =
+        generator_->GenerateGlobalView(config_.view_tilde, rng_);
+    auto adj_hat =
+        std::make_shared<const CsrMatrix>(NormalizedAdjacency(view_hat));
+    auto adj_tilde =
+        std::make_shared<const CsrMatrix>(NormalizedAdjacency(view_tilde));
+    stats_.view_seconds += SecondsSince(tv);
+
+    // Sample a training batch from the (selected) node pool.
+    std::vector<std::int64_t> batch_nodes;
+    std::vector<float> batch_weights;
+    if (batch == pool) {
+      batch_nodes = train_nodes;
+      batch_weights = node_weights;
+    } else {
+      for (std::int64_t idx : rng_.SampleWithoutReplacement(pool, batch)) {
+        batch_nodes.push_back(train_nodes[idx]);
+        batch_weights.push_back(node_weights[idx]);
+      }
+    }
+    if (!config_.use_coreset_weights) {
+      batch_weights.assign(batch_nodes.size(), 1.0f);
+    }
+
+    // Line 4-5: encode both views, contrast the batch rows.
+    Var x_hat = Var::Constant(view_hat.features);
+    Var x_tilde = Var::Constant(view_tilde.features);
+    Var h_hat = encoder_->Forward(adj_hat, x_hat, rng_, /*training=*/true);
+    Var h_tilde =
+        encoder_->Forward(adj_tilde, x_tilde, rng_, /*training=*/true);
+    Var z_hat = ag::GatherRows(h_hat, batch_nodes);
+    Var z_tilde = ag::GatherRows(h_tilde, batch_nodes);
+    if (projector_ != nullptr) {
+      z_hat = projector_->Forward(z_hat, rng_, /*training=*/true);
+      z_tilde = projector_->Forward(z_tilde, rng_, /*training=*/true);
+    }
+    Var loss = ComputeContrastiveLoss(config_.loss, z_hat, z_tilde,
+                                      config_.temperature, rng_,
+                                      batch_weights);
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+    stats_.epochs_run = epoch + 1;
+
+    if (callback) callback(epoch, SecondsSince(t0), *encoder_);
+  }
+  stats_.total_seconds = SecondsSince(t0);
+}
+
+}  // namespace e2gcl

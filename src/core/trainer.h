@@ -1,0 +1,108 @@
+#ifndef E2GCL_CORE_TRAINER_H_
+#define E2GCL_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/contrastive.h"
+#include "core/node_selector.h"
+#include "core/view_generator.h"
+#include "nn/gcn.h"
+#include "nn/mlp.h"
+#include "nn/optim.h"
+
+namespace e2gcl {
+
+/// Full configuration of the E2GCL pre-training pipeline (Alg. 1 lines
+/// 1-5, with the node selector of Sec. III and the view generator of
+/// Sec. IV). The ablation variants of Tables VI and VIII are expressed
+/// through the flags below:
+///   E2GCL_{A,*}: use_selector = false.
+///   E2GCL_{*,U}: importance_edges = importance_features = false in
+///                both view configs.
+///   E2GCL\S: importance_edges = false; E2GCL\F: importance_features =
+///   false.
+struct E2gclConfig {
+  // --- Node selector (Sec. III). -----------------------------------------
+  bool use_selector = true;
+  /// Node budget as a fraction r of |V| (paper default r = 0.4).
+  double node_ratio = 0.4;
+  SelectorConfig selector;
+  /// Weight batch loss terms by the coreset weights lambda.
+  bool use_coreset_weights = true;
+  /// Replaces Alg. 2 with an arbitrary selection strategy (same budget
+  /// and weights contract). Used by the Table VII selector ablation to
+  /// plug Random/Degree/KMeans/KCG/Grain into the identical pipeline.
+  std::function<SelectionResult(const Matrix& raw_aggregation,
+                                const Graph& graph, const SelectorConfig&,
+                                Rng&)>
+      external_selector;
+
+  // --- View generator (Sec. IV). ------------------------------------------
+  /// The two positive-view channels (tau-hat/eta-hat, tau-tilde/eta-tilde).
+  ViewConfig view_hat{.tau = 0.8f, .eta = 0.5f};
+  ViewConfig view_tilde{.tau = 0.6f, .eta = 0.7f};
+
+  // --- Encoder / optimization. ---------------------------------------------
+  std::int64_t hidden_dim = 64;
+  std::int64_t embed_dim = 64;
+  int num_layers = 2;
+  float dropout = 0.1f;
+  float lr = 5e-3f;
+  float weight_decay = 1e-5f;
+  int epochs = 60;
+  /// Contrastive batch size (paper: 500 for all approaches).
+  std::int64_t batch_size = 500;
+  float temperature = 0.5f;
+  ContrastiveLossKind loss = ContrastiveLossKind::kInfoNce;
+  /// Use a 2-layer projection head before the loss (GRACE-style).
+  bool projection_head = true;
+  std::uint64_t seed = 1;
+};
+
+/// Timing breakdown of one pre-training run (Table V's ST/TT columns).
+struct E2gclStats {
+  double selection_seconds = 0.0;   // ST
+  double view_seconds = 0.0;        // view generation share of TT
+  double total_seconds = 0.0;       // TT (selection + views + optimization)
+  int epochs_run = 0;
+};
+
+/// Per-epoch observation hook for time-accuracy curves (Fig. 3):
+/// (epoch index, seconds elapsed since training start including
+/// selection, current encoder).
+using EpochCallback =
+    std::function<void(int, double, const GcnEncoder&)>;
+
+/// The E2GCL pre-trainer. Owns the encoder; Train() runs the full
+/// pipeline and leaves the encoder ready for linear-probe evaluation.
+class E2gclTrainer {
+ public:
+  E2gclTrainer(const Graph& graph, const E2gclConfig& config);
+
+  /// Runs selection + contrastive pre-training. Safe to call once.
+  void Train(const EpochCallback& callback = nullptr);
+
+  const GcnEncoder& encoder() const { return *encoder_; }
+  GcnEncoder& encoder() { return *encoder_; }
+  const E2gclStats& stats() const { return stats_; }
+  /// Selection result (empty nodes when use_selector is false).
+  const SelectionResult& selection() const { return selection_; }
+  const E2gclConfig& config() const { return config_; }
+
+ private:
+  const Graph* graph_;
+  E2gclConfig config_;
+  std::unique_ptr<GcnEncoder> encoder_;
+  std::unique_ptr<Mlp> projector_;
+  std::unique_ptr<ViewGenerator> generator_;
+  SelectionResult selection_;
+  E2gclStats stats_;
+  Rng rng_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_CORE_TRAINER_H_

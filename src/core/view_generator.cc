@@ -1,0 +1,227 @@
+#include "core/view_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/raw_aggregation.h"
+#include "nn/gcn.h"
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+ViewGenerator::ViewGenerator(const Graph& graph, float beta)
+    : graph_(&graph), scores_(graph, beta) {}
+
+std::vector<std::int64_t> ViewGenerator::SampleNeighbors(
+    std::int64_t u, const ViewConfig& config, Rng& rng) const {
+  const Graph& g = *graph_;
+  const auto nb = g.Neighbors(u);
+  const std::int64_t deg = static_cast<std::int64_t>(nb.size());
+  if (deg == 0) return {};
+
+  // Candidate set V_u^N = N_u^1 (always, all of it) plus a subsample of
+  // N_u^2 (capped for dense graphs). A shared scratch bitmap (reset via
+  // the touched list) keeps the dense-graph 2-hop scan allocation- and
+  // hash-free; this loop dominates view-generation cost.
+  std::vector<std::int64_t> candidates(nb.begin(), nb.end());
+  std::vector<char> is_neighbor(candidates.size(), 1);
+  if (config.allow_edge_addition && config.max_two_hop_candidates > 0) {
+    if (static_cast<std::int64_t>(seen_scratch_.size()) < g.num_nodes) {
+      seen_scratch_.assign(g.num_nodes, 0);
+    }
+    touched_scratch_.clear();
+    auto mark = [&](std::int64_t x) {
+      seen_scratch_[x] = 1;
+      touched_scratch_.push_back(x);
+    };
+    mark(u);
+    for (std::int32_t w : nb) mark(w);
+    // Reservoir-sample 2-hop candidates without materializing the full
+    // 2-hop set on dense graphs.
+    std::vector<std::int64_t> two_hop;
+    std::int64_t count = 0;
+    for (std::int32_t w : nb) {
+      for (std::int32_t x : g.Neighbors(w)) {
+        if (seen_scratch_[x]) continue;
+        ++count;
+        if (static_cast<std::int64_t>(two_hop.size()) <
+            config.max_two_hop_candidates) {
+          two_hop.push_back(x);
+          mark(x);
+        } else {
+          const std::int64_t j = rng.UniformInt(count);
+          if (j < config.max_two_hop_candidates) {
+            // Replacement without unmarking keeps the pass O(1);
+            // duplicates are impossible because marks only grow and
+            // marked nodes are skipped.
+            mark(x);
+            two_hop[j] = x;
+          }
+        }
+      }
+    }
+    for (std::int64_t x : two_hop) {
+      candidates.push_back(x);
+      is_neighbor.push_back(0);
+    }
+    for (std::int64_t x : touched_scratch_) seen_scratch_[x] = 0;
+  }
+
+  // Number of neighbors to draw: round(tau * |N_u|), at least 1 so no
+  // node is isolated unless tau == 0, capped by the candidate count.
+  std::int64_t want = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(config.tau) * deg));
+  if (config.tau > 0.0f) want = std::max<std::int64_t>(want, 1);
+  want = std::min<std::int64_t>(want,
+                                static_cast<std::int64_t>(candidates.size()));
+  if (want <= 0) return {};
+
+  if (!config.allow_edge_deletion) {
+    // Keep all existing neighbors; only top up with additions.
+    std::vector<std::int64_t> result(nb.begin(), nb.end());
+    const std::int64_t extra = want > deg ? want - deg : 0;
+    if (extra > 0 && candidates.size() > static_cast<std::size_t>(deg)) {
+      std::vector<float> w(candidates.size() - deg);
+      for (std::size_t i = deg; i < candidates.size(); ++i) {
+        w[i - deg] = config.importance_edges
+                         ? scores_.EdgeScore(u, candidates[i], false)
+                         : 1.0f;
+      }
+      for (std::int64_t idx : rng.WeightedSampleWithoutReplacement(w, extra)) {
+        result.push_back(candidates[deg + idx]);
+      }
+    }
+    return result;
+  }
+
+  std::vector<float> weights(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    weights[i] = config.importance_edges
+                     ? scores_.EdgeScore(u, candidates[i],
+                                         is_neighbor[i] != 0)
+                     : 1.0f;
+  }
+  std::vector<std::int64_t> picked_idx =
+      rng.WeightedSampleWithoutReplacement(weights, want);
+  std::vector<std::int64_t> result;
+  result.reserve(picked_idx.size());
+  for (std::int64_t idx : picked_idx) result.push_back(candidates[idx]);
+  return result;
+}
+
+void ViewGenerator::PerturbRow(float* row, std::int64_t node,
+                               const ViewConfig& config, Rng& rng) const {
+  if (!config.allow_feature_perturbation || config.eta <= 0.0f) return;
+  const std::int64_t d = graph_->feature_dim();
+  for (std::int64_t i = 0; i < d; ++i) {
+    const float p =
+        config.importance_features
+            ? scores_.PerturbProbability(node, i, config.eta)
+            : std::min(config.eta, ImportanceScores::kProbabilityCap);
+    if (rng.Bernoulli(p)) {
+      // Eq. (16): x += U(-1, 1) * x.
+      row[i] += (2.0f * rng.Uniform() - 1.0f) * row[i];
+    }
+  }
+}
+
+Graph ViewGenerator::GenerateGlobalView(const ViewConfig& config,
+                                        Rng& rng) const {
+  const Graph& g = *graph_;
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  edges.reserve(g.col.size() / 2 + g.num_nodes);
+  for (std::int64_t u = 0; u < g.num_nodes; ++u) {
+    for (std::int64_t v : SampleNeighbors(u, config, rng)) {
+      edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  }
+  Matrix x = g.features;
+  for (std::int64_t v = 0; v < g.num_nodes; ++v) {
+    PerturbRow(x.RowPtr(v), v, config, rng);
+  }
+  return BuildGraph(g.num_nodes, edges, std::move(x), g.labels,
+                    g.num_classes);
+}
+
+Graph ViewGenerator::GeneratePerNodeView(
+    std::int64_t root, int hops, const ViewConfig& config, Rng& rng,
+    std::int64_t* root_index,
+    std::vector<std::int64_t>* subgraph_nodes) const {
+  const Graph& g = *graph_;
+  E2GCL_CHECK(root >= 0 && root < g.num_nodes);
+  E2GCL_CHECK(hops >= 1);
+
+  // Alg. 3 lines 3-12: expand frontier by frontier, sampling each
+  // frontier node's neighbors once.
+  std::unordered_set<std::int64_t> in_view{root};
+  std::vector<std::int64_t> frontier{root};
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  std::unordered_set<std::int64_t> expanded;
+  for (int l = 0; l < hops; ++l) {
+    std::vector<std::int64_t> next;
+    for (std::int64_t u : frontier) {
+      if (!expanded.insert(u).second) continue;
+      for (std::int64_t v : SampleNeighbors(u, config, rng)) {
+        edges.emplace_back(u, v);
+        if (in_view.insert(v).second) next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Remap to a compact subgraph.
+  std::vector<std::int64_t> nodes(in_view.begin(), in_view.end());
+  std::sort(nodes.begin(), nodes.end());
+  std::unordered_map<std::int64_t, std::int64_t> remap;
+  for (std::size_t i = 0; i < nodes.size(); ++i) remap[nodes[i]] = i;
+  std::vector<std::pair<std::int64_t, std::int64_t>> local_edges;
+  local_edges.reserve(edges.size());
+  for (const auto& [a, b] : edges) {
+    local_edges.emplace_back(remap[a], remap[b]);
+  }
+  Matrix x = GatherRows(g.features, nodes);
+  // Lines 13-16: perturb features of every node in the view.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    PerturbRow(x.RowPtr(i), nodes[i], config, rng);
+  }
+  std::vector<std::int64_t> labels;
+  if (!g.labels.empty()) {
+    for (std::int64_t v : nodes) labels.push_back(g.labels[v]);
+  }
+  if (root_index != nullptr) *root_index = remap[root];
+  if (subgraph_nodes != nullptr) *subgraph_nodes = nodes;
+  return BuildGraph(static_cast<std::int64_t>(nodes.size()), local_edges,
+                    std::move(x), std::move(labels), g.num_classes);
+}
+
+ViewQuality EvaluateViewQuality(const GcnEncoder& encoder, const Graph& g,
+                                const Graph& view_hat,
+                                const Graph& view_tilde,
+                                const std::vector<std::int64_t>& nodes) {
+  E2GCL_CHECK(!nodes.empty());
+  E2GCL_CHECK(view_hat.num_nodes == g.num_nodes &&
+              view_tilde.num_nodes == g.num_nodes);
+  const Matrix h = encoder.Encode(g);
+  const Matrix h_hat = encoder.Encode(view_hat);
+  const Matrix h_tilde = encoder.Encode(view_tilde);
+  const int layers = encoder.num_layers();
+  const Matrix r_hat = RawAggregation(view_hat, layers);
+  const Matrix r_tilde = RawAggregation(view_tilde, layers);
+
+  ViewQuality q;
+  for (std::int64_t v : nodes) {
+    q.locality_hat += RowDistance(h_hat, v, h, v);
+    q.locality_tilde += RowDistance(h_tilde, v, h, v);
+    q.diversity += RowDistance(r_hat, v, r_tilde, v);
+  }
+  const double inv = 1.0 / static_cast<double>(nodes.size());
+  q.locality_hat *= inv;
+  q.locality_tilde *= inv;
+  q.diversity *= inv;
+  return q;
+}
+
+}  // namespace e2gcl

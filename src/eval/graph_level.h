@@ -1,0 +1,40 @@
+#ifndef E2GCL_EVAL_GRAPH_LEVEL_H_
+#define E2GCL_EVAL_GRAPH_LEVEL_H_
+
+#include <vector>
+
+#include "eval/protocol.h"
+#include "graph/tu_generator.h"
+
+namespace e2gcl {
+
+/// Disjoint union of a graph collection (node ids shifted per graph).
+/// `offsets` has one entry per graph (start of its node range) plus a
+/// final sentinel equal to the union's node count.
+struct UnionGraph {
+  Graph graph;
+  std::vector<std::int64_t> offsets;
+};
+
+UnionGraph DisjointUnion(const TuDataset& dataset);
+
+/// READOUT = SUM (the paper's choice for graph classification): sums
+/// each graph's node-embedding rows into one row per graph.
+Matrix SumReadout(const Matrix& node_embeddings,
+                  const std::vector<std::int64_t>& offsets);
+
+/// Full Table IX link-prediction protocol: split edges 70/10/20,
+/// pre-train `kind` on the training graph only (no leakage), probe with
+/// the Hadamard logistic scorer. Returns test AUC in percent.
+double RunLinkPrediction(ModelKind kind, const Graph& g,
+                         const RunConfig& config);
+
+/// Full Table IX graph-classification protocol: pre-train `kind` on the
+/// disjoint union of all graphs, SUM-readout per graph, linear probe on
+/// a 70/10/20 graph split. Returns test accuracy in percent.
+double RunGraphClassification(ModelKind kind, const TuDataset& dataset,
+                              const RunConfig& config);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_EVAL_GRAPH_LEVEL_H_

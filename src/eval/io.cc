@@ -1,0 +1,84 @@
+#include "eval/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace e2gcl {
+
+bool SaveMatrixCsv(const Matrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.RowPtr(r);
+    for (std::int64_t c = 0; c < m.cols(); ++c) {
+      if (c > 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadMatrixCsv(const std::string& path, Matrix* out) {
+  std::ifstream in(path);
+  if (!in || out == nullptr) return false;
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<float> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      row.push_back(std::strtof(cell.c_str(), nullptr));
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) return false;
+    rows.push_back(std::move(row));
+  }
+  *out = Matrix::FromRows(rows);
+  return true;
+}
+
+bool SaveGraphEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << g.num_nodes << ' ' << g.num_classes << '\n';
+  for (const auto& [u, v] : UndirectedEdges(g)) {
+    out << u << ' ' << v << '\n';
+  }
+  if (!g.labels.empty()) {
+    out << "labels\n";
+    for (std::int64_t y : g.labels) out << y << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadGraphEdgeList(const std::string& path, Graph* out) {
+  std::ifstream in(path);
+  if (!in || out == nullptr) return false;
+  std::int64_t n = 0, classes = 0;
+  if (!(in >> n >> classes)) return false;
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  std::vector<std::int64_t> labels;
+  std::string tok;
+  while (in >> tok) {
+    if (tok == "labels") {
+      std::int64_t y;
+      while (in >> y) labels.push_back(y);
+      break;
+    }
+    std::int64_t u = std::strtoll(tok.c_str(), nullptr, 10);
+    std::int64_t v;
+    if (!(in >> v)) return false;
+    edges.emplace_back(u, v);
+  }
+  if (!labels.empty() && static_cast<std::int64_t>(labels.size()) != n) {
+    return false;
+  }
+  *out = BuildGraph(n, edges, Matrix(), std::move(labels), classes);
+  return true;
+}
+
+}  // namespace e2gcl

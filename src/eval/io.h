@@ -1,0 +1,32 @@
+#ifndef E2GCL_EVAL_IO_H_
+#define E2GCL_EVAL_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+
+namespace e2gcl {
+
+/// Simple text I/O so embeddings/graphs round-trip to disk for external
+/// analysis (plotting, downstream models). All functions return false on
+/// I/O failure (no exceptions).
+
+/// Writes a matrix as comma-separated rows.
+bool SaveMatrixCsv(const Matrix& m, const std::string& path);
+
+/// Reads a CSV written by SaveMatrixCsv (rectangular, numeric).
+/// On success stores into `out` and returns true.
+bool LoadMatrixCsv(const std::string& path, Matrix* out);
+
+/// Writes the graph as a header line "num_nodes num_classes" followed by
+/// one "u v" line per undirected edge, then (if present) a "labels" line
+/// per node. Features are saved separately via SaveMatrixCsv.
+bool SaveGraphEdgeList(const Graph& g, const std::string& path);
+
+/// Reads a graph written by SaveGraphEdgeList (features left empty).
+bool LoadGraphEdgeList(const std::string& path, Graph* out);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_EVAL_IO_H_

@@ -1,0 +1,165 @@
+#include "eval/linear_probe.h"
+
+#include <algorithm>
+
+#include "autograd/loss.h"
+#include "autograd/ops.h"
+#include "eval/metrics.h"
+#include "nn/init.h"
+#include "nn/optim.h"
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+double LinearProbeAccuracy(const Matrix& embeddings,
+                           const std::vector<std::int64_t>& labels,
+                           std::int64_t num_classes, const NodeSplit& split,
+                           const LinearProbeConfig& config) {
+  E2GCL_CHECK(static_cast<std::int64_t>(labels.size()) == embeddings.rows());
+  E2GCL_CHECK(!split.train.empty() && !split.test.empty());
+  Rng rng(config.seed);
+
+  const Matrix z = config.normalize ? NormalizeRowsL2(embeddings)
+                                    : embeddings;
+  ParamSet params;
+  Var w = params.Create(GlorotUniform(z.cols(), num_classes, rng));
+  Var b = params.Create(Matrix(1, num_classes));
+  Adam::Options opts;
+  opts.lr = config.lr;
+  opts.weight_decay = config.weight_decay;
+  Adam adam(params.params(), opts);
+
+  const Matrix z_train = GatherRows(z, split.train);
+  std::vector<std::int64_t> y_train;
+  for (std::int64_t v : split.train) y_train.push_back(labels[v]);
+  Var x_train = Var::Constant(z_train);
+
+  auto evaluate = [&](const std::vector<std::int64_t>& nodes) {
+    Matrix logits = MatMul(GatherRows(z, nodes), w.value());
+    const float* bias = b.value().RowPtr(0);
+    for (std::int64_t r = 0; r < logits.rows(); ++r) {
+      float* row = logits.RowPtr(r);
+      for (std::int64_t c = 0; c < num_classes; ++c) row[c] += bias[c];
+    }
+    std::vector<std::int64_t> actual;
+    for (std::int64_t v : nodes) actual.push_back(labels[v]);
+    return Accuracy(ArgmaxRows(logits), actual);
+  };
+
+  double best_val = -1.0, best_test = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    Var logits = ag::AddRowBroadcast(ag::MatMul(x_train, w), b);
+    Var loss = ag::SoftmaxCrossEntropy(logits, y_train);
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+    if (epoch % 5 == 4 || epoch + 1 == config.epochs) {
+      const double val = split.val.empty() ? 0.0 : evaluate(split.val);
+      if (val >= best_val) {
+        best_val = val;
+        best_test = evaluate(split.test);
+      }
+    }
+  }
+  return best_test;
+}
+
+namespace {
+
+Matrix PairFeatures(
+    const Matrix& z,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& pairs) {
+  Matrix out(static_cast<std::int64_t>(pairs.size()), z.cols());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const float* a = z.RowPtr(pairs[i].first);
+    const float* b = z.RowPtr(pairs[i].second);
+    float* o = out.RowPtr(static_cast<std::int64_t>(i));
+    for (std::int64_t c = 0; c < z.cols(); ++c) o[c] = a[c] * b[c];
+  }
+  return out;
+}
+
+std::vector<float> ScorePairs(const Matrix& feats, const Matrix& w,
+                              float bias) {
+  std::vector<float> scores(feats.rows());
+  for (std::int64_t r = 0; r < feats.rows(); ++r) {
+    const float* row = feats.RowPtr(r);
+    float acc = bias;
+    for (std::int64_t c = 0; c < feats.cols(); ++c) {
+      acc += row[c] * w(c, 0);
+    }
+    scores[r] = acc;
+  }
+  return scores;
+}
+
+}  // namespace
+
+double LinkProbeAuc(
+    const Matrix& embeddings,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& train_pos,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& train_neg,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& val_pos,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& val_neg,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& test_pos,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& test_neg,
+    const LinearProbeConfig& config) {
+  E2GCL_CHECK(!train_pos.empty() && !test_pos.empty());
+  Rng rng(config.seed);
+  const Matrix z = config.normalize ? NormalizeRowsL2(embeddings)
+                                    : embeddings;
+
+  Matrix x_train_m = PairFeatures(z, train_pos);
+  Matrix x_neg = PairFeatures(z, train_neg);
+  // Stack pos + neg.
+  Matrix x_all(x_train_m.rows() + x_neg.rows(), z.cols());
+  for (std::int64_t r = 0; r < x_train_m.rows(); ++r) {
+    std::copy(x_train_m.RowPtr(r), x_train_m.RowPtr(r) + z.cols(),
+              x_all.RowPtr(r));
+  }
+  for (std::int64_t r = 0; r < x_neg.rows(); ++r) {
+    std::copy(x_neg.RowPtr(r), x_neg.RowPtr(r) + z.cols(),
+              x_all.RowPtr(x_train_m.rows() + r));
+  }
+  std::vector<float> targets(x_all.rows(), 0.0f);
+  for (std::int64_t r = 0; r < x_train_m.rows(); ++r) targets[r] = 1.0f;
+
+  ParamSet params;
+  Var w = params.Create(GlorotUniform(z.cols(), 1, rng));
+  Var b = params.Create(Matrix(1, 1));
+  Adam::Options opts;
+  opts.lr = config.lr;
+  opts.weight_decay = config.weight_decay;
+  Adam adam(params.params(), opts);
+
+  Var x_var = Var::Constant(x_all);
+  const Matrix feats_val_pos = PairFeatures(z, val_pos);
+  const Matrix feats_val_neg = PairFeatures(z, val_neg);
+  const Matrix feats_test_pos = PairFeatures(z, test_pos);
+  const Matrix feats_test_neg = PairFeatures(z, test_neg);
+
+  double best_val = -1.0, best_test = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    Var logits = ag::AddRowBroadcast(ag::MatMul(x_var, w), b);
+    Var loss = ag::BceWithLogits(logits, targets);
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+    if (epoch % 5 == 4 || epoch + 1 == config.epochs) {
+      const float bias = b.value()(0, 0);
+      double val = 1.0;
+      if (!val_pos.empty() && !val_neg.empty()) {
+        val = RocAuc(ScorePairs(feats_val_pos, w.value(), bias),
+                     ScorePairs(feats_val_neg, w.value(), bias));
+      }
+      if (val >= best_val) {
+        best_val = val;
+        best_test = RocAuc(ScorePairs(feats_test_pos, w.value(), bias),
+                           ScorePairs(feats_test_neg, w.value(), bias));
+      }
+    }
+  }
+  return best_test;
+}
+
+}  // namespace e2gcl

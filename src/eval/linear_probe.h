@@ -1,0 +1,47 @@
+#ifndef E2GCL_EVAL_LINEAR_PROBE_H_
+#define E2GCL_EVAL_LINEAR_PROBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/splits.h"
+#include "tensor/matrix.h"
+
+namespace e2gcl {
+
+/// The paper's evaluation protocol (Alg. 1 line 6): a simple
+/// l2-regularized linear (multinomial logistic) decoder trained on
+/// frozen embeddings; test accuracy reported at the best validation
+/// epoch.
+struct LinearProbeConfig {
+  float lr = 1e-2f;
+  /// l2 regularization strength of the decoder weights.
+  float weight_decay = 1e-3f;
+  int epochs = 150;
+  std::uint64_t seed = 7;
+  /// L2-normalize embedding rows before probing (standard for GCL).
+  bool normalize = true;
+};
+
+/// Trains the probe; returns test accuracy at the best validation epoch.
+double LinearProbeAccuracy(const Matrix& embeddings,
+                           const std::vector<std::int64_t>& labels,
+                           std::int64_t num_classes, const NodeSplit& split,
+                           const LinearProbeConfig& config = {});
+
+/// Link-prediction probe: a logistic scorer on the Hadamard product of
+/// endpoint embeddings, trained on the train split; returns test AUC at
+/// the best validation AUC epoch.
+double LinkProbeAuc(
+    const Matrix& embeddings,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& train_pos,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& train_neg,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& val_pos,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& val_neg,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& test_pos,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& test_neg,
+    const LinearProbeConfig& config = {});
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_EVAL_LINEAR_PROBE_H_

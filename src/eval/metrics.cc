@@ -1,0 +1,80 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+double Accuracy(const std::vector<std::int64_t>& predicted,
+                const std::vector<std::int64_t>& actual) {
+  E2GCL_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  std::int64_t hit = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == actual[i]) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(predicted.size());
+}
+
+std::vector<std::int64_t> ArgmaxRows(const Matrix& scores) {
+  std::vector<std::int64_t> out(scores.rows());
+  for (std::int64_t r = 0; r < scores.rows(); ++r) {
+    const float* row = scores.RowPtr(r);
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < scores.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+double RocAuc(const std::vector<float>& pos_scores,
+              const std::vector<float>& neg_scores) {
+  E2GCL_CHECK(!pos_scores.empty() && !neg_scores.empty());
+  // Rank-based computation: AUC = (sum of pos ranks - n_p(n_p+1)/2) /
+  // (n_p * n_n), with average ranks for ties.
+  struct Entry {
+    float score;
+    bool positive;
+  };
+  std::vector<Entry> all;
+  all.reserve(pos_scores.size() + neg_scores.size());
+  for (float s : pos_scores) all.push_back({s, true});
+  for (float s : neg_scores) all.push_back({s, false});
+  std::sort(all.begin(), all.end(),
+            [](const Entry& a, const Entry& b) { return a.score < b.score; });
+  const double np = static_cast<double>(pos_scores.size());
+  const double nn = static_cast<double>(neg_scores.size());
+  double rank_sum = 0.0;
+  std::size_t i = 0;
+  while (i < all.size()) {
+    std::size_t j = i;
+    while (j < all.size() && all[j].score == all[i].score) ++j;
+    // Average rank of the tie group (1-based).
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);
+    for (std::size_t t = i; t < j; ++t) {
+      if (all[t].positive) rank_sum += avg_rank;
+    }
+    i = j;
+  }
+  return (rank_sum - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd ms;
+  if (values.empty()) return ms;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  ms.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double acc = 0.0;
+    for (double v : values) acc += (v - ms.mean) * (v - ms.mean);
+    ms.std = std::sqrt(acc / static_cast<double>(values.size() - 1));
+  }
+  return ms;
+}
+
+}  // namespace e2gcl

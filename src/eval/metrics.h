@@ -1,0 +1,32 @@
+#ifndef E2GCL_EVAL_METRICS_H_
+#define E2GCL_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace e2gcl {
+
+/// Classification accuracy from predicted class ids.
+double Accuracy(const std::vector<std::int64_t>& predicted,
+                const std::vector<std::int64_t>& actual);
+
+/// Argmax over each row of a score matrix.
+std::vector<std::int64_t> ArgmaxRows(const Matrix& scores);
+
+/// ROC-AUC from scores of positive and negative examples (probability
+/// that a random positive outranks a random negative; ties count half).
+double RocAuc(const std::vector<float>& pos_scores,
+              const std::vector<float>& neg_scores);
+
+/// Mean and sample standard deviation of a series.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_EVAL_METRICS_H_

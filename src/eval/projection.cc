@@ -1,0 +1,78 @@
+#include "eval/projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+Matrix PcaProject(const Matrix& points, int k, Rng& rng, int power_iters) {
+  const std::int64_t n = points.rows();
+  const std::int64_t d = points.cols();
+  E2GCL_CHECK(k >= 1 && k <= d && n >= 2);
+
+  // Center.
+  Matrix x = points;
+  Matrix mean = Scale(ColSums(x), 1.0f / static_cast<float>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    float* row = x.RowPtr(r);
+    for (std::int64_t c = 0; c < d; ++c) row[c] -= mean(0, c);
+  }
+
+  // Orthogonal power iteration on X^T X without materializing it:
+  // v <- X^T (X v), re-orthogonalized against earlier components.
+  Matrix components(k, d);
+  for (int comp = 0; comp < k; ++comp) {
+    Matrix v = Matrix::RandomNormal(d, 1, 0.0f, 1.0f, rng);
+    for (int it = 0; it < power_iters; ++it) {
+      Matrix xv = MatMul(x, v);                    // n x 1
+      Matrix next = MatMulTransposedA(x, xv);      // d x 1
+      // Gram-Schmidt against previous components.
+      for (int prev = 0; prev < comp; ++prev) {
+        float dot = 0.0f;
+        for (std::int64_t c = 0; c < d; ++c) {
+          dot += next(c, 0) * components(prev, c);
+        }
+        for (std::int64_t c = 0; c < d; ++c) {
+          next(c, 0) -= dot * components(prev, c);
+        }
+      }
+      const float norm = FrobeniusNorm(next);
+      if (norm < 1e-12f) break;
+      v = Scale(next, 1.0f / norm);
+    }
+    for (std::int64_t c = 0; c < d; ++c) components(comp, c) = v(c, 0);
+  }
+  return MatMulTransposedB(x, components);  // n x k
+}
+
+std::string AsciiScatter(const Matrix& points2d,
+                         const std::vector<char>& marks, int width,
+                         int height) {
+  E2GCL_CHECK(points2d.cols() >= 2);
+  E2GCL_CHECK(static_cast<std::int64_t>(marks.size()) == points2d.rows());
+  float min_x = 1e30f, max_x = -1e30f, min_y = 1e30f, max_y = -1e30f;
+  for (std::int64_t i = 0; i < points2d.rows(); ++i) {
+    min_x = std::min(min_x, points2d(i, 0));
+    max_x = std::max(max_x, points2d(i, 0));
+    min_y = std::min(min_y, points2d(i, 1));
+    max_y = std::max(max_y, points2d(i, 1));
+  }
+  const float sx = max_x > min_x ? (width - 1) / (max_x - min_x) : 0.0f;
+  const float sy = max_y > min_y ? (height - 1) / (max_y - min_y) : 0.0f;
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (std::int64_t i = 0; i < points2d.rows(); ++i) {
+    const int cx = static_cast<int>((points2d(i, 0) - min_x) * sx);
+    const int cy = static_cast<int>((points2d(i, 1) - min_y) * sy);
+    canvas[height - 1 - cy][cx] = marks[i];
+  }
+  std::string out;
+  for (const std::string& row : canvas) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace e2gcl

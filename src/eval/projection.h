@@ -1,0 +1,28 @@
+#ifndef E2GCL_EVAL_PROJECTION_H_
+#define E2GCL_EVAL_PROJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace e2gcl {
+
+/// Principal-component projection via orthogonal power iteration:
+/// centers the rows and returns the n x k projection onto the top-k
+/// principal directions. Used by the coreset-visualization example
+/// (the technique report's Appendix B4 plots selected nodes in 2-D).
+Matrix PcaProject(const Matrix& points, int k, Rng& rng,
+                  int power_iters = 50);
+
+/// Renders a 2-D point cloud as ASCII art (rows = y, cols = x).
+/// `marks[i]` selects the glyph per point ('.' ' ' etc.); later points
+/// overwrite earlier ones in the same cell.
+std::string AsciiScatter(const Matrix& points2d,
+                         const std::vector<char>& marks, int width = 72,
+                         int height = 24);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_EVAL_PROJECTION_H_

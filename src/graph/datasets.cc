@@ -1,0 +1,96 @@
+#include "graph/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+namespace {
+
+SbmSpec MakeSpec(std::int64_t nodes, std::int64_t classes,
+                 std::int64_t feature_dim, double avg_degree,
+                 double homophily, std::int64_t info_dims) {
+  SbmSpec s;
+  s.num_nodes = nodes;
+  s.num_classes = classes;
+  s.feature_dim = feature_dim;
+  s.avg_degree = avg_degree;
+  s.homophily = homophily;
+  s.informative_dims_per_class = info_dims;
+  // Defaults tuned so the task is GNN-dependent rather than linearly
+  // separable from raw features: a sizeable fraction of nodes carry no
+  // class signal of their own, per-node signal is sparse, and leak /
+  // noise dimensions compete with it.
+  // Signal dimensions stay globally *heavier* (frequency x magnitude)
+  // than noise dimensions — real bag-of-words importance behaves this
+  // way — so the frequency-based feature score can recover them.
+  s.signal_density = 0.55;
+  s.signal_leak = 0.25;
+  s.noise_density = 0.20;
+  s.feature_missing_rate = 0.60;
+  return s;
+}
+
+}  // namespace
+
+DatasetSpec GetDatasetSpec(const std::string& name) {
+  // Node counts / degrees / class counts follow Tab. III of the paper;
+  // feature widths are scaled for CPU (Cora 1433 -> 128, etc.), and the
+  // OGB graphs are scaled down proportionally (arxiv 169k -> 20k,
+  // products 1.57M -> 60k with degree 337 -> 24). See DESIGN.md.
+  DatasetSpec spec;
+  spec.name = name;
+  if (name == "cora") {
+    spec.sbm = MakeSpec(2708, 7, 128, 3.89, 0.81, 12);
+  } else if (name == "citeseer") {
+    spec.sbm = MakeSpec(3327, 6, 128, 2.74, 0.74, 12);
+  } else if (name == "photo") {
+    spec.sbm = MakeSpec(7650, 8, 128, 31.13, 0.75, 10);
+    spec.sbm.signal_leak = 0.35;  // Photo/Computers nodes are more alike.
+    spec.sbm.feature_missing_rate = 0.70;
+  } else if (name == "computers") {
+    spec.sbm = MakeSpec(13752, 10, 128, 35.76, 0.72, 10);
+    spec.sbm.signal_leak = 0.35;
+    spec.sbm.feature_missing_rate = 0.70;
+  } else if (name == "cs") {
+    spec.sbm = MakeSpec(18333, 15, 128, 8.93, 0.81, 8);
+  } else if (name == "arxiv") {
+    spec.sbm = MakeSpec(20000, 40, 128, 13.77, 0.66, 3);
+  } else if (name == "products") {
+    spec.sbm = MakeSpec(60000, 32, 100, 24.0, 0.81, 3);
+  } else {
+    E2GCL_CHECK_MSG(false, "unknown dataset '%s'", name.c_str());
+  }
+  return spec;
+}
+
+std::vector<std::string> NodeClassificationDatasets() {
+  return {"cora", "citeseer", "photo", "computers", "cs", "arxiv", "products"};
+}
+
+std::vector<std::string> SmallDatasets() {
+  return {"cora", "citeseer", "photo", "computers", "cs"};
+}
+
+Graph LoadDataset(const std::string& name, std::uint64_t seed) {
+  return LoadDatasetScaled(name, 1.0, seed);
+}
+
+Graph LoadDatasetScaled(const std::string& name, double scale,
+                        std::uint64_t seed) {
+  E2GCL_CHECK(scale > 0.0 && scale <= 1.0);
+  DatasetSpec spec = GetDatasetSpec(name);
+  spec.sbm.num_nodes = std::max<std::int64_t>(
+      spec.sbm.num_classes * 4,
+      static_cast<std::int64_t>(spec.sbm.num_nodes * scale));
+  // Scale the degree with sqrt(node scale) so shrunk graphs keep a
+  // realistic neighborhood-variance regime instead of becoming
+  // relatively denser (and over-smoothed) as |V| drops.
+  spec.sbm.avg_degree =
+      std::max(3.5, spec.sbm.avg_degree * std::sqrt(scale));
+  return GenerateSbm(spec.sbm, seed);
+}
+
+}  // namespace e2gcl

@@ -1,0 +1,89 @@
+#include "graph/ppr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+namespace {
+
+/// Local-push PPR for a single source; returns (node, mass) pairs.
+std::vector<std::pair<std::int64_t, double>> PushPpr(const Graph& g,
+                                                     std::int64_t source,
+                                                     double alpha,
+                                                     double epsilon) {
+  std::unordered_map<std::int64_t, double> p;
+  std::unordered_map<std::int64_t, double> r;
+  r[source] = 1.0;
+  std::deque<std::int64_t> queue{source};
+  std::unordered_map<std::int64_t, bool> queued;
+  queued[source] = true;
+
+  while (!queue.empty()) {
+    const std::int64_t u = queue.front();
+    queue.pop_front();
+    queued[u] = false;
+    const double ru = r[u];
+    const std::int64_t du = std::max<std::int64_t>(g.Degree(u), 1);
+    if (ru < epsilon * du) continue;
+    p[u] += alpha * ru;
+    const double push = (1.0 - alpha) * ru / du;
+    r[u] = 0.0;
+    for (std::int32_t v : g.Neighbors(u)) {
+      r[v] += push;
+      const std::int64_t dv = std::max<std::int64_t>(g.Degree(v), 1);
+      if (r[v] >= epsilon * dv && !queued[v]) {
+        queue.push_back(v);
+        queued[v] = true;
+      }
+    }
+    // Isolated source: all mass stays.
+    if (g.Degree(u) == 0) p[u] += (1.0 - alpha) * ru;
+  }
+  std::vector<std::pair<std::int64_t, double>> out(p.begin(), p.end());
+  return out;
+}
+
+}  // namespace
+
+CsrMatrix ApproximatePpr(const Graph& g, const PprOptions& opts) {
+  E2GCL_CHECK(opts.alpha > 0.0 && opts.alpha < 1.0);
+  std::vector<std::tuple<std::int64_t, std::int64_t, float>> triplets;
+  for (std::int64_t s = 0; s < g.num_nodes; ++s) {
+    auto mass = PushPpr(g, s, opts.alpha, opts.epsilon);
+    if (opts.top_k > 0 &&
+        static_cast<std::int64_t>(mass.size()) > opts.top_k) {
+      std::nth_element(mass.begin(), mass.begin() + opts.top_k, mass.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second > b.second;
+                       });
+      mass.resize(opts.top_k);
+    }
+    double total = 0.0;
+    for (const auto& [v, m] : mass) total += m;
+    if (total <= 0.0) continue;
+    for (const auto& [v, m] : mass) {
+      triplets.emplace_back(s, v, static_cast<float>(m / total));
+    }
+  }
+  return CsrMatrix::FromCoo(g.num_nodes, g.num_nodes, std::move(triplets));
+}
+
+Graph DiffusionGraph(const Graph& g, const PprOptions& opts) {
+  CsrMatrix ppr = ApproximatePpr(g, opts);
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  for (std::int64_t v = 0; v < ppr.rows(); ++v) {
+    for (std::int64_t k = ppr.row_ptr()[v]; k < ppr.row_ptr()[v + 1]; ++k) {
+      const std::int64_t u = ppr.col_idx()[k];
+      if (u != v) edges.emplace_back(v, u);
+    }
+  }
+  return BuildGraph(g.num_nodes, edges, g.features, g.labels, g.num_classes);
+}
+
+}  // namespace e2gcl

@@ -1,0 +1,34 @@
+#ifndef E2GCL_GRAPH_PPR_H_
+#define E2GCL_GRAPH_PPR_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "tensor/csr.h"
+
+namespace e2gcl {
+
+/// Options for approximate personalized PageRank diffusion.
+struct PprOptions {
+  /// Teleport probability (paper lineage: MVGRL uses alpha ~ 0.15-0.2).
+  double alpha = 0.15;
+  /// Residual threshold of the local-push approximation.
+  double epsilon = 1e-4;
+  /// Keep only the top_k largest entries per row (0 = keep all).
+  std::int64_t top_k = 32;
+};
+
+/// Sparse approximate PPR diffusion matrix computed with the
+/// Andersen-Chung-Lang local push, one source node per row. Rows are
+/// renormalized to sum to 1 after top-k sparsification. This is the
+/// graph-diffusion substrate MVGRL's second view is built from.
+CsrMatrix ApproximatePpr(const Graph& g, const PprOptions& opts);
+
+/// Converts a diffusion matrix into an unweighted graph by thresholding:
+/// each node keeps its `top_k` strongest diffusion neighbors as edges
+/// (union over rows, symmetrized). Used to build MVGRL's diffusion view.
+Graph DiffusionGraph(const Graph& g, const PprOptions& opts);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_GRAPH_PPR_H_

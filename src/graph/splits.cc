@@ -1,0 +1,90 @@
+#include "graph/splits.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+NodeSplit RandomNodeSplit(std::int64_t num_nodes, double train_frac,
+                          double val_frac, Rng& rng) {
+  E2GCL_CHECK(train_frac >= 0 && val_frac >= 0 &&
+              train_frac + val_frac <= 1.0);
+  std::vector<std::int64_t> perm(num_nodes);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  const std::int64_t n_train =
+      static_cast<std::int64_t>(num_nodes * train_frac);
+  const std::int64_t n_val = static_cast<std::int64_t>(num_nodes * val_frac);
+  NodeSplit s;
+  s.train.assign(perm.begin(), perm.begin() + n_train);
+  s.val.assign(perm.begin() + n_train, perm.begin() + n_train + n_val);
+  s.test.assign(perm.begin() + n_train + n_val, perm.end());
+  return s;
+}
+
+namespace {
+
+/// Samples `count` node pairs that are not edges of `g` (and not
+/// self-pairs), without duplicates within the returned set.
+std::vector<std::pair<std::int64_t, std::int64_t>> SampleNegativeEdges(
+    const Graph& g, std::int64_t count, Rng& rng) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> neg;
+  neg.reserve(count);
+  std::int64_t guard = 0;
+  const std::int64_t max_guard = count * 50 + 1000;
+  while (static_cast<std::int64_t>(neg.size()) < count &&
+         guard++ < max_guard) {
+    std::int64_t u = rng.UniformInt(g.num_nodes);
+    std::int64_t v = rng.UniformInt(g.num_nodes);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (g.HasEdge(u, v)) continue;
+    neg.emplace_back(u, v);
+  }
+  std::sort(neg.begin(), neg.end());
+  neg.erase(std::unique(neg.begin(), neg.end()), neg.end());
+  return neg;
+}
+
+}  // namespace
+
+EdgeSplit RandomEdgeSplit(const Graph& g, double train_frac, double val_frac,
+                          Rng& rng) {
+  E2GCL_CHECK(train_frac > 0 && val_frac >= 0 &&
+              train_frac + val_frac <= 1.0);
+  auto edges = UndirectedEdges(g);
+  std::vector<std::int64_t> perm(edges.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+
+  const std::int64_t m = static_cast<std::int64_t>(edges.size());
+  const std::int64_t m_train = static_cast<std::int64_t>(m * train_frac);
+  const std::int64_t m_val = static_cast<std::int64_t>(m * val_frac);
+
+  EdgeSplit split;
+  std::vector<std::pair<std::int64_t, std::int64_t>> train_edges;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const auto& e = edges[perm[i]];
+    if (i < m_train) {
+      split.train_pos.push_back(e);
+      train_edges.push_back(e);
+    } else if (i < m_train + m_val) {
+      split.val_pos.push_back(e);
+    } else {
+      split.test_pos.push_back(e);
+    }
+  }
+  split.train_graph = BuildGraph(g.num_nodes, train_edges, g.features,
+                                 g.labels, g.num_classes);
+  split.train_neg = SampleNegativeEdges(
+      g, static_cast<std::int64_t>(split.train_pos.size()), rng);
+  split.val_neg = SampleNegativeEdges(
+      g, static_cast<std::int64_t>(split.val_pos.size()), rng);
+  split.test_neg = SampleNegativeEdges(
+      g, static_cast<std::int64_t>(split.test_pos.size()), rng);
+  return split;
+}
+
+}  // namespace e2gcl

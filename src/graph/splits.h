@@ -1,0 +1,43 @@
+#ifndef E2GCL_GRAPH_SPLITS_H_
+#define E2GCL_GRAPH_SPLITS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/rng.h"
+
+namespace e2gcl {
+
+/// Node-level train/validation/test split (paper: 10% / 10% / 80%).
+struct NodeSplit {
+  std::vector<std::int64_t> train;
+  std::vector<std::int64_t> val;
+  std::vector<std::int64_t> test;
+};
+
+/// Random node split with the given fractions (remainder goes to test).
+NodeSplit RandomNodeSplit(std::int64_t num_nodes, double train_frac,
+                          double val_frac, Rng& rng);
+
+/// Edge-level split for link prediction (paper: 70% / 10% / 20%).
+/// `train_graph` keeps only training edges (so validation/test edges
+/// cannot leak into GNN propagation); each split carries positive edges
+/// and an equal number of sampled non-edges.
+struct EdgeSplit {
+  Graph train_graph;
+  std::vector<std::pair<std::int64_t, std::int64_t>> train_pos;
+  std::vector<std::pair<std::int64_t, std::int64_t>> val_pos;
+  std::vector<std::pair<std::int64_t, std::int64_t>> test_pos;
+  std::vector<std::pair<std::int64_t, std::int64_t>> train_neg;
+  std::vector<std::pair<std::int64_t, std::int64_t>> val_neg;
+  std::vector<std::pair<std::int64_t, std::int64_t>> test_neg;
+};
+
+EdgeSplit RandomEdgeSplit(const Graph& g, double train_frac, double val_frac,
+                          Rng& rng);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_GRAPH_SPLITS_H_

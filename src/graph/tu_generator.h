@@ -1,0 +1,50 @@
+#ifndef E2GCL_GRAPH_TU_GENERATOR_H_
+#define E2GCL_GRAPH_TU_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace e2gcl {
+
+/// A graph-classification dataset: a collection of small labeled graphs.
+/// Stand-in for the TU benchmark datasets (NCI1, PTC_MR, PROTEINS) used
+/// by Table IX; see DESIGN.md for the substitution rationale.
+struct TuDataset {
+  std::string name;
+  std::vector<Graph> graphs;
+  /// Class label per graph, in [0, num_classes).
+  std::vector<std::int64_t> graph_labels;
+  std::int64_t num_classes = 2;
+};
+
+/// Parameters of the motif-mixture generator. Each class mixes
+/// structural motifs (rings, cliques, stars, paths) with class-dependent
+/// proportions, plus label-correlated node features, so graph class is
+/// recoverable from structure and features together — the property the
+/// Table IX experiment needs.
+struct TuSpec {
+  std::string name = "synthetic";
+  std::int64_t num_graphs = 400;
+  std::int64_t num_classes = 2;
+  std::int64_t min_nodes = 12;
+  std::int64_t max_nodes = 40;
+  std::int64_t feature_dim = 16;
+};
+
+/// Generates a dataset; deterministic in (spec, seed).
+TuDataset GenerateTuDataset(const TuSpec& spec, std::uint64_t seed);
+
+/// Specs sized after the three paper datasets:
+/// "nci1" (~2 classes, mid-size), "ptc_mr" (small), "proteins" (larger
+/// graphs). Counts are scaled down for CPU runtimes.
+TuSpec GetTuSpec(const std::string& name);
+
+/// The three graph-classification dataset names in paper order.
+std::vector<std::string> GraphClassificationDatasets();
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_GRAPH_TU_GENERATOR_H_

@@ -1,0 +1,196 @@
+#include "nn/gat.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+GatAdjacency GatAdjacency::FromGraph(const Graph& g) {
+  GatAdjacency adj;
+  adj.row_ptr.assign(g.num_nodes + 1, 0);
+  adj.col.reserve(g.col.size() + g.num_nodes);
+  for (std::int64_t v = 0; v < g.num_nodes; ++v) {
+    adj.col.push_back(static_cast<std::int32_t>(v));  // self-loop first
+    for (std::int32_t u : g.Neighbors(v)) adj.col.push_back(u);
+    adj.row_ptr[v + 1] = static_cast<std::int64_t>(adj.col.size());
+  }
+  return adj;
+}
+
+namespace ag {
+
+using internal_autograd::Node;
+
+Var GatPropagate(std::shared_ptr<const GatAdjacency> adj, const Var& h,
+                 const Var& a_src, const Var& a_dst, float negative_slope) {
+  E2GCL_CHECK(adj != nullptr);
+  const Matrix& hv = h.value();
+  const std::int64_t n = hv.rows();
+  const std::int64_t d = hv.cols();
+  E2GCL_CHECK(static_cast<std::int64_t>(adj->row_ptr.size()) == n + 1);
+  E2GCL_CHECK(a_src.rows() == d && a_src.cols() == 1);
+  E2GCL_CHECK(a_dst.rows() == d && a_dst.cols() == 1);
+
+  // Forward. Cache per-edge attention weights and per-edge pre-softmax
+  // LeakyReLU slopes for backward.
+  const std::int64_t nnz = static_cast<std::int64_t>(adj->col.size());
+  auto alpha = std::make_shared<std::vector<float>>(nnz);
+  auto slope = std::make_shared<std::vector<float>>(nnz);
+
+  // s_i = H_i . a_src, t_j = H_j . a_dst.
+  std::vector<float> s(n), t(n);
+  const float* as = a_src.value().data();
+  const float* ad = a_dst.value().data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = hv.RowPtr(i);
+    float accs = 0.0f, acct = 0.0f;
+    for (std::int64_t c = 0; c < d; ++c) {
+      accs += row[c] * as[c];
+      acct += row[c] * ad[c];
+    }
+    s[i] = accs;
+    t[i] = acct;
+  }
+
+  Matrix out(n, d);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t lo = adj->row_ptr[i], hi = adj->row_ptr[i + 1];
+    if (lo == hi) continue;
+    // Stable softmax over the row's edges.
+    float mx = -1e30f;
+    for (std::int64_t k = lo; k < hi; ++k) {
+      const float z = s[i] + t[adj->col[k]];
+      const float e = z > 0 ? z : negative_slope * z;
+      (*slope)[k] = z > 0 ? 1.0f : negative_slope;
+      (*alpha)[k] = e;  // store logits first
+      mx = std::max(mx, e);
+    }
+    float denom = 0.0f;
+    for (std::int64_t k = lo; k < hi; ++k) {
+      (*alpha)[k] = std::exp((*alpha)[k] - mx);
+      denom += (*alpha)[k];
+    }
+    const float inv = 1.0f / denom;
+    float* orow = out.RowPtr(i);
+    for (std::int64_t k = lo; k < hi; ++k) {
+      (*alpha)[k] *= inv;
+      const float* hrow = hv.RowPtr(adj->col[k]);
+      const float a = (*alpha)[k];
+      for (std::int64_t c = 0; c < d; ++c) orow[c] += a * hrow[c];
+    }
+  }
+
+  auto node = std::make_shared<Node>();
+  node->value = std::move(out);
+  node->parents = {h.node(), a_src.node(), a_dst.node()};
+  node->requires_grad = h.node()->requires_grad ||
+                        a_src.node()->requires_grad ||
+                        a_dst.node()->requires_grad;
+  if (node->requires_grad) {
+    node->backward = [adj, alpha, slope, n, d, negative_slope](Node& nd) {
+      Node* ph = nd.parents[0].get();
+      Node* pas = nd.parents[1].get();
+      Node* pad = nd.parents[2].get();
+      const Matrix& hv = ph->value;
+      const Matrix& g = nd.grad;
+
+      Matrix dh(n, d);
+      std::vector<float> ds(n, 0.0f);  // dL/ds_i
+      std::vector<float> dt(n, 0.0f);  // dL/dt_j
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t lo = adj->row_ptr[i], hi = adj->row_ptr[i + 1];
+        if (lo == hi) continue;
+        const float* grow = g.RowPtr(i);
+        // dot_k = g_i . h_{col_k}; row_mean = sum_k alpha_k dot_k.
+        float row_mean = 0.0f;
+        for (std::int64_t k = lo; k < hi; ++k) {
+          const float* hrow = hv.RowPtr(adj->col[k]);
+          float dot = 0.0f;
+          for (std::int64_t c = 0; c < d; ++c) dot += grow[c] * hrow[c];
+          row_mean += (*alpha)[k] * dot;
+          // Value path: dL/dh_j += alpha * g_i.
+          float* dhrow = dh.RowPtr(adj->col[k]);
+          const float a = (*alpha)[k];
+          for (std::int64_t c = 0; c < d; ++c) dhrow[c] += a * grow[c];
+        }
+        for (std::int64_t k = lo; k < hi; ++k) {
+          const float* hrow = hv.RowPtr(adj->col[k]);
+          float dot = 0.0f;
+          for (std::int64_t c = 0; c < d; ++c) dot += grow[c] * hrow[c];
+          // Softmax backward + LeakyReLU slope.
+          const float de = (*alpha)[k] * (dot - row_mean) * (*slope)[k];
+          ds[i] += de;
+          dt[adj->col[k]] += de;
+        }
+      }
+      if (ph->requires_grad) {
+        // Attention paths: s = H a_src, t = H a_dst.
+        const float* as = pas->value.data();
+        const float* ad = pad->value.data();
+        for (std::int64_t i = 0; i < n; ++i) {
+          float* dhrow = dh.RowPtr(i);
+          for (std::int64_t c = 0; c < d; ++c) {
+            dhrow[c] += ds[i] * as[c] + dt[i] * ad[c];
+          }
+        }
+        ph->AccumulateGrad(dh);
+      }
+      if (pas->requires_grad) {
+        Matrix das(d, 1);
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* hrow = hv.RowPtr(i);
+          for (std::int64_t c = 0; c < d; ++c) das(c, 0) += ds[i] * hrow[c];
+        }
+        pas->AccumulateGrad(das);
+      }
+      if (pad->requires_grad) {
+        Matrix dad(d, 1);
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* hrow = hv.RowPtr(i);
+          for (std::int64_t c = 0; c < d; ++c) dad(c, 0) += dt[i] * hrow[c];
+        }
+        pad->AccumulateGrad(dad);
+      }
+    };
+  }
+  return Var(std::move(node));
+}
+
+}  // namespace ag
+
+GatEncoder::GatEncoder(const GatConfig& config, Rng& rng) : config_(config) {
+  E2GCL_CHECK(config.dims.size() >= 2);
+  for (std::size_t l = 0; l + 1 < config.dims.size(); ++l) {
+    weights_.push_back(
+        params_.Create(GlorotUniform(config.dims[l], config.dims[l + 1], rng)));
+    attn_src_.push_back(
+        params_.Create(GlorotUniform(config.dims[l + 1], 1, rng)));
+    attn_dst_.push_back(
+        params_.Create(GlorotUniform(config.dims[l + 1], 1, rng)));
+  }
+}
+
+Var GatEncoder::Forward(const std::shared_ptr<const GatAdjacency>& adj,
+                        const Var& x, Rng& rng, bool training) const {
+  Var h = x;
+  const int layers = num_layers();
+  for (int l = 0; l < layers; ++l) {
+    h = ag::Dropout(h, config_.dropout, rng, training);
+    h = ag::MatMul(h, weights_[l]);
+    h = ag::GatPropagate(adj, h, attn_src_[l], attn_dst_[l],
+                         config_.negative_slope);
+    const bool last = (l == layers - 1);
+    if (!last || config_.final_activation) h = ag::Relu(h);
+  }
+  return h;
+}
+
+Matrix GatEncoder::Encode(const Graph& g) const {
+  auto adj = std::make_shared<const GatAdjacency>(GatAdjacency::FromGraph(g));
+  Rng rng(0);
+  Var x = Var::Constant(g.features);
+  return Forward(adj, x, rng, /*training=*/false).value();
+}
+
+}  // namespace e2gcl

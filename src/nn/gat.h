@@ -1,0 +1,79 @@
+#ifndef E2GCL_NN_GAT_H_
+#define E2GCL_NN_GAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "graph/graph.h"
+#include "nn/init.h"
+
+namespace e2gcl {
+
+/// Adjacency structure shared by all GAT layers of one forward pass:
+/// neighbor lists including a self-loop per node (GAT attends over
+/// N(v) u {v}).
+struct GatAdjacency {
+  std::vector<std::int64_t> row_ptr;
+  std::vector<std::int32_t> col;
+
+  static GatAdjacency FromGraph(const Graph& g);
+};
+
+namespace ag {
+
+/// Fused GAT propagation (Velickovic et al. 2018, single head):
+/// given transformed features H (n x d) and attention vectors
+/// a_src, a_dst (d x 1), computes
+///   s_i = H_i . a_src,  t_j = H_j . a_dst,
+///   e_ij = LeakyReLU(s_i + t_j),  alpha_i. = softmax over j in N+(i),
+///   out_i = sum_j alpha_ij H_j.
+/// Gradients flow into H (both through values and attention) and into
+/// a_src / a_dst. `adj` must outlive the tape.
+Var GatPropagate(std::shared_ptr<const GatAdjacency> adj, const Var& h,
+                 const Var& a_src, const Var& a_dst,
+                 float negative_slope = 0.2f);
+
+}  // namespace ag
+
+/// Multi-layer single-head GAT encoder with the same interface shape as
+/// GcnEncoder; usable as a drop-in alternative encoder for supervised
+/// training and contrastive pre-training.
+struct GatConfig {
+  std::vector<std::int64_t> dims = {64, 64, 64};
+  float dropout = 0.0f;
+  float negative_slope = 0.2f;
+  bool final_activation = false;
+};
+
+class GatEncoder {
+ public:
+  GatEncoder(const GatConfig& config, Rng& rng);
+
+  GatEncoder(const GatEncoder&) = delete;
+  GatEncoder& operator=(const GatEncoder&) = delete;
+  GatEncoder(GatEncoder&&) = default;
+  GatEncoder& operator=(GatEncoder&&) = default;
+
+  /// Encodes features over the attention adjacency.
+  Var Forward(const std::shared_ptr<const GatAdjacency>& adj, const Var& x,
+              Rng& rng, bool training) const;
+
+  /// Convenience full-graph encoding without gradient tracking.
+  Matrix Encode(const Graph& g) const;
+
+  ParamSet& params() { return params_; }
+  const ParamSet& params() const { return params_; }
+  int num_layers() const { return static_cast<int>(weights_.size()); }
+
+ private:
+  GatConfig config_;
+  ParamSet params_;
+  std::vector<Var> weights_;
+  std::vector<Var> attn_src_;
+  std::vector<Var> attn_dst_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_NN_GAT_H_

@@ -1,0 +1,49 @@
+#include "nn/gcn.h"
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+GcnEncoder::GcnEncoder(const GcnConfig& config, Rng& rng) : config_(config) {
+  E2GCL_CHECK(config.dims.size() >= 2);
+  for (std::size_t l = 0; l + 1 < config.dims.size(); ++l) {
+    weights_.push_back(
+        params_.Create(GlorotUniform(config.dims[l], config.dims[l + 1], rng)));
+    if (config.bias) {
+      biases_.push_back(params_.Create(Matrix(1, config.dims[l + 1])));
+    }
+  }
+  if (config.prelu) {
+    Matrix slope(1, 1);
+    slope(0, 0) = 0.25f;
+    prelu_slope_ = params_.Create(std::move(slope));
+  }
+}
+
+Var GcnEncoder::Forward(const std::shared_ptr<const CsrMatrix>& adj,
+                        const Var& x, Rng& rng, bool training) const {
+  E2GCL_CHECK(adj != nullptr);
+  Var h = x;
+  const int layers = num_layers();
+  for (int l = 0; l < layers; ++l) {
+    h = ag::Dropout(h, config_.dropout, rng, training);
+    h = ag::MatMul(h, weights_[l]);
+    h = ag::Spmm(adj, h);
+    if (config_.bias) h = ag::AddRowBroadcast(h, biases_[l]);
+    const bool last = (l == layers - 1);
+    if (!last || config_.final_activation) {
+      h = config_.prelu ? ag::PRelu(h, prelu_slope_) : ag::Relu(h);
+    }
+  }
+  return h;
+}
+
+Matrix GcnEncoder::Encode(const Graph& g) const {
+  auto adj = std::make_shared<const CsrMatrix>(NormalizedAdjacency(g));
+  Rng rng(0);  // Dropout disabled; rng is unused.
+  Var x = Var::Constant(g.features);
+  Var h = Forward(adj, x, rng, /*training=*/false);
+  return h.value();
+}
+
+}  // namespace e2gcl

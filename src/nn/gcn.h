@@ -1,0 +1,65 @@
+#ifndef E2GCL_NN_GCN_H_
+#define E2GCL_NN_GCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "graph/graph.h"
+#include "nn/init.h"
+
+namespace e2gcl {
+
+/// Configuration of an L-layer GCN encoder (Eq. 1 of the paper):
+/// H^{l+1} = sigma(A_n H^l W^l). `dims` lists input, hidden..., output
+/// widths, so dims.size() - 1 is the layer count L.
+struct GcnConfig {
+  std::vector<std::int64_t> dims = {64, 64, 64};
+  float dropout = 0.0f;
+  /// Apply the nonlinearity after the last layer too (DGI-style) or
+  /// leave the final layer linear (GRACE/GCA-style).
+  bool final_activation = false;
+  /// Use a PReLU nonlinearity (DGI) instead of ReLU.
+  bool prelu = false;
+  /// Learn a bias per layer.
+  bool bias = true;
+};
+
+/// GCN encoder f_theta. The normalized adjacency is passed per call so
+/// the same weights can encode different views (the core operation of
+/// contrastive learning).
+class GcnEncoder {
+ public:
+  GcnEncoder(const GcnConfig& config, Rng& rng);
+
+  GcnEncoder(const GcnEncoder&) = delete;
+  GcnEncoder& operator=(const GcnEncoder&) = delete;
+  GcnEncoder(GcnEncoder&&) = default;
+  GcnEncoder& operator=(GcnEncoder&&) = default;
+
+  /// Encodes features `x` over the propagation matrix `adj`.
+  /// `training` enables dropout.
+  Var Forward(const std::shared_ptr<const CsrMatrix>& adj, const Var& x,
+              Rng& rng, bool training) const;
+
+  /// Convenience: encodes a graph (builds A_n and wraps X) without
+  /// gradient tracking and returns the embedding matrix.
+  Matrix Encode(const Graph& g) const;
+
+  ParamSet& params() { return params_; }
+  const ParamSet& params() const { return params_; }
+
+  int num_layers() const { return static_cast<int>(weights_.size()); }
+  const GcnConfig& config() const { return config_; }
+
+ private:
+  GcnConfig config_;
+  ParamSet params_;
+  std::vector<Var> weights_;
+  std::vector<Var> biases_;
+  Var prelu_slope_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_NN_GCN_H_

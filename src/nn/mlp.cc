@@ -1,0 +1,38 @@
+#include "nn/mlp.h"
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+Mlp::Mlp(const MlpConfig& config, Rng& rng) : config_(config) {
+  E2GCL_CHECK(config.dims.size() >= 2);
+  for (std::size_t l = 0; l + 1 < config.dims.size(); ++l) {
+    weights_.push_back(
+        params_.Create(GlorotUniform(config.dims[l], config.dims[l + 1], rng)));
+    biases_.push_back(params_.Create(Matrix(1, config.dims[l + 1])));
+    if (config.batch_norm && l + 2 < config.dims.size()) {
+      bn_gamma_.push_back(
+          params_.Create(Matrix(1, config.dims[l + 1], 1.0f)));
+      bn_beta_.push_back(params_.Create(Matrix(1, config.dims[l + 1])));
+    }
+  }
+}
+
+Var Mlp::Forward(const Var& x, Rng& rng, bool training) const {
+  Var h = x;
+  const int layers = static_cast<int>(weights_.size());
+  for (int l = 0; l < layers; ++l) {
+    h = ag::Dropout(h, config_.dropout, rng, training);
+    h = ag::MatMul(h, weights_[l]);
+    h = ag::AddRowBroadcast(h, biases_[l]);
+    const bool last = (l == layers - 1);
+    if (config_.batch_norm && !last &&
+        static_cast<std::size_t>(l) < bn_gamma_.size() && h.rows() > 1) {
+      h = ag::BatchNormColumns(h, bn_gamma_[l], bn_beta_[l]);
+    }
+    if (!last || config_.final_activation) h = ag::Relu(h);
+  }
+  return h;
+}
+
+}  // namespace e2gcl

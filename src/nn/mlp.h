@@ -1,0 +1,50 @@
+#ifndef E2GCL_NN_MLP_H_
+#define E2GCL_NN_MLP_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace e2gcl {
+
+/// Multi-layer perceptron with ReLU hidden activations and a linear
+/// output layer. Used as the supervised MLP baseline, GRACE/GCA's
+/// projection head, and BGRL's predictor.
+struct MlpConfig {
+  std::vector<std::int64_t> dims = {64, 64};
+  float dropout = 0.0f;
+  /// ELU-free: hidden nonlinearity is ReLU. Set to apply it after the
+  /// final layer as well.
+  bool final_activation = false;
+  /// Batch-normalize hidden pre-activations (batch statistics). Needed
+  /// by BYOL-style predictors (BGRL) to avoid representation collapse.
+  bool batch_norm = false;
+};
+
+class Mlp {
+ public:
+  Mlp(const MlpConfig& config, Rng& rng);
+
+  Mlp(const Mlp&) = delete;
+  Mlp& operator=(const Mlp&) = delete;
+  Mlp(Mlp&&) = default;
+  Mlp& operator=(Mlp&&) = default;
+
+  Var Forward(const Var& x, Rng& rng, bool training) const;
+
+  ParamSet& params() { return params_; }
+  const ParamSet& params() const { return params_; }
+
+ private:
+  MlpConfig config_;
+  ParamSet params_;
+  std::vector<Var> weights_;
+  std::vector<Var> biases_;
+  std::vector<Var> bn_gamma_;
+  std::vector<Var> bn_beta_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_NN_MLP_H_

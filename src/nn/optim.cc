@@ -1,0 +1,67 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+Adam::Adam(std::vector<Var> params, const Options& opts)
+    : params_(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    E2GCL_CHECK(p.defined() && p.requires_grad());
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(opts_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(opts_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& w = params_[i].mutable_value();
+    const Matrix& g = params_[i].grad();
+    if (g.empty()) continue;  // No gradient flowed this step.
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (std::int64_t j = 0; j < w.size(); ++j) {
+      const float gj = g.data()[j];
+      m.data()[j] = opts_.beta1 * m.data()[j] + (1.0f - opts_.beta1) * gj;
+      v.data()[j] = opts_.beta2 * v.data()[j] + (1.0f - opts_.beta2) * gj * gj;
+      const float mhat = m.data()[j] / bc1;
+      const float vhat = v.data()[j] / bc2;
+      float upd = mhat / (std::sqrt(vhat) + opts_.eps);
+      if (opts_.weight_decay > 0.0f) upd += opts_.weight_decay * w.data()[j];
+      w.data()[j] -= opts_.lr * upd;
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float weight_decay)
+    : params_(std::move(params)), lr_(lr), weight_decay_(weight_decay) {
+  for (const Var& p : params_) E2GCL_CHECK(p.defined() && p.requires_grad());
+}
+
+void Sgd::Step() {
+  for (Var& p : params_) {
+    Matrix& w = p.mutable_value();
+    const Matrix& g = p.grad();
+    if (g.empty()) continue;
+    for (std::int64_t j = 0; j < w.size(); ++j) {
+      w.data()[j] -= lr_ * (g.data()[j] + weight_decay_ * w.data()[j]);
+    }
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+}  // namespace e2gcl

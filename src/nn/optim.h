@@ -1,0 +1,59 @@
+#ifndef E2GCL_NN_OPTIM_H_
+#define E2GCL_NN_OPTIM_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace e2gcl {
+
+/// Adam optimizer (Kingma & Ba) over a fixed parameter list. The
+/// parameter Vars are shared handles into the model, so Step() mutates
+/// the model weights in place.
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-2f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    /// Decoupled L2 weight decay (AdamW style).
+    float weight_decay = 0.0f;
+  };
+
+  Adam(std::vector<Var> params, const Options& opts);
+
+  /// Applies one update from the gradients accumulated by Backward().
+  void Step();
+
+  /// Zeroes gradients of all managed parameters.
+  void ZeroGrad();
+
+  float lr() const { return opts_.lr; }
+  void set_lr(float lr) { opts_.lr = lr; }
+
+ private:
+  std::vector<Var> params_;
+  Options opts_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  std::int64_t t_ = 0;
+};
+
+/// Plain SGD with optional L2 weight decay (used by DeepWalk's SGNS).
+class Sgd {
+ public:
+  Sgd(std::vector<Var> params, float lr, float weight_decay = 0.0f);
+
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<Var> params_;
+  float lr_;
+  float weight_decay_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_NN_OPTIM_H_

@@ -1,0 +1,36 @@
+#ifndef E2GCL_TENSOR_CHECK_H_
+#define E2GCL_TENSOR_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Precondition-checking macros. The library does not use exceptions
+/// (Google style); violated invariants abort with a source location so
+/// failures in long benchmark runs are attributable.
+
+/// Aborts with a message when `cond` is false. Always active (also in
+/// release builds) because every use guards an API precondition whose
+/// violation would otherwise corrupt memory.
+#define E2GCL_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "E2GCL_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Like E2GCL_CHECK but with a printf-style explanation.
+#define E2GCL_CHECK_MSG(cond, ...)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "E2GCL_CHECK failed at %s:%d: %s: ", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // E2GCL_TENSOR_CHECK_H_

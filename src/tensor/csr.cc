@@ -1,0 +1,102 @@
+#include "tensor/csr.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+CsrMatrix CsrMatrix::FromCoo(
+    std::int64_t rows, std::int64_t cols,
+    std::vector<std::tuple<std::int64_t, std::int64_t, float>> triplets) {
+  E2GCL_CHECK(rows >= 0 && cols >= 0);
+  std::sort(triplets.begin(), triplets.end(),
+            [](const auto& a, const auto& b) {
+              if (std::get<0>(a) != std::get<0>(b)) {
+                return std::get<0>(a) < std::get<0>(b);
+              }
+              return std::get<1>(a) < std::get<1>(b);
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size(); ++i) {
+    const auto [r, c, v] = triplets[i];
+    E2GCL_CHECK_MSG(r >= 0 && r < rows && c >= 0 && c < cols,
+                    "COO entry (%lld, %lld) out of bounds",
+                    static_cast<long long>(r), static_cast<long long>(c));
+    // Triplets are sorted, so duplicate coordinates are adjacent: sum them.
+    if (i > 0 && std::get<0>(triplets[i - 1]) == r &&
+        std::get<1>(triplets[i - 1]) == c) {
+      m.values_.back() += v;
+      continue;
+    }
+    m.col_idx_.push_back(static_cast<std::int32_t>(c));
+    m.values_.push_back(v);
+    m.row_ptr_[r + 1] += 1;
+  }
+  for (std::int64_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  std::vector<std::tuple<std::int64_t, std::int64_t, float>> triplets;
+  triplets.reserve(nnz());
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      triplets.emplace_back(col_idx_[k], r, values_[k]);
+    }
+  }
+  return FromCoo(cols_, rows_, std::move(triplets));
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix d(rows_, cols_);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      d(r, col_idx_[k]) += values_[k];
+    }
+  }
+  return d;
+}
+
+Matrix Spmm(const CsrMatrix& a, const Matrix& b) {
+  E2GCL_CHECK_MSG(a.cols() == b.rows(), "spmm inner-dim mismatch");
+  const std::int64_t n = b.cols();
+  Matrix c(a.rows(), n);
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vs = a.values();
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    float* crow = c.RowPtr(r);
+    for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const float v = vs[k];
+      const float* brow = b.RowPtr(ci[k]);
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix SpmmTransposedA(const CsrMatrix& a, const Matrix& b) {
+  E2GCL_CHECK_MSG(a.rows() == b.rows(), "spmm(A^T) inner-dim mismatch");
+  const std::int64_t n = b.cols();
+  Matrix c(a.cols(), n);
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vs = a.values();
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const float* brow = b.RowPtr(r);
+    for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const float v = vs[k];
+      float* crow = c.RowPtr(ci[k]);
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace e2gcl

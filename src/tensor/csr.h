@@ -1,0 +1,62 @@
+#ifndef E2GCL_TENSOR_CSR_H_
+#define E2GCL_TENSOR_CSR_H_
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace e2gcl {
+
+/// Sparse float32 matrix in compressed-sparse-row form. Used for
+/// (normalized) adjacency matrices; the GCN propagation `A_n H` is a
+/// SpMM against this type.
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) { row_ptr_.push_back(0); }
+
+  /// Builds from COO triplets (row, col, value). Duplicate (row, col)
+  /// entries are summed. Triplets may be in any order.
+  static CsrMatrix FromCoo(std::int64_t rows, std::int64_t cols,
+                           std::vector<std::tuple<std::int64_t, std::int64_t,
+                                                  float>> triplets);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t nnz() const {
+    return static_cast<std::int64_t>(col_idx_.size());
+  }
+
+  const std::vector<std::int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Number of stored entries in row r.
+  std::int64_t RowNnz(std::int64_t r) const {
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+
+  /// Transposed copy (O(nnz)).
+  CsrMatrix Transposed() const;
+
+  /// Dense copy (tests / tiny matrices only).
+  Matrix ToDense() const;
+
+ private:
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::vector<std::int64_t> row_ptr_;
+  std::vector<std::int32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+/// Dense result of sparse x dense: C = A * B with A sparse.
+Matrix Spmm(const CsrMatrix& a, const Matrix& b);
+
+/// C = A^T * B without materializing the transpose (scatter form).
+Matrix SpmmTransposedA(const CsrMatrix& a, const Matrix& b);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_TENSOR_CSR_H_

@@ -1,0 +1,320 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+Matrix::Matrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+  E2GCL_CHECK(rows >= 0 && cols >= 0);
+}
+
+Matrix::Matrix(std::int64_t rows, std::int64_t cols, float value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {
+  E2GCL_CHECK(rows >= 0 && cols >= 0);
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  const std::int64_t r = static_cast<std::int64_t>(rows.size());
+  const std::int64_t c = static_cast<std::int64_t>(rows[0].size());
+  Matrix m(r, c);
+  for (std::int64_t i = 0; i < r; ++i) {
+    E2GCL_CHECK(static_cast<std::int64_t>(rows[i].size()) == c);
+    std::copy(rows[i].begin(), rows[i].end(), m.RowPtr(i));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(std::int64_t n) {
+  Matrix m(n, n);
+  for (std::int64_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::RandomUniform(std::int64_t rows, std::int64_t cols, float lo,
+                             float hi, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::RandomNormal(std::int64_t rows, std::int64_t cols, float mean,
+                            float stddev, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.Normal(mean, stddev);
+  }
+  return m;
+}
+
+Matrix Matrix::Row(std::int64_t r) const {
+  E2GCL_CHECK(r >= 0 && r < rows_);
+  Matrix out(1, cols_);
+  std::memcpy(out.data(), RowPtr(r), sizeof(float) * cols_);
+  return out;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << "[" << rows_ << " x " << cols_ << "]\n";
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t c = 0; c < cols_; ++c) {
+      os << (c == 0 ? "" : " ") << (*this)(r, c);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void CheckSameShape(const Matrix& a, const Matrix& b) {
+  E2GCL_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "shape mismatch: %lld x %lld vs %lld x %lld",
+                  static_cast<long long>(a.rows()),
+                  static_cast<long long>(a.cols()),
+                  static_cast<long long>(b.rows()),
+                  static_cast<long long>(b.cols()));
+}
+
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  E2GCL_CHECK_MSG(a.cols() == b.rows(), "matmul inner-dim mismatch");
+  const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  // i-k-j loop order: streams over b and c rows; good cache behaviour
+  // without blocking for the sizes this library runs at.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.RowPtr(p);
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
+  E2GCL_CHECK_MSG(a.cols() == b.cols(), "matmul(B^T) inner-dim mismatch");
+  const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b.RowPtr(j);
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
+  E2GCL_CHECK_MSG(a.rows() == b.rows(), "matmul(A^T) inner-dim mismatch");
+  const std::int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n);
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a.RowPtr(p);
+    const float* brow = b.RowPtr(p);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.RowPtr(i);
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix c = a;
+  AddInPlace(c, b);
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix c = a;
+  AxpyInPlace(c, -1.0f, b);
+  return c;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix c = a;
+  for (std::int64_t i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+  return c;
+}
+
+Matrix Scale(const Matrix& a, float alpha) {
+  Matrix c = a;
+  for (std::int64_t i = 0; i < c.size(); ++i) c.data()[i] *= alpha;
+  return c;
+}
+
+void AxpyInPlace(Matrix& a, float alpha, const Matrix& b) {
+  CheckSameShape(a, b);
+  for (std::int64_t i = 0; i < a.size(); ++i) a.data()[i] += alpha * b.data()[i];
+}
+
+void AddInPlace(Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  for (std::int64_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    for (std::int64_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  }
+  return t;
+}
+
+float SumAll(const Matrix& a) {
+  // Pairwise-ish accumulation in double to keep reductions accurate for
+  // the large matrices the benches touch.
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) acc += a.data()[i];
+  return static_cast<float>(acc);
+}
+
+float MeanAll(const Matrix& a) {
+  E2GCL_CHECK(a.size() > 0);
+  return SumAll(a) / static_cast<float>(a.size());
+}
+
+float FrobeniusNorm(const Matrix& a) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a.data()[i]) * a.data()[i];
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Matrix RowSums(const Matrix& a) {
+  Matrix s(a.rows(), 1);
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    const float* row = a.RowPtr(r);
+    for (std::int64_t c = 0; c < a.cols(); ++c) acc += row[c];
+    s(r, 0) = static_cast<float>(acc);
+  }
+  return s;
+}
+
+Matrix ColSums(const Matrix& a) {
+  Matrix s(1, a.cols());
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.RowPtr(r);
+    for (std::int64_t c = 0; c < a.cols(); ++c) s(0, c) += row[c];
+  }
+  return s;
+}
+
+Matrix RowL2Norms(const Matrix& a) {
+  Matrix s(a.rows(), 1);
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    const float* row = a.RowPtr(r);
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      acc += static_cast<double>(row[c]) * row[c];
+    }
+    s(r, 0) = static_cast<float>(std::sqrt(acc));
+  }
+  return s;
+}
+
+Matrix NormalizeRowsL2(const Matrix& a, float eps) {
+  Matrix out = a;
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    const float* row = a.RowPtr(r);
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      acc += static_cast<double>(row[c]) * row[c];
+    }
+    const float norm = static_cast<float>(std::sqrt(acc));
+    if (norm <= eps) continue;
+    float* orow = out.RowPtr(r);
+    const float inv = 1.0f / norm;
+    for (std::int64_t c = 0; c < a.cols(); ++c) orow[c] *= inv;
+  }
+  return out;
+}
+
+float RowSquaredDistance(const Matrix& a, std::int64_t r, const Matrix& b,
+                         std::int64_t s) {
+  E2GCL_CHECK(a.cols() == b.cols());
+  const float* ar = a.RowPtr(r);
+  const float* br = b.RowPtr(s);
+  float acc = 0.0f;
+  for (std::int64_t c = 0; c < a.cols(); ++c) {
+    const float d = ar[c] - br[c];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float RowDistance(const Matrix& a, std::int64_t r, const Matrix& b,
+                  std::int64_t s) {
+  return std::sqrt(RowSquaredDistance(a, r, b, s));
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<std::int64_t>& indices) {
+  Matrix out(static_cast<std::int64_t>(indices.size()), a.cols());
+  for (std::int64_t i = 0; i < out.rows(); ++i) {
+    const std::int64_t r = indices[i];
+    E2GCL_CHECK(r >= 0 && r < a.rows());
+    std::memcpy(out.RowPtr(i), a.RowPtr(r), sizeof(float) * a.cols());
+  }
+  return out;
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const float* in = a.RowPtr(r);
+    float* o = out.RowPtr(r);
+    float mx = in[0];
+    for (std::int64_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
+    float denom = 0.0f;
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    const float inv = 1.0f / denom;
+    for (std::int64_t c = 0; c < a.cols(); ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+float MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  float mx = 0.0f;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return mx;
+}
+
+}  // namespace e2gcl

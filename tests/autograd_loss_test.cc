@@ -1,0 +1,207 @@
+#include "autograd/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+using testing_util::CheckGradients;
+
+Matrix RandM(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::RandomNormal(r, c, 0.0f, 1.0f, rng);
+}
+
+TEST(SoftmaxCrossEntropy, ForwardMatchesManual) {
+  Var logits = Var::Param(Matrix::FromRows({{2, 0}, {0, 2}}));
+  Var loss = ag::SoftmaxCrossEntropy(logits, {0, 1});
+  // Each row: -log(e^2 / (e^2 + 1)).
+  const float expected = -std::log(std::exp(2.0f) / (std::exp(2.0f) + 1.0f));
+  EXPECT_NEAR(loss.value()(0, 0), expected, 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionLowLoss) {
+  Var logits = Var::Param(Matrix::FromRows({{50, 0, 0}, {0, 50, 0}}));
+  Var loss = ag::SoftmaxCrossEntropy(logits, {0, 1});
+  EXPECT_LT(loss.value()(0, 0), 1e-4f);
+}
+
+TEST(SoftmaxCrossEntropy, GradCheck) {
+  CheckGradients({RandM(5, 4, 1)}, [](const std::vector<Var>& p) {
+    return ag::SoftmaxCrossEntropy(p[0], {0, 3, 1, 2, 0});
+  });
+}
+
+TEST(SoftmaxCrossEntropy, WeightedGradCheck) {
+  CheckGradients({RandM(4, 3, 2)}, [](const std::vector<Var>& p) {
+    return ag::SoftmaxCrossEntropy(p[0], {0, 2, 1, 1},
+                                   {1.0f, 3.0f, 0.5f, 2.0f});
+  });
+}
+
+TEST(SoftmaxCrossEntropy, WeightsShiftTheLoss) {
+  Matrix logits = Matrix::FromRows({{3, 0}, {0, 3}});
+  // Row 0 is correct, row 1 wrong under labels {0, 0}.
+  Var a = Var::Param(logits);
+  const float unweighted =
+      ag::SoftmaxCrossEntropy(a, {0, 0}).value()(0, 0);
+  const float upweight_wrong =
+      ag::SoftmaxCrossEntropy(a, {0, 0}, {1.0f, 9.0f}).value()(0, 0);
+  EXPECT_GT(upweight_wrong, unweighted);
+}
+
+TEST(InfoNce, GradCheckUnweighted) {
+  CheckGradients(
+      {RandM(4, 3, 3), RandM(4, 3, 4)},
+      [](const std::vector<Var>& p) {
+        return ag::InfoNce(p[0], p[1], 0.5f);
+      },
+      /*h=*/5e-3f, /*tol=*/3e-2f);
+}
+
+TEST(InfoNce, GradCheckWeighted) {
+  CheckGradients(
+      {RandM(3, 4, 5), RandM(3, 4, 6)},
+      [](const std::vector<Var>& p) {
+        return ag::InfoNce(p[0], p[1], 0.7f, {0.5f, 2.0f, 1.5f});
+      },
+      /*h=*/5e-3f, /*tol=*/3e-2f);
+}
+
+TEST(InfoNce, GradCheckThroughNormalization) {
+  CheckGradients(
+      {RandM(4, 5, 7), RandM(4, 5, 8)},
+      [](const std::vector<Var>& p) {
+        return ag::InfoNce(ag::NormalizeRowsL2(p[0]),
+                           ag::NormalizeRowsL2(p[1]), 0.5f);
+      },
+      /*h=*/5e-3f, /*tol=*/4e-2f);
+}
+
+TEST(InfoNce, AlignedViewsBeatMisaligned) {
+  // Identical views (perfect positives) should score lower loss than a
+  // view paired with a row-shuffled copy.
+  Rng rng(9);
+  Matrix z = NormalizeRowsL2(Matrix::RandomNormal(8, 6, 0, 1, rng));
+  Matrix shuffled = GatherRows(z, {3, 7, 0, 5, 1, 6, 2, 4});
+  Var a = Var::Constant(z);
+  const float aligned =
+      ag::InfoNce(a, Var::Constant(z), 0.5f).value()(0, 0);
+  const float misaligned =
+      ag::InfoNce(a, Var::Constant(shuffled), 0.5f).value()(0, 0);
+  EXPECT_LT(aligned, misaligned);
+}
+
+TEST(InfoNce, LowerTemperatureSharpens) {
+  Rng rng(10);
+  Matrix z1 = NormalizeRowsL2(Matrix::RandomNormal(6, 4, 0, 1, rng));
+  // Positive pairs nearly aligned.
+  Matrix z2 = z1;
+  for (std::int64_t i = 0; i < z2.size(); ++i) {
+    z2.data()[i] += 0.01f * rng.Normal();
+  }
+  z2 = NormalizeRowsL2(z2);
+  const float hi =
+      ag::InfoNce(Var::Constant(z1), Var::Constant(z2), 1.0f).value()(0, 0);
+  const float lo =
+      ag::InfoNce(Var::Constant(z1), Var::Constant(z2), 0.1f).value()(0, 0);
+  // With near-perfect positives, sharper temperature gives lower loss.
+  EXPECT_LT(lo, hi);
+}
+
+TEST(EuclideanContrastive, ForwardMatchesManual) {
+  // Two rows, neg_perm = {1, 0}.
+  Matrix a = Matrix::FromRows({{0, 0}, {1, 0}});
+  Matrix b = Matrix::FromRows({{0, 1}, {1, 1}});
+  Var va = Var::Param(a);
+  Var vb = Var::Param(b);
+  Var loss = ag::EuclideanContrastive(va, vb, {1, 0});
+  // Positives: ||a0-b0||^2 = 1, ||a1-b1||^2 = 1 -> mean pos = 1.
+  // Negatives row0 (u=1): ||a0-a1||^2 = 1, ||b0-a1||^2 = 1+1 = 2.
+  // Negatives row1 (u=0): ||a1-a0||^2 = 1, ||b1-a0||^2 = 1+1 = 2.
+  // loss = (1 - 0.5*(1+2) + 1 - 0.5*(1+2)) / 2 = (−0.5 −0.5)/2 = -0.5.
+  EXPECT_NEAR(loss.value()(0, 0), -0.5f, 1e-5f);
+}
+
+TEST(EuclideanContrastive, GradCheck) {
+  CheckGradients({RandM(4, 3, 11), RandM(4, 3, 12)},
+                 [](const std::vector<Var>& p) {
+                   return ag::EuclideanContrastive(p[0], p[1], {2, 3, 0, 1});
+                 });
+}
+
+TEST(EuclideanContrastive, WeightedGradCheck) {
+  CheckGradients({RandM(3, 2, 13), RandM(3, 2, 14)},
+                 [](const std::vector<Var>& p) {
+                   return ag::EuclideanContrastive(p[0], p[1], {1, 2, 0},
+                                                   {2.0f, 1.0f, 3.0f});
+                 });
+}
+
+TEST(BceWithLogits, ForwardMatchesManual) {
+  Var logits = Var::Param(Matrix::FromRows({{0.0f}, {2.0f}}));
+  Var loss = ag::BceWithLogits(logits, {1.0f, 0.0f});
+  const float l0 = std::log(2.0f);                       // -log sigmoid(0)
+  const float l1 = 2.0f + std::log1p(std::exp(-2.0f));   // -log(1-sig(2))
+  EXPECT_NEAR(loss.value()(0, 0), (l0 + l1) / 2.0f, 1e-5f);
+}
+
+TEST(BceWithLogits, StableForExtremeLogits) {
+  Var logits = Var::Param(Matrix::FromRows({{100.0f}, {-100.0f}}));
+  Var loss = ag::BceWithLogits(logits, {1.0f, 0.0f});
+  EXPECT_NEAR(loss.value()(0, 0), 0.0f, 1e-5f);
+  Var bad = Var::Param(Matrix::FromRows({{100.0f}, {-100.0f}}));
+  Var loss2 = ag::BceWithLogits(bad, {0.0f, 1.0f});
+  EXPECT_NEAR(loss2.value()(0, 0), 100.0f, 1e-3f);
+}
+
+TEST(BceWithLogits, GradCheck) {
+  CheckGradients({RandM(6, 1, 15)}, [](const std::vector<Var>& p) {
+    return ag::BceWithLogits(p[0], {1, 0, 1, 1, 0, 0});
+  });
+}
+
+TEST(CosinePredictionLoss, PerfectAlignmentIsZero) {
+  Rng rng(16);
+  Matrix z = Matrix::RandomNormal(5, 4, 0, 1, rng);
+  Var loss =
+      ag::CosinePredictionLoss(Var::Param(z), Var::Constant(Scale(z, 3.0f)));
+  EXPECT_NEAR(loss.value()(0, 0), 0.0f, 1e-5f);
+}
+
+TEST(CosinePredictionLoss, OppositeIsFour) {
+  Matrix z = Matrix::FromRows({{1, 0}, {0, 1}});
+  Var loss = ag::CosinePredictionLoss(Var::Param(z),
+                                      Var::Constant(Scale(z, -1.0f)));
+  EXPECT_NEAR(loss.value()(0, 0), 4.0f, 1e-5f);
+}
+
+TEST(CosinePredictionLoss, GradCheck) {
+  CheckGradients({RandM(3, 4, 17)}, [](const std::vector<Var>& p) {
+    Rng rng(18);
+    Var target = Var::Constant(Matrix::RandomNormal(3, 4, 0, 1, rng));
+    return ag::CosinePredictionLoss(p[0], target);
+  });
+}
+
+TEST(MseLoss, ZeroForEqualInputs) {
+  Matrix z = RandM(3, 3, 19);
+  EXPECT_NEAR(
+      ag::MseLoss(Var::Param(z), Var::Constant(z)).value()(0, 0), 0.0f,
+      1e-6f);
+}
+
+TEST(MseLoss, GradCheck) {
+  CheckGradients({RandM(3, 3, 20), RandM(3, 3, 21)},
+                 [](const std::vector<Var>& p) {
+                   return ag::MseLoss(p[0], p[1]);
+                 });
+}
+
+}  // namespace
+}  // namespace e2gcl

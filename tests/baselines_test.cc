@@ -1,0 +1,322 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bgrl.h"
+#include "baselines/deepwalk.h"
+#include "baselines/dgi.h"
+#include "baselines/gae.h"
+#include "baselines/grace.h"
+#include "baselines/mvgrl.h"
+#include "baselines/selectors.h"
+#include "baselines/supervised.h"
+#include "core/raw_aggregation.h"
+#include "graph/generators.h"
+#include "graph/splits.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+using testing_util::AllFinite;
+
+Graph TestGraph(std::uint64_t seed = 1) {
+  SbmSpec spec;
+  spec.num_nodes = 250;
+  spec.num_classes = 3;
+  spec.feature_dim = 30;
+  spec.avg_degree = 8;
+  return GenerateSbm(spec, seed);
+}
+
+// --- Selector baselines (Table VII machinery). ------------------------------
+
+TEST(Selectors, AllKindsRespectBudget) {
+  Graph g = TestGraph();
+  Matrix r = RawAggregation(g, 2);
+  SelectorConfig cfg;
+  cfg.num_clusters = 8;
+  cfg.sample_size = 32;
+  cfg.auto_sample_size = false;
+  for (const auto kind :
+       {SelectorKind::kRandom, SelectorKind::kDegree, SelectorKind::kKMeans,
+        SelectorKind::kKCenterGreedy, SelectorKind::kGrain,
+        SelectorKind::kE2gcl}) {
+    Rng rng(7);
+    SelectionResult res = SelectNodes(kind, g, r, 40, cfg, rng);
+    EXPECT_LE(res.nodes.size(), 40u) << SelectorKindName(kind);
+    EXPECT_GE(res.nodes.size(), 30u) << SelectorKindName(kind);
+    std::set<std::int64_t> uniq(res.nodes.begin(), res.nodes.end());
+    EXPECT_EQ(uniq.size(), res.nodes.size()) << SelectorKindName(kind);
+    double wsum = 0.0;
+    for (float w : res.weights) wsum += w;
+    EXPECT_NEAR(wsum, static_cast<double>(g.num_nodes), g.num_nodes * 0.01)
+        << SelectorKindName(kind);
+  }
+}
+
+TEST(Selectors, NamesRoundTrip) {
+  for (const auto kind :
+       {SelectorKind::kRandom, SelectorKind::kDegree, SelectorKind::kKMeans,
+        SelectorKind::kKCenterGreedy, SelectorKind::kGrain,
+        SelectorKind::kE2gcl}) {
+    EXPECT_EQ(SelectorKindFromName(SelectorKindName(kind)), kind);
+  }
+  EXPECT_DEATH(SelectorKindFromName("bogus"), "unknown selector");
+}
+
+TEST(Selectors, DegreeSelectorPrefersHubs) {
+  Graph g = TestGraph(3);
+  Matrix r = RawAggregation(g, 2);
+  SelectorConfig cfg;
+  Rng rng(4);
+  SelectionResult deg = SelectNodes(SelectorKind::kDegree, g, r, 50, cfg, rng);
+  Rng rng2(5);
+  SelectionResult rnd =
+      SelectNodes(SelectorKind::kRandom, g, r, 50, cfg, rng2);
+  auto mean_degree = [&](const std::vector<std::int64_t>& nodes) {
+    double acc = 0.0;
+    for (std::int64_t v : nodes) acc += g.Degree(v);
+    return acc / nodes.size();
+  };
+  EXPECT_GT(mean_degree(deg.nodes), mean_degree(rnd.nodes));
+}
+
+TEST(Selectors, KCenterGreedyCoversSpace) {
+  Graph g = TestGraph(6);
+  Matrix r = RawAggregation(g, 2);
+  SelectorConfig cfg;
+  Rng rng(7);
+  SelectionResult kcg =
+      SelectNodes(SelectorKind::kKCenterGreedy, g, r, 30, cfg, rng);
+  // Farthest-point traversal: max distance of any node to the selected
+  // set must be below the diameter and selection must be spread out.
+  EXPECT_GE(kcg.nodes.size(), 25u);
+}
+
+// --- GCL baselines. ----------------------------------------------------------
+
+TEST(Grace, TrainsAndEmbeds) {
+  Graph g = TestGraph();
+  GraceConfig cfg;
+  cfg.epochs = 6;
+  cfg.hidden_dim = 24;
+  cfg.embed_dim = 16;
+  cfg.batch_size = 100;
+  GraceTrainer trainer(g, cfg);
+  trainer.Train();
+  Matrix emb = trainer.encoder().Encode(g);
+  EXPECT_EQ(emb.rows(), g.num_nodes);
+  EXPECT_TRUE(AllFinite(emb));
+  EXPECT_EQ(trainer.stats().epochs_run, 6);
+}
+
+TEST(Grace, ViewDropsEdgesAtRequestedRate) {
+  Graph g = TestGraph();
+  GraceConfig cfg;
+  GraceTrainer trainer(g, cfg);
+  Rng rng(8);
+  Graph view = trainer.SampleView(0.4f, 0.0f, rng);
+  const double kept_ratio =
+      static_cast<double>(view.num_edges()) / g.num_edges();
+  EXPECT_NEAR(kept_ratio, 0.6, 0.08);
+  EXPECT_TRUE(view.features == g.features);
+}
+
+TEST(Grace, FeatureMaskZeroesWholeDims) {
+  Graph g = TestGraph();
+  GraceConfig cfg;
+  GraceTrainer trainer(g, cfg);
+  Rng rng(9);
+  Graph view = trainer.SampleView(0.0f, 0.5f, rng);
+  std::int64_t zero_dims = 0;
+  for (std::int64_t d = 0; d < g.feature_dim(); ++d) {
+    bool all_zero = true;
+    for (std::int64_t v = 0; v < g.num_nodes && all_zero; ++v) {
+      if (view.features(v, d) != 0.0f) all_zero = false;
+    }
+    if (all_zero) ++zero_dims;
+  }
+  EXPECT_GT(zero_dims, g.feature_dim() / 4);
+}
+
+TEST(Grace, AdaptiveGcaVariantRuns) {
+  Graph g = TestGraph();
+  GraceConfig cfg;
+  cfg.adaptive = true;
+  cfg.epochs = 4;
+  GraceTrainer trainer(g, cfg);
+  trainer.Train();
+  EXPECT_TRUE(AllFinite(trainer.encoder().Encode(g)));
+}
+
+TEST(Grace, OperationUpgradesRun) {
+  Graph g = TestGraph();
+  GraceConfig cfg;
+  cfg.epochs = 3;
+  cfg.add_edge_ratio = 0.15f;
+  cfg.feature_perturb_eta = 0.3f;
+  GraceTrainer trainer(g, cfg);
+  Rng rng(10);
+  Graph view = trainer.SampleView(0.2f, 0.2f, rng);
+  EXPECT_TRUE(AllFinite(view.features));
+  trainer.Train();
+  EXPECT_TRUE(AllFinite(trainer.encoder().Encode(g)));
+}
+
+TEST(Dgi, TrainsAndEmbeds) {
+  Graph g = TestGraph();
+  DgiConfig cfg;
+  cfg.epochs = 6;
+  cfg.hidden_dim = 24;
+  cfg.embed_dim = 16;
+  DgiTrainer trainer(g, cfg);
+  trainer.Train();
+  Matrix emb = trainer.encoder().Encode(g);
+  EXPECT_TRUE(AllFinite(emb));
+  EXPECT_EQ(emb.cols(), 16);
+}
+
+TEST(Bgrl, TrainsAndEmbeds) {
+  Graph g = TestGraph();
+  BgrlConfig cfg;
+  cfg.epochs = 6;
+  cfg.hidden_dim = 24;
+  cfg.embed_dim = 16;
+  cfg.batch_size = 100;
+  BgrlTrainer trainer(g, cfg);
+  trainer.Train();
+  EXPECT_TRUE(AllFinite(trainer.encoder().Encode(g)));
+}
+
+TEST(Bgrl, AfgrlVariantRuns) {
+  Graph g = TestGraph();
+  BgrlConfig cfg;
+  cfg.augmentation_free = true;
+  cfg.epochs = 5;
+  BgrlTrainer trainer(g, cfg);
+  trainer.Train();
+  EXPECT_TRUE(AllFinite(trainer.encoder().Encode(g)));
+}
+
+TEST(Mvgrl, DiffusionViewDiffersAndTrains) {
+  Graph g = TestGraph();
+  MvgrlConfig cfg;
+  cfg.epochs = 5;
+  cfg.hidden_dim = 24;
+  cfg.embed_dim = 16;
+  MvgrlTrainer trainer(g, cfg);
+  EXPECT_NE(trainer.diffusion_view().num_edges(), 0);
+  trainer.Train();
+  Matrix emb = trainer.Embed();
+  EXPECT_EQ(emb.rows(), g.num_nodes);
+  EXPECT_TRUE(AllFinite(emb));
+}
+
+TEST(Gae, PlainAndVariationalTrain) {
+  Graph g = TestGraph();
+  for (const bool variational : {false, true}) {
+    GaeConfig cfg;
+    cfg.variational = variational;
+    cfg.epochs = 6;
+    GaeTrainer trainer(g, cfg);
+    trainer.Train();
+    EXPECT_TRUE(AllFinite(trainer.Embed())) << "variational=" << variational;
+  }
+}
+
+TEST(Gae, ReconstructionScoresEdgesAboveNonEdges) {
+  Graph g = TestGraph(11);
+  GaeConfig cfg;
+  cfg.epochs = 60;
+  GaeTrainer trainer(g, cfg);
+  trainer.Train();
+  Matrix z = trainer.Embed();
+  Rng rng(12);
+  double edge_score = 0.0, non_edge_score = 0.0;
+  auto edges = UndirectedEdges(g);
+  const int probes = 200;
+  for (int i = 0; i < probes; ++i) {
+    const auto& [u, v] = edges[rng.UniformInt(edges.size())];
+    for (std::int64_t c = 0; c < z.cols(); ++c) {
+      edge_score += z(u, c) * z(v, c);
+    }
+    std::int64_t a = rng.UniformInt(g.num_nodes);
+    std::int64_t b = rng.UniformInt(g.num_nodes);
+    if (a == b || g.HasEdge(a, b)) {
+      --i;
+      continue;
+    }
+    for (std::int64_t c = 0; c < z.cols(); ++c) {
+      non_edge_score += z(a, c) * z(b, c);
+    }
+  }
+  EXPECT_GT(edge_score, non_edge_score);
+}
+
+TEST(DeepWalk, EmbedsAllNodes) {
+  Graph g = TestGraph();
+  DeepWalkConfig cfg;
+  cfg.epochs = 1;
+  cfg.walks_per_node = 4;
+  cfg.walk_length = 10;
+  Matrix emb = TrainDeepWalk(g, cfg);
+  EXPECT_EQ(emb.rows(), g.num_nodes);
+  EXPECT_EQ(emb.cols(), 64);
+  EXPECT_TRUE(AllFinite(emb));
+}
+
+TEST(DeepWalk, NeighborsCloserThanRandomPairs) {
+  Graph g = TestGraph(13);
+  DeepWalkConfig cfg;
+  cfg.epochs = 2;
+  Matrix emb = NormalizeRowsL2(TrainDeepWalk(g, cfg));
+  Rng rng(14);
+  auto edges = UndirectedEdges(g);
+  double edge_sim = 0.0, rand_sim = 0.0;
+  const int probes = 300;
+  for (int i = 0; i < probes; ++i) {
+    const auto& [u, v] = edges[rng.UniformInt(edges.size())];
+    for (std::int64_t c = 0; c < emb.cols(); ++c) {
+      edge_sim += emb(u, c) * emb(v, c);
+    }
+    const std::int64_t a = rng.UniformInt(g.num_nodes);
+    const std::int64_t b = rng.UniformInt(g.num_nodes);
+    for (std::int64_t c = 0; c < emb.cols(); ++c) {
+      rand_sim += emb(a, c) * emb(b, c);
+    }
+  }
+  EXPECT_GT(edge_sim, rand_sim);
+}
+
+TEST(DeepWalk, Node2VecBiasesRun) {
+  Graph g = TestGraph();
+  DeepWalkConfig cfg;
+  cfg.epochs = 1;
+  cfg.p = 0.5f;
+  cfg.q = 2.0f;
+  EXPECT_TRUE(AllFinite(TrainDeepWalk(g, cfg)));
+}
+
+TEST(Supervised, GcnBeatsChance) {
+  Graph g = TestGraph(15);
+  Rng rng(16);
+  NodeSplit split = RandomNodeSplit(g.num_nodes, 0.1, 0.1, rng);
+  SupervisedConfig cfg;
+  cfg.epochs = 60;
+  const double acc = TrainSupervisedGcn(g, split, cfg);
+  EXPECT_GT(acc, 1.0 / 3.0 + 0.1);
+}
+
+TEST(Supervised, MlpRunsAboveChance) {
+  Graph g = TestGraph(17);
+  Rng rng(18);
+  NodeSplit split = RandomNodeSplit(g.num_nodes, 0.2, 0.1, rng);
+  SupervisedConfig cfg;
+  cfg.epochs = 60;
+  const double acc = TrainSupervisedMlp(g, split, cfg);
+  EXPECT_GT(acc, 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace e2gcl

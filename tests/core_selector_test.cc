@@ -1,0 +1,227 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/node_selector.h"
+#include "core/raw_aggregation.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+using testing_util::SmallGraph;
+
+TEST(RawAggregation, ZeroLayersIsIdentityOnFeatures) {
+  Graph g = SmallGraph();
+  Matrix r = RawAggregation(g, 0);
+  EXPECT_LT(MaxAbsDiff(r, g.features), 1e-7f);
+}
+
+TEST(RawAggregation, MatchesDenseMatrixPower) {
+  Graph g = SmallGraph();
+  Matrix an = NormalizedAdjacency(g).ToDense();
+  Matrix expected = MatMul(an, MatMul(an, g.features));
+  EXPECT_LT(MaxAbsDiff(RawAggregation(g, 2), expected), 1e-5f);
+}
+
+TEST(RawAggregation, SmoothsTowardNeighbors) {
+  // After aggregation, same-class nodes (connected triangle) are closer
+  // than before relative to cross-class pairs.
+  Graph g = SmallGraph();
+  Matrix r = RawAggregation(g, 2);
+  const float same = RowDistance(r, 0, r, 1);
+  const float cross = RowDistance(r, 0, r, 4);
+  EXPECT_LT(same, cross);
+}
+
+SelectorConfig TestConfig(std::int64_t budget) {
+  SelectorConfig cfg;
+  cfg.budget = budget;
+  cfg.num_clusters = 8;
+  cfg.sample_size = 64;
+  cfg.auto_sample_size = false;
+  return cfg;
+}
+
+TEST(SelectCoreset, BudgetRespectedAndDistinct) {
+  Graph g = GenerateSbm({.num_nodes = 300, .num_classes = 4,
+                         .feature_dim = 40, .avg_degree = 8},
+                        1);
+  Matrix r = RawAggregation(g, 2);
+  Rng rng(2);
+  SelectionResult res = SelectCoreset(r, TestConfig(30), rng);
+  EXPECT_EQ(res.nodes.size(), 30u);
+  std::set<std::int64_t> uniq(res.nodes.begin(), res.nodes.end());
+  EXPECT_EQ(uniq.size(), 30u);
+}
+
+TEST(SelectCoreset, WeightsSumToNodeCount) {
+  Graph g = GenerateSbm({.num_nodes = 250, .num_classes = 3,
+                         .feature_dim = 32, .avg_degree = 6},
+                        3);
+  Matrix r = RawAggregation(g, 2);
+  Rng rng(4);
+  SelectionResult res = SelectCoreset(r, TestConfig(25), rng);
+  double total = 0.0;
+  for (float w : res.weights) total += w;
+  EXPECT_NEAR(total, 250.0, 1e-3);
+  for (float w : res.weights) EXPECT_GE(w, 0.0f);
+}
+
+TEST(SelectCoreset, FullBudgetSelectsEveryone) {
+  Graph g = GenerateSbm({.num_nodes = 60, .num_classes = 3,
+                         .feature_dim = 16, .avg_degree = 5,
+                         .informative_dims_per_class = 4},
+                        5);
+  Matrix r = RawAggregation(g, 2);
+  Rng rng(6);
+  SelectionResult res = SelectCoreset(r, TestConfig(60), rng);
+  EXPECT_EQ(res.nodes.size(), 60u);
+}
+
+TEST(SelectCoreset, ObjectiveDecreasesWithBudget) {
+  Graph g = GenerateSbm({.num_nodes = 400, .num_classes = 4,
+                         .feature_dim = 32, .avg_degree = 8},
+                        7);
+  Matrix r = RawAggregation(g, 2);
+  Rng rng_a(8), rng_b(8);
+  const double small =
+      SelectCoreset(r, TestConfig(10), rng_a).representativity;
+  const double large =
+      SelectCoreset(r, TestConfig(120), rng_b).representativity;
+  EXPECT_LT(large, small);
+}
+
+TEST(SelectCoreset, BeatsRandomOnObjective) {
+  Graph g = GenerateSbm({.num_nodes = 400, .num_classes = 5,
+                         .feature_dim = 40, .avg_degree = 8},
+                        9);
+  Matrix r = RawAggregation(g, 2);
+  Rng rng(10);
+  KMeansOptions km_opts;
+  km_opts.num_clusters = 8;
+  Rng km_rng(11);
+  KMeansResult km = KMeans(r, km_opts, km_rng);
+
+  SelectorConfig cfg = TestConfig(40);
+  Rng sel_rng(12);
+  SelectionResult greedy = SelectCoreset(r, cfg, sel_rng);
+  const double greedy_obj = RepresentativityObjective(r, km, greedy.nodes);
+
+  double random_obj = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    auto random_nodes = rng.SampleWithoutReplacement(400, 40);
+    random_obj += RepresentativityObjective(r, km, random_nodes);
+  }
+  random_obj /= trials;
+  EXPECT_LT(greedy_obj, random_obj);
+}
+
+TEST(SelectCoreset, CoversAllClasses) {
+  // Cluster-based selection should hit every class even with class
+  // imbalance (the stated motivation for Eq. 13).
+  SbmSpec spec;
+  spec.num_nodes = 500;
+  spec.num_classes = 5;
+  spec.feature_dim = 50;
+  spec.avg_degree = 8;
+  spec.class_skew = 0.8;
+  Graph g = GenerateSbm(spec, 13);
+  Matrix r = RawAggregation(g, 2);
+  Rng rng(14);
+  SelectorConfig cfg = TestConfig(50);
+  cfg.num_clusters = 10;
+  SelectionResult res = SelectCoreset(r, cfg, rng);
+  std::set<std::int64_t> classes;
+  for (std::int64_t v : res.nodes) classes.insert(g.labels[v]);
+  EXPECT_EQ(classes.size(), 5u);
+}
+
+TEST(SelectCoreset, AutoSampleSizeStillWorks) {
+  Graph g = GenerateSbm({.num_nodes = 300, .num_classes = 3,
+                         .feature_dim = 24, .avg_degree = 6},
+                        15);
+  Matrix r = RawAggregation(g, 2);
+  Rng rng(16);
+  SelectorConfig cfg;
+  cfg.budget = 120;
+  cfg.num_clusters = 8;
+  cfg.auto_sample_size = true;
+  SelectionResult res = SelectCoreset(r, cfg, rng);
+  EXPECT_EQ(res.nodes.size(), 120u);
+  EXPECT_GT(res.seconds, 0.0);
+}
+
+TEST(SelectCoreset, DeterministicGivenSeed) {
+  Graph g = GenerateSbm({.num_nodes = 200, .num_classes = 3,
+                         .feature_dim = 24, .avg_degree = 6},
+                        17);
+  Matrix r = RawAggregation(g, 2);
+  Rng a(18), b(18);
+  EXPECT_EQ(SelectCoreset(r, TestConfig(20), a).nodes,
+            SelectCoreset(r, TestConfig(20), b).nodes);
+}
+
+// --- Theorem 1 empirical check. -------------------------------------------
+// For the linearized GCN (H = A_n^L X theta) and the Eq. 5 loss without
+// negatives, the gradient difference between nodes is bounded by
+// c * ||R[v] - R[u]|| + 4*eps*c', with R = A_n^L X. We verify the
+// qualitative claim: gradient distance correlates with R distance and
+// the bound holds with the paper's constants.
+TEST(Theorem1, GradientDifferenceBoundedByRawAggregationDistance) {
+  Graph g = GenerateSbm({.num_nodes = 80, .num_classes = 3,
+                         .feature_dim = 12, .avg_degree = 5,
+                         .informative_dims_per_class = 3},
+                        19);
+  const int L = 2;
+  Matrix r_full = RawAggregation(g, L);
+
+  Rng rng(20);
+  const std::int64_t d_out = 6;
+  Matrix theta = Matrix::RandomNormal(12, d_out, 0.0f, 0.5f, rng);
+  float theta_norm = FrobeniusNorm(theta);
+
+  // Perturbed views: tiny feature noise so that ||r_hat - r|| <= eps.
+  Matrix x_hat = g.features;
+  Matrix x_tilde = g.features;
+  for (std::int64_t i = 0; i < x_hat.size(); ++i) {
+    x_hat.data()[i] += 0.01f * rng.Normal();
+    x_tilde.data()[i] += 0.01f * rng.Normal();
+  }
+  CsrMatrix an = NormalizedAdjacency(g);
+  Matrix r_hat = RawAggregation(an, x_hat, L);
+  Matrix r_tilde = RawAggregation(an, x_tilde, L);
+
+  float eps = 0.0f;
+  for (std::int64_t v = 0; v < g.num_nodes; ++v) {
+    eps = std::max(eps, RowDistance(r_hat, v, r_full, v));
+    eps = std::max(eps, RowDistance(r_tilde, v, r_full, v));
+  }
+
+  // grad_v = (r_hat_v - r_tilde_v)^T (r_hat_v - r_tilde_v) theta
+  // (Theorem 1's derivative of ||h_hat - h_tilde||^2 wrt theta).
+  auto grad_of = [&](std::int64_t v) {
+    Matrix diff(1, r_full.cols());
+    for (std::int64_t c = 0; c < r_full.cols(); ++c) {
+      diff(0, c) = r_hat(v, c) - r_tilde(v, c);
+    }
+    return MatMul(MatMulTransposedA(diff, diff), theta);
+  };
+
+  for (std::int64_t v = 0; v < 20; ++v) {
+    for (std::int64_t u = 20; u < 40; ++u) {
+      const float grad_diff = FrobeniusNorm(Sub(grad_of(v), grad_of(u)));
+      const float bound =
+          8.0f * eps * theta_norm * (RowDistance(r_full, v, r_full, u) +
+                                     4.0f * eps);
+      EXPECT_LE(grad_diff, bound * 1.05f)  // small float slack
+          << "pair (" << v << ", " << u << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace e2gcl

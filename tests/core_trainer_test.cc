@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "core/contrastive.h"
+#include "core/trainer.h"
+#include "graph/generators.h"
+#include "graph/splits.h"
+#include "eval/linear_probe.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+using testing_util::AllFinite;
+
+Graph TrainerGraph(std::uint64_t seed = 1) {
+  SbmSpec spec;
+  spec.num_nodes = 300;
+  spec.num_classes = 3;
+  spec.feature_dim = 36;
+  spec.avg_degree = 8;
+  spec.informative_dims_per_class = 8;
+  return GenerateSbm(spec, seed);
+}
+
+E2gclConfig FastConfig() {
+  E2gclConfig cfg;
+  cfg.epochs = 8;
+  cfg.hidden_dim = 24;
+  cfg.embed_dim = 16;
+  cfg.batch_size = 128;
+  cfg.selector.num_clusters = 8;
+  cfg.selector.sample_size = 32;
+  cfg.selector.auto_sample_size = false;
+  return cfg;
+}
+
+TEST(SampleNegativePermutation, NoFixedPoints) {
+  Rng rng(1);
+  for (std::int64_t n : {2, 3, 5, 17, 100}) {
+    auto perm = SampleNegativePermutation(n, rng);
+    ASSERT_EQ(static_cast<std::int64_t>(perm.size()), n);
+    std::vector<char> seen(n, 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_NE(perm[i], i);
+      seen[perm[i]] = 1;
+    }
+    for (char s : seen) EXPECT_TRUE(s);  // still a permutation
+  }
+}
+
+TEST(ComputeContrastiveLoss, BothKindsFinite) {
+  Rng rng(2);
+  Var z1 = Var::Param(Matrix::RandomNormal(10, 8, 0, 1, rng));
+  Var z2 = Var::Param(Matrix::RandomNormal(10, 8, 0, 1, rng));
+  Rng loss_rng(3);
+  Var nce = ComputeContrastiveLoss(ContrastiveLossKind::kInfoNce, z1, z2,
+                                   0.5f, loss_rng);
+  Var euc = ComputeContrastiveLoss(ContrastiveLossKind::kEuclidean, z1, z2,
+                                   0.5f, loss_rng);
+  EXPECT_TRUE(std::isfinite(nce.value()(0, 0)));
+  EXPECT_TRUE(std::isfinite(euc.value()(0, 0)));
+}
+
+TEST(E2gclTrainer, RunsAndReportsStats) {
+  Graph g = TrainerGraph();
+  E2gclTrainer trainer(g, FastConfig());
+  trainer.Train();
+  const E2gclStats& s = trainer.stats();
+  EXPECT_EQ(s.epochs_run, 8);
+  EXPECT_GT(s.total_seconds, 0.0);
+  EXPECT_GT(s.selection_seconds, 0.0);
+  EXPECT_GE(s.total_seconds, s.selection_seconds);
+  EXPECT_GT(s.view_seconds, 0.0);
+}
+
+TEST(E2gclTrainer, SelectionRespectsNodeRatio) {
+  Graph g = TrainerGraph();
+  E2gclConfig cfg = FastConfig();
+  cfg.node_ratio = 0.2;
+  E2gclTrainer trainer(g, cfg);
+  trainer.Train();
+  EXPECT_EQ(trainer.selection().nodes.size(), 60u);
+}
+
+TEST(E2gclTrainer, NoSelectorSkipsSelection) {
+  Graph g = TrainerGraph();
+  E2gclConfig cfg = FastConfig();
+  cfg.use_selector = false;
+  E2gclTrainer trainer(g, cfg);
+  trainer.Train();
+  EXPECT_TRUE(trainer.selection().nodes.empty());
+  EXPECT_EQ(trainer.stats().selection_seconds, 0.0);
+}
+
+TEST(E2gclTrainer, EmbeddingFiniteAndShaped) {
+  Graph g = TrainerGraph();
+  E2gclTrainer trainer(g, FastConfig());
+  trainer.Train();
+  Matrix emb = trainer.encoder().Encode(g);
+  EXPECT_EQ(emb.rows(), g.num_nodes);
+  EXPECT_EQ(emb.cols(), 16);
+  EXPECT_TRUE(AllFinite(emb));
+}
+
+TEST(E2gclTrainer, CallbackInvokedPerEpoch) {
+  Graph g = TrainerGraph();
+  int calls = 0;
+  double last_seconds = -1.0;
+  E2gclTrainer trainer(g, FastConfig());
+  trainer.Train([&](int epoch, double seconds, const GcnEncoder&) {
+    EXPECT_EQ(epoch, calls);
+    EXPECT_GT(seconds, last_seconds);
+    last_seconds = seconds;
+    ++calls;
+  });
+  EXPECT_EQ(calls, 8);
+}
+
+TEST(E2gclTrainer, PretrainingImprovesLinearProbe) {
+  Graph g = TrainerGraph(42);
+  E2gclConfig cfg = FastConfig();
+  cfg.epochs = 30;
+  E2gclTrainer trainer(g, cfg);
+
+  Rng split_rng(5);
+  NodeSplit split = RandomNodeSplit(g.num_nodes, 0.1, 0.1, split_rng);
+  Matrix before = trainer.encoder().Encode(g);
+  const double acc_before =
+      LinearProbeAccuracy(before, g.labels, g.num_classes, split);
+  trainer.Train();
+  Matrix after = trainer.encoder().Encode(g);
+  const double acc_after =
+      LinearProbeAccuracy(after, g.labels, g.num_classes, split);
+  // Pre-training must help vs a random-weight encoder.
+  EXPECT_GT(acc_after, acc_before - 0.02);
+  EXPECT_GT(acc_after, 1.0 / 3.0 + 0.15);  // clearly above chance
+}
+
+TEST(E2gclTrainer, EuclideanLossVariantRuns) {
+  Graph g = TrainerGraph();
+  E2gclConfig cfg = FastConfig();
+  cfg.loss = ContrastiveLossKind::kEuclidean;
+  cfg.projection_head = false;
+  E2gclTrainer trainer(g, cfg);
+  trainer.Train();
+  EXPECT_TRUE(AllFinite(trainer.encoder().Encode(g)));
+}
+
+TEST(E2gclTrainer, DeterministicGivenSeed) {
+  Graph g = TrainerGraph();
+  E2gclConfig cfg = FastConfig();
+  cfg.epochs = 3;
+  E2gclTrainer a(g, cfg), b(g, cfg);
+  a.Train();
+  b.Train();
+  EXPECT_LT(MaxAbsDiff(a.encoder().Encode(g), b.encoder().Encode(g)), 1e-6f);
+}
+
+TEST(E2gclTrainer, AblationVariantsRun) {
+  Graph g = TrainerGraph();
+  for (const bool selector : {true, false}) {
+    for (const bool importance : {true, false}) {
+      E2gclConfig cfg = FastConfig();
+      cfg.epochs = 3;
+      cfg.use_selector = selector;
+      cfg.view_hat.importance_edges = importance;
+      cfg.view_hat.importance_features = importance;
+      cfg.view_tilde.importance_edges = importance;
+      cfg.view_tilde.importance_features = importance;
+      E2gclTrainer trainer(g, cfg);
+      trainer.Train();
+      EXPECT_TRUE(AllFinite(trainer.encoder().Encode(g)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace e2gcl

@@ -1,0 +1,184 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/linear_probe.h"
+#include "eval/metrics.h"
+#include "eval/protocol.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+TEST(Accuracy, ExactMatch) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 3}, {1, 2, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  Matrix s = Matrix::FromRows({{0.1f, 0.9f}, {5.0f, -1.0f}});
+  EXPECT_EQ(ArgmaxRows(s), (std::vector<std::int64_t>{1, 0}));
+}
+
+TEST(RocAuc, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9f, 0.8f}, {0.1f, 0.2f}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1f, 0.2f}, {0.9f, 0.8f}), 0.0);
+}
+
+TEST(RocAuc, RandomScoresNearHalf) {
+  Rng rng(1);
+  std::vector<float> pos, neg;
+  for (int i = 0; i < 2000; ++i) {
+    pos.push_back(rng.Uniform());
+    neg.push_back(rng.Uniform());
+  }
+  EXPECT_NEAR(RocAuc(pos, neg), 0.5, 0.03);
+}
+
+TEST(RocAuc, TiesCountHalf) {
+  // All scores identical -> AUC = 0.5 exactly.
+  EXPECT_DOUBLE_EQ(RocAuc({0.5f, 0.5f}, {0.5f, 0.5f}), 0.5);
+}
+
+TEST(ComputeMeanStd, KnownValues) {
+  MeanStd ms = ComputeMeanStd({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 2.5);
+  EXPECT_NEAR(ms.std, std::sqrt(5.0 / 3.0), 1e-9);
+  MeanStd single = ComputeMeanStd({7.0});
+  EXPECT_DOUBLE_EQ(single.mean, 7.0);
+  EXPECT_DOUBLE_EQ(single.std, 0.0);
+}
+
+TEST(LinearProbe, SeparableEmbeddingsReachHighAccuracy) {
+  // Embeddings = one-hot class codes + noise: probe must ace it.
+  Rng rng(2);
+  const std::int64_t n = 300;
+  Matrix emb(n, 8);
+  std::vector<std::int64_t> labels(n);
+  for (std::int64_t v = 0; v < n; ++v) {
+    labels[v] = v % 3;
+    emb(v, labels[v]) = 1.0f;
+    for (std::int64_t c = 0; c < 8; ++c) emb(v, c) += 0.05f * rng.Normal();
+  }
+  NodeSplit split = RandomNodeSplit(n, 0.1, 0.1, rng);
+  const double acc = LinearProbeAccuracy(emb, labels, 3, split);
+  EXPECT_GT(acc, 0.95);
+}
+
+TEST(LinearProbe, RandomEmbeddingsNearChance) {
+  Rng rng(3);
+  const std::int64_t n = 300;
+  Matrix emb = Matrix::RandomNormal(n, 8, 0, 1, rng);
+  std::vector<std::int64_t> labels(n);
+  for (std::int64_t v = 0; v < n; ++v) labels[v] = rng.UniformInt(3);
+  NodeSplit split = RandomNodeSplit(n, 0.1, 0.1, rng);
+  const double acc = LinearProbeAccuracy(emb, labels, 3, split);
+  EXPECT_LT(acc, 0.55);
+}
+
+TEST(LinkProbe, SeparablePairsReachHighAuc) {
+  // Positive pairs share a latent direction; negatives are random.
+  Rng rng(4);
+  const std::int64_t n = 200;
+  Matrix emb(n, 8);
+  for (std::int64_t v = 0; v < n; ++v) {
+    const std::int64_t group = v % 4;
+    emb(v, group) = 1.0f;
+    for (std::int64_t c = 0; c < 8; ++c) emb(v, c) += 0.05f * rng.Normal();
+  }
+  auto make_pairs = [&](bool positive, int count) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> out;
+    while (static_cast<int>(out.size()) < count) {
+      std::int64_t u = rng.UniformInt(n), v = rng.UniformInt(n);
+      if (u == v) continue;
+      const bool same = (u % 4) == (v % 4);
+      if (same == positive) out.emplace_back(u, v);
+    }
+    return out;
+  };
+  const auto train_pos = make_pairs(true, 200);
+  const auto train_neg = make_pairs(false, 200);
+  const auto val_pos = make_pairs(true, 50);
+  const auto val_neg = make_pairs(false, 50);
+  const auto test_pos = make_pairs(true, 100);
+  const auto test_neg = make_pairs(false, 100);
+  const double auc = LinkProbeAuc(emb, train_pos, train_neg, val_pos,
+                                  val_neg, test_pos, test_neg);
+  EXPECT_GT(auc, 0.9);
+}
+
+TEST(Protocol, ModelNamesRoundTrip) {
+  for (ModelKind kind : Table4Models()) {
+    std::string name = ModelKindName(kind);
+    for (char& c : name) c = std::tolower(c);
+    // Table IV prints DW/N2V abbreviations, accepted by the parser.
+    EXPECT_EQ(ModelKindFromName(name == "dw" ? "deepwalk"
+                                : name == "n2v" ? "node2vec"
+                                                : name),
+              kind);
+  }
+  EXPECT_DEATH(ModelKindFromName("nope"), "unknown model");
+}
+
+TEST(Protocol, Table4HasThirteenModels) {
+  EXPECT_EQ(Table4Models().size(), 13u);
+}
+
+TEST(Protocol, EndToEndRunOnTinyGraph) {
+  SbmSpec spec;
+  spec.num_nodes = 150;
+  spec.num_classes = 3;
+  spec.feature_dim = 24;
+  spec.avg_degree = 6;
+  Graph g = GenerateSbm(spec, 5);
+  RunConfig cfg;
+  cfg.epochs = 5;
+  cfg.e2gcl.hidden_dim = 16;
+  cfg.e2gcl.embed_dim = 16;
+  cfg.e2gcl.batch_size = 64;
+  cfg.e2gcl.selector.num_clusters = 6;
+  cfg.e2gcl.selector.sample_size = 24;
+  cfg.probe.epochs = 40;
+  RunResult res = RunNodeClassification(ModelKind::kE2gcl, g, cfg);
+  EXPECT_GT(res.accuracy, 0.0);
+  EXPECT_LE(res.accuracy, 1.0);
+  EXPECT_GT(res.total_seconds, 0.0);
+  EXPECT_GT(res.selection_seconds, 0.0);
+}
+
+TEST(Protocol, SupervisedRunHasNoSelectionTime) {
+  SbmSpec spec;
+  spec.num_nodes = 120;
+  spec.num_classes = 3;
+  spec.feature_dim = 16;
+  spec.informative_dims_per_class = 4;
+  spec.avg_degree = 6;
+  Graph g = GenerateSbm(spec, 6);
+  RunConfig cfg;
+  cfg.supervised.epochs = 10;
+  RunResult res = RunNodeClassification(ModelKind::kGcn, g, cfg);
+  EXPECT_EQ(res.selection_seconds, 0.0);
+  EXPECT_GT(res.accuracy, 0.0);
+}
+
+TEST(Protocol, RunRepeatedAggregates) {
+  SbmSpec spec;
+  spec.num_nodes = 120;
+  spec.num_classes = 3;
+  spec.feature_dim = 16;
+  spec.informative_dims_per_class = 4;
+  spec.avg_degree = 6;
+  Graph g = GenerateSbm(spec, 7);
+  RunConfig cfg;
+  cfg.epochs = 3;
+  cfg.probe.epochs = 30;
+  AggregateResult agg = RunRepeated(ModelKind::kGrace, g, cfg, 2);
+  EXPECT_GT(agg.accuracy.mean, 0.0);
+  EXPECT_LE(agg.accuracy.mean, 100.0);
+  EXPECT_GE(agg.accuracy.std, 0.0);
+}
+
+}  // namespace
+}  // namespace e2gcl

@@ -1,0 +1,147 @@
+// Failure-injection tests: precondition violations must abort loudly
+// (E2GCL_CHECK), never corrupt memory or return garbage silently.
+
+#include <gtest/gtest.h>
+
+#include "autograd/loss.h"
+#include "autograd/ops.h"
+#include "core/node_selector.h"
+#include "core/raw_aggregation.h"
+#include "eval/linear_probe.h"
+#include "graph/generators.h"
+#include "nn/gcn.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+using testing_util::SmallGraph;
+
+TEST(MatrixDeath, MatMulShapeMismatchAborts) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_DEATH(MatMul(a, b), "matmul inner-dim mismatch");
+}
+
+TEST(MatrixDeath, ElementwiseShapeMismatchAborts) {
+  Matrix a(2, 3), b(3, 2);
+  EXPECT_DEATH(Add(a, b), "shape mismatch");
+  EXPECT_DEATH(Hadamard(a, b), "shape mismatch");
+}
+
+TEST(MatrixDeath, GatherRowsOutOfRangeAborts) {
+  Matrix a(3, 2);
+  EXPECT_DEATH(GatherRows(a, {0, 5}), "");
+}
+
+TEST(CsrDeath, OutOfBoundsTripletAborts) {
+  EXPECT_DEATH(CsrMatrix::FromCoo(2, 2, {{0, 5, 1.0f}}), "out of bounds");
+}
+
+TEST(CsrDeath, SpmmShapeMismatchAborts) {
+  CsrMatrix a = CsrMatrix::FromCoo(2, 3, {{0, 0, 1.0f}});
+  Matrix b(5, 2);
+  EXPECT_DEATH(Spmm(a, b), "spmm inner-dim mismatch");
+}
+
+TEST(AutogradDeath, BackwardFromNonScalarAborts) {
+  Var p = Var::Param(Matrix(2, 2, 1.0f));
+  EXPECT_DEATH(p.Backward(), "must start from a scalar");
+}
+
+TEST(AutogradDeath, LogOfNonPositiveAborts) {
+  Var p = Var::Param(Matrix(1, 1, -1.0f));
+  EXPECT_DEATH(ag::Log(p), "Log of non-positive");
+}
+
+TEST(AutogradDeath, CrossEntropyLabelOutOfRangeAborts) {
+  Var logits = Var::Param(Matrix(2, 3, 0.0f));
+  EXPECT_DEATH(ag::SoftmaxCrossEntropy(logits, {0, 7}), "");
+}
+
+TEST(AutogradDeath, InfoNceShapeMismatchAborts) {
+  Var a = Var::Param(Matrix(4, 3, 0.5f));
+  Var b = Var::Param(Matrix(3, 3, 0.5f));
+  EXPECT_DEATH(ag::InfoNce(a, b, 0.5f), "");
+}
+
+TEST(GraphDeath, EdgeOutOfRangeAborts) {
+  EXPECT_DEATH(BuildGraph(2, {{0, 5}}), "out of range");
+}
+
+TEST(GraphDeath, FeatureRowMismatchAborts) {
+  EXPECT_DEATH(BuildGraph(3, {{0, 1}}, Matrix(2, 4)), "");
+}
+
+TEST(GraphDeath, UnsortedSubgraphNodesAbort) {
+  Graph g = SmallGraph();
+  EXPECT_DEATH(InducedSubgraph(g, {3, 1}), "sorted unique");
+}
+
+TEST(SelectorDeath, ZeroBudgetAborts) {
+  Graph g = SmallGraph();
+  Matrix r = RawAggregation(g, 1);
+  SelectorConfig cfg;
+  cfg.budget = 0;
+  Rng rng(1);
+  EXPECT_DEATH(SelectCoreset(r, cfg, rng), "");
+}
+
+TEST(SelectorDeath, BudgetAboveNodesAborts) {
+  Graph g = SmallGraph();
+  Matrix r = RawAggregation(g, 1);
+  SelectorConfig cfg;
+  cfg.budget = 100;
+  Rng rng(1);
+  EXPECT_DEATH(SelectCoreset(r, cfg, rng), "");
+}
+
+TEST(GeneratorDeath, FeatureDimSmallerThanSignalAborts) {
+  SbmSpec spec;
+  spec.num_classes = 8;
+  spec.feature_dim = 8;
+  spec.informative_dims_per_class = 8;
+  EXPECT_DEATH(GenerateSbm(spec, 1), "");
+}
+
+TEST(ProbeDeath, EmptyTrainSplitAborts) {
+  Matrix emb(10, 4);
+  std::vector<std::int64_t> labels(10, 0);
+  NodeSplit split;  // everything empty
+  split.test = {0, 1};
+  EXPECT_DEATH(LinearProbeAccuracy(emb, labels, 2, split), "");
+}
+
+TEST(GcnDeath, SingleDimConfigAborts) {
+  Rng rng(1);
+  GcnConfig cfg;
+  cfg.dims = {16};
+  EXPECT_DEATH(GcnEncoder(cfg, rng), "");
+}
+
+// Degenerate-but-valid inputs must NOT abort.
+TEST(DegenerateInputs, EdgelessGraphWorksEndToEnd) {
+  Graph g = BuildGraph(5, {}, Matrix(5, 4, 0.5f), {0, 1, 0, 1, 0}, 2);
+  EXPECT_EQ(g.num_edges(), 0);
+  Matrix r = RawAggregation(g, 2);  // self-loops only
+  EXPECT_EQ(r.rows(), 5);
+  Rng rng(2);
+  GcnConfig cfg;
+  cfg.dims = {4, 3};
+  GcnEncoder enc(cfg, rng);
+  Matrix h = enc.Encode(g);
+  EXPECT_EQ(h.rows(), 5);
+}
+
+TEST(DegenerateInputs, SingleClassGraphWorks) {
+  SbmSpec spec;
+  spec.num_nodes = 40;
+  spec.num_classes = 1;
+  spec.feature_dim = 8;
+  spec.informative_dims_per_class = 4;
+  Graph g = GenerateSbm(spec, 3);
+  EXPECT_EQ(g.num_classes, 1);
+  for (std::int64_t y : g.labels) EXPECT_EQ(y, 0);
+}
+
+}  // namespace
+}  // namespace e2gcl

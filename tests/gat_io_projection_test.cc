@@ -1,0 +1,177 @@
+#include <cstdio>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "autograd/loss.h"
+#include "eval/io.h"
+#include "eval/projection.h"
+#include "nn/gat.h"
+#include "nn/optim.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+using testing_util::AllFinite;
+using testing_util::CheckGradients;
+using testing_util::SmallGraph;
+
+// --- GAT. --------------------------------------------------------------------
+
+TEST(GatAdjacency, SelfLoopsIncluded) {
+  Graph g = SmallGraph();
+  GatAdjacency adj = GatAdjacency::FromGraph(g);
+  for (std::int64_t v = 0; v < g.num_nodes; ++v) {
+    const std::int64_t lo = adj.row_ptr[v];
+    EXPECT_EQ(adj.col[lo], v);  // self first
+    EXPECT_EQ(adj.row_ptr[v + 1] - lo, g.Degree(v) + 1);
+  }
+}
+
+TEST(GatPropagate, AttentionRowsAreConvexCombinations) {
+  // With uniform attention vectors set to zero, alpha is uniform and the
+  // output equals the neighborhood mean (incl. self).
+  Graph g = SmallGraph();
+  auto adj = std::make_shared<const GatAdjacency>(GatAdjacency::FromGraph(g));
+  Var h = Var::Param(g.features);
+  Var a_src = Var::Param(Matrix(4, 1));
+  Var a_dst = Var::Param(Matrix(4, 1));
+  Var out = ag::GatPropagate(adj, h, a_src, a_dst);
+  for (std::int64_t v = 0; v < g.num_nodes; ++v) {
+    const auto nb = g.Neighbors(v);
+    for (std::int64_t c = 0; c < 4; ++c) {
+      float mean = g.features(v, c);
+      for (std::int32_t u : nb) mean += g.features(u, c);
+      mean /= static_cast<float>(nb.size() + 1);
+      EXPECT_NEAR(out.value()(v, c), mean, 1e-5f);
+    }
+  }
+}
+
+TEST(GatPropagate, GradCheck) {
+  Graph g = SmallGraph();
+  auto adj = std::make_shared<const GatAdjacency>(GatAdjacency::FromGraph(g));
+  Rng rng(1);
+  Matrix h = Matrix::RandomNormal(6, 4, 0.0f, 0.7f, rng);
+  Matrix a_src = Matrix::RandomNormal(4, 1, 0.0f, 0.5f, rng);
+  Matrix a_dst = Matrix::RandomNormal(4, 1, 0.0f, 0.5f, rng);
+  CheckGradients(
+      {h, a_src, a_dst},
+      [adj](const std::vector<Var>& p) {
+        Var out = ag::GatPropagate(adj, p[0], p[1], p[2]);
+        Rng wrng(2);
+        Var w = Var::Constant(Matrix::RandomNormal(6, 4, 0, 1, wrng));
+        return ag::SumAll(ag::Hadamard(out, w));
+      },
+      /*h=*/5e-3f, /*tol=*/4e-2f);
+}
+
+TEST(GatEncoder, EncodesAndTrains) {
+  Graph g = SmallGraph();
+  Rng rng(3);
+  GatConfig cfg;
+  cfg.dims = {4, 8, 2};
+  GatEncoder enc(cfg, rng);
+  Matrix emb = enc.Encode(g);
+  EXPECT_EQ(emb.rows(), 6);
+  EXPECT_EQ(emb.cols(), 2);
+  EXPECT_TRUE(AllFinite(emb));
+
+  auto adj = std::make_shared<const GatAdjacency>(GatAdjacency::FromGraph(g));
+  Adam::Options opts;
+  opts.lr = 0.05f;
+  Adam adam(enc.params().params(), opts);
+  float first = 0.0f, last = 0.0f;
+  for (int i = 0; i < 60; ++i) {
+    Var logits = enc.Forward(adj, Var::Constant(g.features), rng, true);
+    Var loss = ag::SoftmaxCrossEntropy(logits, g.labels);
+    if (i == 0) first = loss.value()(0, 0);
+    last = loss.value()(0, 0);
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_LT(last, first * 0.6f);
+}
+
+// --- IO. -----------------------------------------------------------------------
+
+TEST(MatrixCsv, RoundTrip) {
+  Rng rng(4);
+  Matrix m = Matrix::RandomNormal(7, 5, 0, 2, rng);
+  const std::string path = ::testing::TempDir() + "/e2gcl_matrix.csv";
+  ASSERT_TRUE(SaveMatrixCsv(m, path));
+  Matrix loaded;
+  ASSERT_TRUE(LoadMatrixCsv(path, &loaded));
+  EXPECT_EQ(loaded.rows(), 7);
+  EXPECT_EQ(loaded.cols(), 5);
+  EXPECT_LT(MaxAbsDiff(m, loaded), 1e-4f);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixCsv, MissingFileFails) {
+  Matrix out;
+  EXPECT_FALSE(LoadMatrixCsv("/nonexistent/nope.csv", &out));
+}
+
+TEST(GraphEdgeList, RoundTripWithLabels) {
+  Graph g = SmallGraph();
+  const std::string path = ::testing::TempDir() + "/e2gcl_graph.txt";
+  ASSERT_TRUE(SaveGraphEdgeList(g, path));
+  Graph loaded;
+  ASSERT_TRUE(LoadGraphEdgeList(path, &loaded));
+  EXPECT_EQ(loaded.num_nodes, g.num_nodes);
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_EQ(loaded.labels, g.labels);
+  EXPECT_EQ(loaded.num_classes, g.num_classes);
+  for (const auto& [u, v] : UndirectedEdges(g)) {
+    EXPECT_TRUE(loaded.HasEdge(u, v));
+  }
+  std::remove(path.c_str());
+}
+
+// --- Projection. -----------------------------------------------------------------
+
+TEST(PcaProject, SeparatesWellSeparatedClusters) {
+  // Two tight clusters along one axis: the first principal component
+  // must separate them linearly.
+  Rng rng(5);
+  Matrix pts(60, 6);
+  for (std::int64_t i = 0; i < 60; ++i) {
+    const float center = i < 30 ? -5.0f : 5.0f;
+    pts(i, 0) = center + rng.Normal(0, 0.3f);
+    for (std::int64_t c = 1; c < 6; ++c) pts(i, c) = rng.Normal(0, 0.3f);
+  }
+  Matrix proj = PcaProject(pts, 2, rng);
+  // Signs within each cluster must agree on component 0.
+  int agree = 0;
+  for (std::int64_t i = 0; i < 30; ++i) {
+    for (std::int64_t j = 30; j < 60; ++j) {
+      if ((proj(i, 0) < 0) != (proj(j, 0) < 0)) ++agree;
+    }
+  }
+  EXPECT_EQ(agree, 900);
+}
+
+TEST(PcaProject, OutputShape) {
+  Rng rng(6);
+  Matrix pts = Matrix::RandomNormal(20, 10, 0, 1, rng);
+  Matrix proj = PcaProject(pts, 3, rng);
+  EXPECT_EQ(proj.rows(), 20);
+  EXPECT_EQ(proj.cols(), 3);
+  EXPECT_TRUE(AllFinite(proj));
+}
+
+TEST(AsciiScatter, MarksLandInCanvas) {
+  Matrix pts = Matrix::FromRows({{0, 0}, {1, 1}, {0.5f, 0.5f}});
+  std::string art = AsciiScatter(pts, {'a', 'b', 'c'}, 11, 5);
+  EXPECT_NE(art.find('a'), std::string::npos);
+  EXPECT_NE(art.find('b'), std::string::npos);
+  EXPECT_NE(art.find('c'), std::string::npos);
+  // 5 lines of 11 chars + newlines.
+  EXPECT_EQ(art.size(), 5u * 12u);
+}
+
+}  // namespace
+}  // namespace e2gcl

@@ -1,0 +1,141 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+SbmSpec TestSpec() {
+  SbmSpec s;
+  s.num_nodes = 600;
+  s.num_classes = 4;
+  s.feature_dim = 48;
+  s.avg_degree = 8.0;
+  s.homophily = 0.85;
+  s.informative_dims_per_class = 6;
+  return s;
+}
+
+TEST(GenerateSbm, DeterministicInSeed) {
+  Graph a = GenerateSbm(TestSpec(), 7);
+  Graph b = GenerateSbm(TestSpec(), 7);
+  EXPECT_EQ(a.col, b.col);
+  EXPECT_TRUE(a.features == b.features);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(GenerateSbm, DifferentSeedsDiffer) {
+  Graph a = GenerateSbm(TestSpec(), 1);
+  Graph b = GenerateSbm(TestSpec(), 2);
+  EXPECT_NE(a.col, b.col);
+}
+
+TEST(GenerateSbm, MatchesRequestedSize) {
+  Graph g = GenerateSbm(TestSpec(), 3);
+  EXPECT_EQ(g.num_nodes, 600);
+  EXPECT_EQ(g.feature_dim(), 48);
+  EXPECT_EQ(g.num_classes, 4);
+  EXPECT_NEAR(g.AverageDegree(), 8.0, 2.0);
+}
+
+TEST(GenerateSbm, AllClassesNonEmpty) {
+  Graph g = GenerateSbm(TestSpec(), 4);
+  std::vector<int> count(4, 0);
+  for (std::int64_t v = 0; v < g.num_nodes; ++v) ++count[g.labels[v]];
+  for (int c : count) EXPECT_GT(c, 0);
+}
+
+TEST(GenerateSbm, HomophilyRealized) {
+  Graph g = GenerateSbm(TestSpec(), 5);
+  std::int64_t intra = 0, total = 0;
+  for (const auto& [u, v] : UndirectedEdges(g)) {
+    ++total;
+    if (g.labels[u] == g.labels[v]) ++intra;
+  }
+  const double ratio = static_cast<double>(intra) / total;
+  EXPECT_GT(ratio, 0.7);  // homophily = 0.85 requested
+}
+
+TEST(GenerateSbm, SignalDimensionsClassCorrelated) {
+  Graph g = GenerateSbm(TestSpec(), 6);
+  const std::int64_t block = 6;
+  // Mean activation of a node's own class block must dominate other
+  // classes' blocks.
+  double own = 0.0, other = 0.0;
+  std::int64_t n_own = 0, n_other = 0;
+  for (std::int64_t v = 0; v < g.num_nodes; ++v) {
+    const std::int64_t c = g.labels[v];
+    for (std::int64_t d = 0; d < 4 * block; ++d) {
+      const bool own_block = d >= c * block && d < (c + 1) * block;
+      if (own_block) {
+        own += g.features(v, d);
+        ++n_own;
+      } else {
+        other += g.features(v, d);
+        ++n_other;
+      }
+    }
+  }
+  EXPECT_GT(own / n_own, 3.0 * (other / n_other));
+}
+
+TEST(GenerateSbm, FeaturesNonNegative) {
+  Graph g = GenerateSbm(TestSpec(), 8);
+  for (std::int64_t i = 0; i < g.features.size(); ++i) {
+    EXPECT_GE(g.features.data()[i], 0.0f);
+  }
+}
+
+TEST(GenerateSbm, DegreeHeavyTail) {
+  SbmSpec s = TestSpec();
+  s.num_nodes = 2000;
+  Graph g = GenerateSbm(s, 9);
+  std::int64_t max_deg = 0;
+  for (std::int64_t v = 0; v < g.num_nodes; ++v) {
+    max_deg = std::max<std::int64_t>(max_deg, g.Degree(v));
+  }
+  // Degree-corrected model: hubs well above the mean.
+  EXPECT_GT(max_deg, static_cast<std::int64_t>(3 * g.AverageDegree()));
+}
+
+TEST(GenerateErdosRenyi, EdgeCountNearExpectation) {
+  Graph g = GenerateErdosRenyi(200, 0.05, 8, 10);
+  const double expected = 0.05 * 200 * 199 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.3);
+  EXPECT_EQ(g.feature_dim(), 8);
+}
+
+TEST(Datasets, AllSpecsLoadable) {
+  for (const auto& name : NodeClassificationDatasets()) {
+    DatasetSpec spec = GetDatasetSpec(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_GT(spec.sbm.num_nodes, 0);
+  }
+}
+
+TEST(Datasets, SmallDatasetStatsMatchPaper) {
+  // Node counts follow Tab. III exactly for the five small datasets.
+  EXPECT_EQ(GetDatasetSpec("cora").sbm.num_nodes, 2708);
+  EXPECT_EQ(GetDatasetSpec("citeseer").sbm.num_nodes, 3327);
+  EXPECT_EQ(GetDatasetSpec("photo").sbm.num_nodes, 7650);
+  EXPECT_EQ(GetDatasetSpec("computers").sbm.num_nodes, 13752);
+  EXPECT_EQ(GetDatasetSpec("cs").sbm.num_nodes, 18333);
+  EXPECT_EQ(GetDatasetSpec("cora").sbm.num_classes, 7);
+  EXPECT_EQ(GetDatasetSpec("cs").sbm.num_classes, 15);
+}
+
+TEST(Datasets, ScaledLoadShrinksNodes) {
+  Graph g = LoadDatasetScaled("cora", 0.25, 11);
+  EXPECT_NEAR(static_cast<double>(g.num_nodes), 2708 * 0.25, 2.0);
+  EXPECT_EQ(g.num_classes, 7);
+}
+
+TEST(Datasets, UnknownNameAborts) {
+  EXPECT_DEATH(GetDatasetSpec("nope"), "unknown dataset");
+}
+
+}  // namespace
+}  // namespace e2gcl

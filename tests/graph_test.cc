@@ -1,0 +1,162 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+using testing_util::SmallGraph;
+
+TEST(BuildGraph, SymmetrizesAndDedupes) {
+  Graph g = BuildGraph(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(BuildGraph, DropsSelfLoops) {
+  Graph g = BuildGraph(2, {{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(BuildGraph, DegreesMatch) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(2), 3);  // triangle + bridge
+  EXPECT_EQ(g.Degree(3), 3);
+  EXPECT_EQ(g.num_nodes, 6);
+  EXPECT_EQ(g.num_edges(), 7);
+}
+
+TEST(BuildGraph, NeighborsSorted) {
+  Graph g = SmallGraph();
+  auto nb = g.Neighbors(2);
+  for (std::size_t i = 1; i < nb.size(); ++i) EXPECT_LT(nb[i - 1], nb[i]);
+}
+
+TEST(BuildGraph, IsolatedNodeHasNoNeighbors) {
+  Graph g = BuildGraph(4, {{0, 1}});
+  EXPECT_EQ(g.Degree(3), 0);
+  EXPECT_TRUE(g.Neighbors(3).empty());
+}
+
+TEST(NormalizedAdjacency, EntriesMatchDefinition) {
+  Graph g = SmallGraph();
+  Matrix dense = NormalizedAdjacency(g).ToDense();
+  // Entry (v, u) = 1 / sqrt((d_v + 1)(d_u + 1)) for edges (self-loop
+  // counted in the degree), e.g. edge (0, 1): d_0 = d_1 = 2.
+  EXPECT_NEAR(dense(0, 1), 1.0f / 3.0f, 1e-5f);
+  // Bridge (2, 3): d_2 = d_3 = 3.
+  EXPECT_NEAR(dense(2, 3), 1.0f / 4.0f, 1e-5f);
+  // Row sums are positive and bounded by sqrt(max-degree ratio), not 1.
+  for (std::int64_t r = 0; r < dense.rows(); ++r) {
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < dense.cols(); ++c) sum += dense(r, c);
+    EXPECT_GT(sum, 0.0f);
+    EXPECT_LT(sum, 2.0f);
+  }
+}
+
+TEST(NormalizedAdjacency, SymmetricMatrix) {
+  Graph g = SmallGraph();
+  Matrix dense = NormalizedAdjacency(g).ToDense();
+  EXPECT_LT(MaxAbsDiff(dense, Transpose(dense)), 1e-6f);
+}
+
+TEST(NormalizedAdjacency, SelfLoopOnDiagonal) {
+  Graph g = SmallGraph();
+  Matrix with = NormalizedAdjacency(g, /*add_self_loops=*/true).ToDense();
+  Matrix without = NormalizedAdjacency(g, /*add_self_loops=*/false).ToDense();
+  for (std::int64_t v = 0; v < g.num_nodes; ++v) {
+    EXPECT_GT(with(v, v), 0.0f);
+    EXPECT_EQ(without(v, v), 0.0f);
+  }
+}
+
+TEST(NormalizedAdjacency, RegularGraphValues) {
+  // A 4-cycle is 2-regular: with self-loops every entry is 1/3.
+  Graph g = BuildGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  Matrix d = NormalizedAdjacency(g).ToDense();
+  EXPECT_NEAR(d(0, 0), 1.0f / 3.0f, 1e-5f);
+  EXPECT_NEAR(d(0, 1), 1.0f / 3.0f, 1e-5f);
+  EXPECT_EQ(d(0, 2), 0.0f);
+}
+
+TEST(RowNormalizedAdjacency, RowsSumToOne) {
+  Graph g = SmallGraph();
+  Matrix d = RowNormalizedAdjacency(g).ToDense();
+  for (std::int64_t r = 0; r < d.rows(); ++r) {
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < d.cols(); ++c) sum += d(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(KHopNeighborhood, ZeroHopsIsSelf) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(KHopNeighborhood(g, 0, 0), (std::vector<std::int64_t>{0}));
+}
+
+TEST(KHopNeighborhood, OneAndTwoHops) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(KHopNeighborhood(g, 0, 1), (std::vector<std::int64_t>{0, 1, 2}));
+  EXPECT_EQ(KHopNeighborhood(g, 0, 2),
+            (std::vector<std::int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(KHopNeighborhood(g, 0, 3),
+            (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  Graph g = SmallGraph();
+  Graph sub = InducedSubgraph(g, {0, 1, 2, 3});
+  EXPECT_EQ(sub.num_nodes, 4);
+  EXPECT_EQ(sub.num_edges(), 4);  // triangle 0-1-2 + bridge 2-3
+  EXPECT_TRUE(sub.HasEdge(2, 3));
+  EXPECT_EQ(sub.labels[3], 1);
+  EXPECT_FLOAT_EQ(sub.features(3, 1), 1.0f);
+}
+
+TEST(InducedSubgraph, RemapReported) {
+  Graph g = SmallGraph();
+  std::vector<std::pair<std::int64_t, std::int64_t>> remap;
+  Graph sub = InducedSubgraph(g, {2, 4, 5}, &remap);
+  EXPECT_EQ(remap.size(), 3u);
+  EXPECT_EQ(remap[0], (std::pair<std::int64_t, std::int64_t>{2, 0}));
+  EXPECT_EQ(remap[1], (std::pair<std::int64_t, std::int64_t>{4, 1}));
+  EXPECT_TRUE(sub.HasEdge(1, 2));   // 4-5 edge survives
+  EXPECT_EQ(sub.num_edges(), 1);    // 2 is not adjacent to 4 or 5
+}
+
+TEST(DegreeCentrality, LogDegreePlusOne) {
+  Graph g = SmallGraph();
+  auto c = DegreeCentrality(g);
+  EXPECT_NEAR(c[0], std::log(3.0f), 1e-5f);
+  EXPECT_NEAR(c[2], std::log(4.0f), 1e-5f);
+}
+
+TEST(UndirectedEdges, EachEdgeOnce) {
+  Graph g = SmallGraph();
+  auto edges = UndirectedEdges(g);
+  EXPECT_EQ(edges.size(), 7u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(TwoHopCandidates, ExcludesSelfIncludesBothHops) {
+  Graph g = SmallGraph();
+  auto cand = TwoHopCandidates(g, 0);
+  // 1-hop: {1, 2}; 2-hop via them: {0->excl, 1, 2, 3}.
+  EXPECT_EQ(cand, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(AverageDegree, MatchesFormula) {
+  Graph g = SmallGraph();
+  EXPECT_NEAR(g.AverageDegree(), 2.0 * 7 / 6, 1e-9);
+}
+
+}  // namespace
+}  // namespace e2gcl

@@ -1,0 +1,143 @@
+// Cross-module integration tests: small-scale versions of the paper's
+// experimental claims that are stable enough to assert in CI.
+
+#include <gtest/gtest.h>
+
+#include "baselines/selectors.h"
+#include "core/raw_aggregation.h"
+#include "core/trainer.h"
+#include "eval/linear_probe.h"
+#include "eval/protocol.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+/// A moderately hard GNN-dependent graph: part of the nodes carry no
+/// feature signal of their own.
+Graph HardGraph(std::uint64_t seed) {
+  SbmSpec spec;
+  spec.num_nodes = 500;
+  spec.num_classes = 4;
+  spec.feature_dim = 48;
+  spec.avg_degree = 8;
+  spec.informative_dims_per_class = 8;
+  spec.signal_leak = 0.15;
+  spec.noise_density = 0.15;
+  spec.feature_missing_rate = 0.5;
+  return GenerateSbm(spec, seed);
+}
+
+RunConfig FastConfig() {
+  RunConfig cfg;
+  cfg.epochs = 25;
+  cfg.supervised.epochs = 80;
+  cfg.probe.epochs = 80;
+  cfg.e2gcl.selector.num_clusters = 16;
+  cfg.e2gcl.batch_size = 256;
+  cfg.grace.batch_size = 256;
+  return cfg;
+}
+
+double MeanAccuracy(ModelKind kind, const Graph& g, const RunConfig& base,
+                    int runs = 2) {
+  return RunRepeated(kind, g, base, runs).accuracy.mean;
+}
+
+TEST(Integration, GclModelsBeatRawFeatureMlp) {
+  Graph g = HardGraph(1);
+  RunConfig cfg = FastConfig();
+  const double mlp = MeanAccuracy(ModelKind::kMlp, g, cfg);
+  const double e2gcl = MeanAccuracy(ModelKind::kE2gcl, g, cfg);
+  // Half the nodes have no own feature signal: the GCL embedding must
+  // clearly beat a feature-only classifier.
+  EXPECT_GT(e2gcl, mlp + 10.0);
+}
+
+TEST(Integration, E2gclCompetitiveWithGrace) {
+  Graph g = HardGraph(2);
+  RunConfig cfg = FastConfig();
+  const double grace = MeanAccuracy(ModelKind::kGrace, g, cfg);
+  const double e2gcl = MeanAccuracy(ModelKind::kE2gcl, g, cfg);
+  // Table IV shape at test scale: E2GCL at least matches GRACE.
+  EXPECT_GT(e2gcl, grace - 2.0);
+}
+
+TEST(Integration, CoresetTrainingMatchesFullTraining) {
+  Graph g = HardGraph(3);
+  RunConfig cfg = FastConfig();
+  RunConfig all = cfg;
+  all.e2gcl.use_selector = false;
+  const double with_coreset = MeanAccuracy(ModelKind::kE2gcl, g, cfg);
+  const double with_all = MeanAccuracy(ModelKind::kE2gcl, g, all);
+  // Table VI shape: 40% coreset within a few points of all-node training.
+  EXPECT_GT(with_coreset, with_all - 5.0);
+}
+
+TEST(Integration, SelectorObjectiveOrderingOursBelowRandom) {
+  Graph g = HardGraph(4);
+  Matrix r = RawAggregation(g, 2);
+  SelectorConfig cfg;
+  cfg.num_clusters = 16;
+  cfg.sample_size = 48;
+  cfg.auto_sample_size = false;
+  Rng rng1(5), rng2(5);
+  SelectionResult ours =
+      SelectNodes(SelectorKind::kE2gcl, g, r, 100, cfg, rng1);
+  SelectionResult random =
+      SelectNodes(SelectorKind::kRandom, g, r, 100, cfg, rng2);
+  // Representativity objective: smaller is better. (The two results use
+  // slightly different metrics internally, so compare with the shared
+  // oracle.)
+  KMeansOptions km_opts;
+  km_opts.num_clusters = 16;
+  Rng km_rng(6);
+  KMeansResult km = KMeans(r, km_opts, km_rng);
+  EXPECT_LT(RepresentativityObjective(r, km, ours.nodes),
+            RepresentativityObjective(r, km, random.nodes));
+}
+
+TEST(Integration, BudgetSweepFlatThenDrops) {
+  // Fig. 4(a) shape: r = 0.5 is within a few points of r = 1.0, while
+  // an extreme budget (r ~ 1/128) is clearly worse than r = 1.0.
+  Graph g = HardGraph(7);
+  RunConfig cfg = FastConfig();
+  auto acc_at = [&](double ratio) {
+    RunConfig c = cfg;
+    c.e2gcl.node_ratio = ratio;
+    return MeanAccuracy(ModelKind::kE2gcl, g, c, /*runs=*/3);
+  };
+  const double full = acc_at(1.0);
+  const double half = acc_at(0.5);
+  const double tiny = acc_at(1.0 / 128.0);
+  EXPECT_GT(half, full - 6.0);
+  // The drop at extreme budgets is mild at this scale (the propagation
+  // prior already carries most of the signal); assert direction only.
+  EXPECT_LT(tiny, full - 0.5);
+}
+
+TEST(Integration, SelectionTimeSmallFractionOfTotal) {
+  Graph g = HardGraph(8);
+  E2gclConfig cfg;
+  cfg.epochs = 25;
+  cfg.selector.num_clusters = 16;
+  cfg.batch_size = 256;
+  E2gclTrainer trainer(g, cfg);
+  trainer.Train();
+  // Table V shape: ST is a minor share of TT.
+  EXPECT_LT(trainer.stats().selection_seconds,
+            0.5 * trainer.stats().total_seconds);
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  Graph g = HardGraph(9);
+  RunConfig cfg = FastConfig();
+  cfg.epochs = 6;
+  RunResult a = RunNodeClassification(ModelKind::kE2gcl, g, cfg);
+  RunResult b = RunNodeClassification(ModelKind::kE2gcl, g, cfg);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+}  // namespace
+}  // namespace e2gcl

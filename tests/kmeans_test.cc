@@ -1,0 +1,151 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+/// Three well-separated Gaussian blobs.
+Matrix Blobs(std::int64_t per_blob, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(3 * per_blob, 2);
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (std::int64_t b = 0; b < 3; ++b) {
+    for (std::int64_t i = 0; i < per_blob; ++i) {
+      m(b * per_blob + i, 0) = centers[b][0] + rng.Normal(0, 0.5f);
+      m(b * per_blob + i, 1) = centers[b][1] + rng.Normal(0, 0.5f);
+    }
+  }
+  return m;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  Matrix pts = Blobs(50, 1);
+  Rng rng(2);
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  KMeansResult res = KMeans(pts, opts, rng);
+  // Each blob must map to a single cluster.
+  for (std::int64_t b = 0; b < 3; ++b) {
+    const std::int64_t c0 = res.assignment[b * 50];
+    for (std::int64_t i = 1; i < 50; ++i) {
+      EXPECT_EQ(res.assignment[b * 50 + i], c0) << "blob " << b;
+    }
+  }
+  EXPECT_LT(res.inertia, 150.0);  // ~0.5 var * 2 dims * 150 points
+}
+
+TEST(KMeans, ClustersPartitionInput) {
+  Matrix pts = Blobs(30, 3);
+  Rng rng(4);
+  KMeansOptions opts;
+  opts.num_clusters = 5;
+  KMeansResult res = KMeans(pts, opts, rng);
+  std::int64_t total = 0;
+  for (const auto& c : res.clusters) total += c.size();
+  EXPECT_EQ(total, pts.rows());
+  for (std::int64_t c = 0; c < 5; ++c) {
+    for (std::int64_t v : res.clusters[c]) {
+      EXPECT_EQ(res.assignment[v], c);
+    }
+  }
+}
+
+TEST(KMeans, MaxRadiusBoundsMembers) {
+  Matrix pts = Blobs(40, 5);
+  Rng rng(6);
+  KMeansOptions opts;
+  opts.num_clusters = 4;
+  KMeansResult res = KMeans(pts, opts, rng);
+  for (std::int64_t c = 0; c < res.centers.rows(); ++c) {
+    for (std::int64_t v : res.clusters[c]) {
+      EXPECT_LE(RowDistance(pts, v, res.centers, c),
+                res.max_radius[c] + 1e-4f);
+    }
+  }
+}
+
+TEST(KMeans, FewerPointsThanClusters) {
+  Matrix pts = Matrix::FromRows({{0, 0}, {5, 5}});
+  Rng rng(7);
+  KMeansOptions opts;
+  opts.num_clusters = 10;
+  KMeansResult res = KMeans(pts, opts, rng);
+  EXPECT_EQ(res.centers.rows(), 2);
+  EXPECT_EQ(res.clusters.size(), 2u);
+}
+
+TEST(KMeans, SingletonInput) {
+  Matrix pts = Matrix::FromRows({{1, 2, 3}});
+  Rng rng(8);
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  KMeansResult res = KMeans(pts, opts, rng);
+  EXPECT_EQ(res.centers.rows(), 1);
+  EXPECT_EQ(res.assignment[0], 0);
+  EXPECT_NEAR(res.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, NoEmptyClustersOnDuplicatePoints) {
+  // 20 identical points, 4 clusters: re-seeding must not crash, and all
+  // points must be assigned.
+  Matrix pts(20, 2, 1.0f);
+  Rng rng(9);
+  KMeansOptions opts;
+  opts.num_clusters = 4;
+  KMeansResult res = KMeans(pts, opts, rng);
+  std::int64_t total = 0;
+  for (const auto& c : res.clusters) total += c.size();
+  EXPECT_EQ(total, 20);
+}
+
+TEST(KMeans, MoreClustersLowerInertia) {
+  Matrix pts = Blobs(60, 10);
+  Rng rng_a(11), rng_b(11);
+  KMeansOptions few, many;
+  few.num_clusters = 2;
+  many.num_clusters = 8;
+  const double i_few = KMeans(pts, few, rng_a).inertia;
+  const double i_many = KMeans(pts, many, rng_b).inertia;
+  EXPECT_LT(i_many, i_few);
+}
+
+TEST(KMeans, UniformSeedingAlsoWorks) {
+  Matrix pts = Blobs(40, 12);
+  Rng rng(13);
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  opts.kmeanspp = false;
+  KMeansResult res = KMeans(pts, opts, rng);
+  EXPECT_EQ(res.centers.rows(), 3);
+  // Uniform seeding has no kmeans++ guarantee; just require a sane
+  // partition and that kmeans++ seeding is at least as good.
+  EXPECT_TRUE(std::isfinite(res.inertia));
+  Rng rng_pp(13);
+  KMeansOptions pp = opts;
+  pp.kmeanspp = true;
+  EXPECT_LE(KMeans(pts, pp, rng_pp).inertia, res.inertia + 1e-6);
+}
+
+// Parameterized: inertia decreases (weakly) as k grows over a sweep.
+class KMeansSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansSweep, InertiaFiniteAndPartitionComplete) {
+  const int k = GetParam();
+  Matrix pts = Blobs(30, 17);
+  Rng rng(k);
+  KMeansOptions opts;
+  opts.num_clusters = k;
+  KMeansResult res = KMeans(pts, opts, rng);
+  EXPECT_TRUE(std::isfinite(res.inertia));
+  std::int64_t total = 0;
+  for (const auto& c : res.clusters) total += c.size();
+  EXPECT_EQ(total, pts.rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansSweep, ::testing::Values(1, 2, 3, 5, 9, 16));
+
+}  // namespace
+}  // namespace e2gcl

@@ -1,0 +1,195 @@
+// Parameterized property sweeps over the paper's key hyperparameters:
+// invariants that must hold for *every* setting, not just the defaults.
+
+#include <gtest/gtest.h>
+
+#include "core/node_selector.h"
+#include "core/raw_aggregation.h"
+#include "core/view_generator.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+using testing_util::AllFinite;
+
+Graph SweepGraph() {
+  SbmSpec spec;
+  spec.num_nodes = 300;
+  spec.num_classes = 3;
+  spec.feature_dim = 36;
+  spec.avg_degree = 8;
+  spec.informative_dims_per_class = 8;
+  return GenerateSbm(spec, 0xfeed);
+}
+
+// ---------------------------------------------------------------------------
+// tau sweep: edge counts monotone-ish in tau, views always valid.
+// ---------------------------------------------------------------------------
+
+class TauSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(TauSweep, ViewValidAndEdgeBudgetTracksTau) {
+  const float tau = GetParam();
+  Graph g = SweepGraph();
+  ViewGenerator gen(g);
+  Rng rng(17);
+  ViewConfig cfg{.tau = tau, .eta = 0.3f};
+  Graph view = gen.GenerateGlobalView(cfg, rng);
+  EXPECT_EQ(view.num_nodes, g.num_nodes);
+  EXPECT_TRUE(AllFinite(view.features));
+  if (tau == 0.0f) {
+    EXPECT_EQ(view.num_edges(), 0);
+  } else {
+    // Directed samples are tau * deg per node before symmetrization;
+    // the undirected union is bounded by 2x that and by the candidate
+    // supply.
+    const double directed = tau * static_cast<double>(g.col.size());
+    EXPECT_LE(static_cast<double>(view.num_edges()), directed * 1.1 + 10);
+    EXPECT_GT(view.num_edges(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, TauSweep,
+                         ::testing::Values(0.0f, 0.2f, 0.4f, 0.6f, 0.8f,
+                                           1.0f, 1.2f, 1.4f));
+
+// ---------------------------------------------------------------------------
+// eta sweep: perturbation magnitude bounded and monotone in expectation.
+// ---------------------------------------------------------------------------
+
+class EtaSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(EtaSweep, PerturbationBoundedByEq16) {
+  const float eta = GetParam();
+  Graph g = SweepGraph();
+  ViewGenerator gen(g);
+  Rng rng(23);
+  ViewConfig cfg{.tau = 0.8f, .eta = eta};
+  Graph view = gen.GenerateGlobalView(cfg, rng);
+  std::int64_t changed = 0;
+  for (std::int64_t i = 0; i < g.features.size(); ++i) {
+    const float orig = g.features.data()[i];
+    const float pert = view.features.data()[i];
+    // Eq. 16: x' = x + u * x, u in [-1, 1] => x' in [0, 2x] for x >= 0.
+    EXPECT_GE(pert, -1e-6f);
+    EXPECT_LE(pert, 2.0f * orig + 1e-6f);
+    if (pert != orig) ++changed;
+  }
+  if (eta == 0.0f) {
+    EXPECT_EQ(changed, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, EtaSweep,
+                         ::testing::Values(0.0f, 0.2f, 0.4f, 0.6f, 0.8f,
+                                           1.0f, 1.2f, 1.4f));
+
+TEST(EtaSweep, PerturbedEntryCountGrowsWithEta) {
+  Graph g = SweepGraph();
+  ViewGenerator gen(g);
+  auto changed_at = [&](float eta) {
+    Rng rng(29);
+    Graph view = gen.GenerateGlobalView({.tau = 1.0f, .eta = eta}, rng);
+    std::int64_t changed = 0;
+    for (std::int64_t i = 0; i < g.features.size(); ++i) {
+      if (view.features.data()[i] != g.features.data()[i]) ++changed;
+    }
+    return changed;
+  };
+  EXPECT_LT(changed_at(0.2f), changed_at(0.6f));
+  EXPECT_LT(changed_at(0.6f), changed_at(1.2f));
+}
+
+// ---------------------------------------------------------------------------
+// Budget sweep: selector invariants for every budget.
+// ---------------------------------------------------------------------------
+
+class BudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BudgetSweep, SelectionInvariants) {
+  const std::int64_t budget = GetParam();
+  Graph g = SweepGraph();
+  Matrix r = RawAggregation(g, 2);
+  SelectorConfig cfg;
+  cfg.budget = budget;
+  cfg.num_clusters = 12;
+  cfg.sample_size = 32;
+  cfg.auto_sample_size = false;
+  Rng rng(31 + budget);
+  SelectionResult res = SelectCoreset(r, cfg, rng);
+  EXPECT_EQ(static_cast<std::int64_t>(res.nodes.size()), budget);
+  double wsum = 0.0;
+  for (float w : res.weights) {
+    EXPECT_GE(w, 0.0f);
+    wsum += w;
+  }
+  EXPECT_NEAR(wsum, static_cast<double>(g.num_nodes), 1e-3);
+  EXPECT_GE(res.representativity, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep,
+                         ::testing::Values(1, 2, 5, 20, 75, 150, 300));
+
+// ---------------------------------------------------------------------------
+// Layer sweep: raw aggregation stays finite and shrinks pairwise spread
+// (smoothing) as L grows.
+// ---------------------------------------------------------------------------
+
+class LayerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayerSweep, RawAggregationFinite) {
+  Graph g = SweepGraph();
+  Matrix r = RawAggregation(g, GetParam());
+  EXPECT_TRUE(AllFinite(r));
+  EXPECT_EQ(r.rows(), g.num_nodes);
+  EXPECT_EQ(r.cols(), g.feature_dim());
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, LayerSweep, ::testing::Values(0, 1, 2, 3, 5));
+
+TEST(LayerSweep, DeeperAggregationSmooths) {
+  Graph g = SweepGraph();
+  auto spread = [&](int layers) {
+    Matrix r = RawAggregation(g, layers);
+    double acc = 0.0;
+    Rng rng(37);
+    for (int t = 0; t < 300; ++t) {
+      const std::int64_t u = rng.UniformInt(g.num_nodes);
+      const std::int64_t v = rng.UniformInt(g.num_nodes);
+      acc += RowDistance(r, u, r, v);
+    }
+    return acc;
+  };
+  EXPECT_LT(spread(3), spread(1));
+  EXPECT_LT(spread(1), spread(0));
+}
+
+// ---------------------------------------------------------------------------
+// beta sweep: edge-score existing-edge preference.
+// ---------------------------------------------------------------------------
+
+class BetaSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(BetaSweep, ScoresPositiveAndFinite) {
+  const float beta = GetParam();
+  Graph g = SweepGraph();
+  ImportanceScores s(g, beta);
+  Rng rng(41);
+  for (int t = 0; t < 200; ++t) {
+    const std::int64_t v = rng.UniformInt(g.num_nodes);
+    const std::int64_t u = rng.UniformInt(g.num_nodes);
+    for (bool is_neighbor : {true, false}) {
+      const float w = s.EdgeScore(v, u, is_neighbor);
+      EXPECT_GT(w, 0.0f);
+      EXPECT_TRUE(std::isfinite(w));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, BetaSweep,
+                         ::testing::Values(0.1f, 0.3f, 0.5f, 0.7f, 0.9f));
+
+}  // namespace
+}  // namespace e2gcl

@@ -1,0 +1,181 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/ppr.h"
+#include "graph/splits.h"
+#include "graph/tu_generator.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+using testing_util::SmallGraph;
+
+TEST(RandomNodeSplit, FractionsRespectedAndDisjoint) {
+  Rng rng(1);
+  NodeSplit s = RandomNodeSplit(1000, 0.1, 0.1, rng);
+  EXPECT_EQ(s.train.size(), 100u);
+  EXPECT_EQ(s.val.size(), 100u);
+  EXPECT_EQ(s.test.size(), 800u);
+  std::set<std::int64_t> all;
+  for (const auto* part : {&s.train, &s.val, &s.test}) {
+    for (std::int64_t v : *part) all.insert(v);
+  }
+  EXPECT_EQ(all.size(), 1000u);
+}
+
+TEST(RandomNodeSplit, DifferentRngsGiveDifferentSplits) {
+  Rng a(1), b(2);
+  NodeSplit sa = RandomNodeSplit(500, 0.2, 0.2, a);
+  NodeSplit sb = RandomNodeSplit(500, 0.2, 0.2, b);
+  EXPECT_NE(sa.train, sb.train);
+}
+
+TEST(RandomEdgeSplit, PartitionsEdges) {
+  Graph g = GenerateErdosRenyi(120, 0.08, 4, 3);
+  Rng rng(4);
+  EdgeSplit s = RandomEdgeSplit(g, 0.7, 0.1, rng);
+  EXPECT_EQ(static_cast<std::int64_t>(s.train_pos.size() +
+                                      s.val_pos.size() + s.test_pos.size()),
+            g.num_edges());
+  // Train graph only has train edges.
+  EXPECT_EQ(s.train_graph.num_edges(),
+            static_cast<std::int64_t>(s.train_pos.size()));
+  for (const auto& [u, v] : s.train_pos) {
+    EXPECT_TRUE(s.train_graph.HasEdge(u, v));
+  }
+  for (const auto& [u, v] : s.test_pos) {
+    EXPECT_FALSE(s.train_graph.HasEdge(u, v));
+  }
+}
+
+TEST(RandomEdgeSplit, NegativesAreNonEdges) {
+  Graph g = GenerateErdosRenyi(100, 0.1, 4, 5);
+  Rng rng(6);
+  EdgeSplit s = RandomEdgeSplit(g, 0.7, 0.1, rng);
+  for (const auto* neg : {&s.train_neg, &s.val_neg, &s.test_neg}) {
+    for (const auto& [u, v] : *neg) {
+      EXPECT_FALSE(g.HasEdge(u, v));
+      EXPECT_NE(u, v);
+    }
+  }
+  EXPECT_GT(s.test_neg.size(), s.test_pos.size() / 2);
+}
+
+TEST(Ppr, RowsAreProbabilityLike) {
+  Graph g = SmallGraph();
+  PprOptions opts;
+  opts.top_k = 0;
+  CsrMatrix ppr = ApproximatePpr(g, opts);
+  Matrix d = ppr.ToDense();
+  for (std::int64_t r = 0; r < d.rows(); ++r) {
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < d.cols(); ++c) {
+      EXPECT_GE(d(r, c), 0.0f);
+      sum += d(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+TEST(Ppr, SelfMassLargest) {
+  Graph g = SmallGraph();
+  PprOptions opts;
+  opts.alpha = 0.3;
+  opts.top_k = 0;
+  Matrix d = ApproximatePpr(g, opts).ToDense();
+  for (std::int64_t v = 0; v < g.num_nodes; ++v) {
+    for (std::int64_t u = 0; u < g.num_nodes; ++u) {
+      if (u != v) {
+        EXPECT_GE(d(v, v), d(v, u));
+      }
+    }
+  }
+}
+
+TEST(Ppr, LocalityDecay) {
+  // A path graph: mass at distance 1 exceeds mass at distance 3.
+  Graph g = BuildGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  PprOptions opts;
+  opts.top_k = 0;
+  opts.epsilon = 1e-6;
+  Matrix d = ApproximatePpr(g, opts).ToDense();
+  EXPECT_GT(d(0, 1), d(0, 3));
+  EXPECT_GT(d(0, 2), d(0, 4));
+}
+
+TEST(Ppr, TopKSparsifies) {
+  Graph g = GenerateErdosRenyi(60, 0.2, 0, 7);
+  PprOptions opts;
+  opts.top_k = 5;
+  CsrMatrix ppr = ApproximatePpr(g, opts);
+  for (std::int64_t v = 0; v < ppr.rows(); ++v) {
+    EXPECT_LE(ppr.RowNnz(v), 5);
+  }
+}
+
+TEST(DiffusionGraph, AddsLongRangeEdges) {
+  // Path graph diffusion should connect nodes beyond 1 hop.
+  Graph g = BuildGraph(8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6},
+                           {6, 7}});
+  PprOptions opts;
+  opts.top_k = 4;
+  Graph diff = DiffusionGraph(g, opts);
+  EXPECT_EQ(diff.num_nodes, g.num_nodes);
+  bool has_two_hop = false;
+  for (const auto& [u, v] : UndirectedEdges(diff)) {
+    if (std::abs(u - v) >= 2) has_two_hop = true;
+  }
+  EXPECT_TRUE(has_two_hop);
+}
+
+TEST(TuGenerator, DeterministicAndSized) {
+  TuSpec spec;
+  spec.num_graphs = 30;
+  spec.num_classes = 2;
+  TuDataset a = GenerateTuDataset(spec, 5);
+  TuDataset b = GenerateTuDataset(spec, 5);
+  EXPECT_EQ(a.graphs.size(), 30u);
+  EXPECT_EQ(a.graph_labels, b.graph_labels);
+  EXPECT_EQ(a.graphs[7].col, b.graphs[7].col);
+}
+
+TEST(TuGenerator, GraphsWithinNodeBounds) {
+  TuSpec spec;
+  spec.num_graphs = 40;
+  spec.min_nodes = 10;
+  spec.max_nodes = 25;
+  TuDataset ds = GenerateTuDataset(spec, 6);
+  for (const Graph& g : ds.graphs) {
+    EXPECT_GE(g.num_nodes, 10);
+    // Motif packing can overshoot by at most one motif (size <= 7).
+    EXPECT_LE(g.num_nodes, 25 + 7);
+    EXPECT_GT(g.num_edges(), 0);
+    EXPECT_EQ(g.feature_dim(), spec.feature_dim);
+  }
+}
+
+TEST(TuGenerator, LabelsBalanced) {
+  TuSpec spec;
+  spec.num_graphs = 40;
+  spec.num_classes = 2;
+  TuDataset ds = GenerateTuDataset(spec, 7);
+  std::int64_t ones = 0;
+  for (std::int64_t y : ds.graph_labels) ones += y;
+  EXPECT_EQ(ones, 20);
+}
+
+TEST(TuGenerator, NamedSpecsExist) {
+  for (const auto& name : GraphClassificationDatasets()) {
+    TuSpec spec = GetTuSpec(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_GT(spec.num_graphs, 0);
+  }
+  EXPECT_DEATH(GetTuSpec("bogus"), "unknown TU dataset");
+}
+
+}  // namespace
+}  // namespace e2gcl

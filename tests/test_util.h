@@ -1,0 +1,87 @@
+#ifndef E2GCL_TESTS_TEST_UTIL_H_
+#define E2GCL_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/variable.h"
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace e2gcl {
+namespace testing_util {
+
+/// Checks the analytic gradient of a scalar-valued function of `params`
+/// against central finite differences. `build` must construct the loss
+/// graph from the given parameter Vars (fresh tape per call).
+inline void CheckGradients(
+    std::vector<Matrix> values,
+    const std::function<Var(const std::vector<Var>&)>& build,
+    float h = 1e-3f, float tol = 2e-2f) {
+  // Analytic gradients.
+  std::vector<Var> params;
+  params.reserve(values.size());
+  for (const Matrix& v : values) params.push_back(Var::Param(v));
+  Var loss = build(params);
+  ASSERT_EQ(loss.rows(), 1);
+  ASSERT_EQ(loss.cols(), 1);
+  loss.Backward();
+  std::vector<Matrix> analytic;
+  for (const Var& p : params) {
+    ASSERT_FALSE(p.grad().empty()) << "no gradient reached a parameter";
+    analytic.push_back(p.grad());
+  }
+
+  // Numeric gradients.
+  auto eval = [&](const std::vector<Matrix>& vals) {
+    std::vector<Var> ps;
+    for (const Matrix& v : vals) ps.push_back(Var::Param(v));
+    return build(ps).value()(0, 0);
+  };
+  for (std::size_t pi = 0; pi < values.size(); ++pi) {
+    for (std::int64_t i = 0; i < values[pi].size(); ++i) {
+      std::vector<Matrix> plus = values;
+      std::vector<Matrix> minus = values;
+      plus[pi].data()[i] += h;
+      minus[pi].data()[i] -= h;
+      const float numeric = (eval(plus) - eval(minus)) / (2.0f * h);
+      const float exact = analytic[pi].data()[i];
+      const float scale = std::max({1.0f, std::fabs(numeric),
+                                    std::fabs(exact)});
+      EXPECT_NEAR(exact, numeric, tol * scale)
+          << "param " << pi << " entry " << i;
+    }
+  }
+}
+
+/// A small deterministic test graph: two triangles joined by a bridge,
+/// with 4-dim features and 2 classes.
+inline Graph SmallGraph() {
+  // 0-1-2 triangle, 3-4-5 triangle, bridge 2-3.
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges = {
+      {0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}};
+  Matrix x = Matrix::FromRows({{1, 0, 0.5, 0},
+                               {1, 0, 0.2, 0},
+                               {1, 0, 0.1, 0.1},
+                               {0, 1, 0, 0.3},
+                               {0, 1, 0, 0.6},
+                               {0, 1, 0.1, 0.4}});
+  return BuildGraph(6, edges, std::move(x), {0, 0, 0, 1, 1, 1}, 2);
+}
+
+/// True if every entry is finite.
+inline bool AllFinite(const Matrix& m) {
+  for (std::int64_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(m.data()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace testing_util
+}  // namespace e2gcl
+
+#endif  // E2GCL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,56 @@
+// Scratch tuning driver (not part of the bench suite).
+#include <cstdio>
+#include <cstdlib>
+#include "eval/protocol.h"
+#include "graph/datasets.h"
+
+using namespace e2gcl;
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "cora";
+  const double scale = argc > 2 ? atof(argv[2]) : 1.0;
+  const int epochs = argc > 3 ? atoi(argv[3]) : 40;
+  const float lr = argc > 4 ? atof(argv[4]) : 0.01f;
+  Graph g = LoadDatasetScaled(dataset, scale, 0x5eed);
+  std::printf("dataset=%s n=%lld e=%lld epochs=%d lr=%.3f\n", dataset.c_str(),
+              (long long)g.num_nodes, (long long)g.num_edges(), epochs, lr);
+  auto run = [&](const char* name, ModelKind kind, auto mutate) {
+    RunConfig cfg;
+    cfg.epochs = epochs;
+    cfg.e2gcl.lr = lr;
+    cfg.supervised.epochs = 4 * epochs;
+    mutate(cfg);
+    AggregateResult agg = RunRepeated(kind, g, cfg, 2);
+    std::printf("%-14s %6.2f ± %5.2f  (ST %.2fs TT %.2fs)\n", name,
+                agg.accuracy.mean, agg.accuracy.std, agg.selection_seconds,
+                agg.total_seconds);
+    std::fflush(stdout);
+  };
+  run("MLP", ModelKind::kMlp, [](RunConfig&){});
+  run("GCN", ModelKind::kGcn, [](RunConfig&){});
+  run("GRACE", ModelKind::kGrace, [](RunConfig&){});
+  run("GCA", ModelKind::kGca, [](RunConfig&){});
+  run("DGI", ModelKind::kDgi, [](RunConfig&){});
+  run("DGI(lr1e-2)", ModelKind::kDgi, [](RunConfig& c){ c.dgi.lr = 1e-2f; });
+  run("DGI(2layer)", ModelKind::kDgi, [](RunConfig& c){ c.dgi.num_layers = 2; });
+  run("BGRL", ModelKind::kBgrl, [](RunConfig&){});
+  run("BGRL(lr5e-3)", ModelKind::kBgrl, [](RunConfig& c){ c.bgrl.lr = 5e-3f; });
+  run("BGRL(ema.9)", ModelKind::kBgrl, [](RunConfig& c){ c.bgrl.lr = 5e-3f; c.bgrl.ema_decay = 0.9f; });
+  run("AFGRL(ema.9)", ModelKind::kAfgrl, [](RunConfig& c){ c.bgrl.lr = 5e-3f; c.bgrl.ema_decay = 0.9f; });
+  run("E2GCL(S,I)", ModelKind::kE2gcl, [](RunConfig&){});
+  run("E2GCL(A,I)", ModelKind::kE2gcl, [](RunConfig& c){ c.e2gcl.use_selector = false; });
+  run("E2GCL(S,U)", ModelKind::kE2gcl, [](RunConfig& c){
+    for (ViewConfig* vc : {&c.e2gcl.view_hat, &c.e2gcl.view_tilde}) {
+      vc->importance_edges = false; vc->importance_features = false; }});
+  run("E2GCL(A,U)", ModelKind::kE2gcl, [](RunConfig& c){
+    c.e2gcl.use_selector = false;
+    for (ViewConfig* vc : {&c.e2gcl.view_hat, &c.e2gcl.view_tilde}) {
+      vc->importance_edges = false; vc->importance_features = false; }});
+  run("E2GCL\\S", ModelKind::kE2gcl, [](RunConfig& c){
+    for (ViewConfig* vc : {&c.e2gcl.view_hat, &c.e2gcl.view_tilde}) {
+      vc->importance_edges = false; }});
+  run("E2GCL\\F", ModelKind::kE2gcl, [](RunConfig& c){
+    for (ViewConfig* vc : {&c.e2gcl.view_hat, &c.e2gcl.view_tilde}) {
+      vc->importance_features = false; }});
+  return 0;
+}
