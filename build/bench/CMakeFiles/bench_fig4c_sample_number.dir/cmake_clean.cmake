@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c_sample_number.dir/bench_fig4c_sample_number.cc.o"
+  "CMakeFiles/bench_fig4c_sample_number.dir/bench_fig4c_sample_number.cc.o.d"
+  "bench_fig4c_sample_number"
+  "bench_fig4c_sample_number.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_sample_number.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreset_selection.dir/coreset_selection.cpp.o"
+  "CMakeFiles/coreset_selection.dir/coreset_selection.cpp.o.d"
+  "coreset_selection"
+  "coreset_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreset_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreset_visualization.dir/coreset_visualization.cpp.o"
+  "CMakeFiles/coreset_visualization.dir/coreset_visualization.cpp.o.d"
+  "coreset_visualization"
+  "coreset_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreset_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2gcl_autograd.dir/autograd/loss.cc.o"
+  "CMakeFiles/e2gcl_autograd.dir/autograd/loss.cc.o.d"
+  "CMakeFiles/e2gcl_autograd.dir/autograd/ops.cc.o"
+  "CMakeFiles/e2gcl_autograd.dir/autograd/ops.cc.o.d"
+  "CMakeFiles/e2gcl_autograd.dir/autograd/variable.cc.o"
+  "CMakeFiles/e2gcl_autograd.dir/autograd/variable.cc.o.d"
+  "libe2gcl_autograd.a"
+  "libe2gcl_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2gcl_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bgrl.cc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/bgrl.cc.o" "gcc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/bgrl.cc.o.d"
+  "/root/repo/src/baselines/deepwalk.cc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/deepwalk.cc.o" "gcc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/deepwalk.cc.o.d"
+  "/root/repo/src/baselines/dgi.cc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/dgi.cc.o" "gcc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/dgi.cc.o.d"
+  "/root/repo/src/baselines/gae.cc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/gae.cc.o" "gcc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/gae.cc.o.d"
+  "/root/repo/src/baselines/grace.cc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/grace.cc.o" "gcc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/grace.cc.o.d"
+  "/root/repo/src/baselines/mvgrl.cc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/mvgrl.cc.o" "gcc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/mvgrl.cc.o.d"
+  "/root/repo/src/baselines/selectors.cc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/selectors.cc.o" "gcc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/selectors.cc.o.d"
+  "/root/repo/src/baselines/supervised.cc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/supervised.cc.o" "gcc" "src/CMakeFiles/e2gcl_baselines.dir/baselines/supervised.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e2gcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2gcl_baselines.dir/baselines/bgrl.cc.o"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/bgrl.cc.o.d"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/deepwalk.cc.o"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/deepwalk.cc.o.d"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/dgi.cc.o"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/dgi.cc.o.d"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/gae.cc.o"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/gae.cc.o.d"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/grace.cc.o"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/grace.cc.o.d"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/mvgrl.cc.o"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/mvgrl.cc.o.d"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/selectors.cc.o"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/selectors.cc.o.d"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/supervised.cc.o"
+  "CMakeFiles/e2gcl_baselines.dir/baselines/supervised.cc.o.d"
+  "libe2gcl_baselines.a"
+  "libe2gcl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2gcl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2gcl_cluster.dir/cluster/kmeans.cc.o"
+  "CMakeFiles/e2gcl_cluster.dir/cluster/kmeans.cc.o.d"
+  "libe2gcl_cluster.a"
+  "libe2gcl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2gcl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/contrastive.cc" "src/CMakeFiles/e2gcl_core.dir/core/contrastive.cc.o" "gcc" "src/CMakeFiles/e2gcl_core.dir/core/contrastive.cc.o.d"
+  "/root/repo/src/core/node_selector.cc" "src/CMakeFiles/e2gcl_core.dir/core/node_selector.cc.o" "gcc" "src/CMakeFiles/e2gcl_core.dir/core/node_selector.cc.o.d"
+  "/root/repo/src/core/raw_aggregation.cc" "src/CMakeFiles/e2gcl_core.dir/core/raw_aggregation.cc.o" "gcc" "src/CMakeFiles/e2gcl_core.dir/core/raw_aggregation.cc.o.d"
+  "/root/repo/src/core/scores.cc" "src/CMakeFiles/e2gcl_core.dir/core/scores.cc.o" "gcc" "src/CMakeFiles/e2gcl_core.dir/core/scores.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/e2gcl_core.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/e2gcl_core.dir/core/trainer.cc.o.d"
+  "/root/repo/src/core/view_generator.cc" "src/CMakeFiles/e2gcl_core.dir/core/view_generator.cc.o" "gcc" "src/CMakeFiles/e2gcl_core.dir/core/view_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e2gcl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2gcl_core.dir/core/contrastive.cc.o"
+  "CMakeFiles/e2gcl_core.dir/core/contrastive.cc.o.d"
+  "CMakeFiles/e2gcl_core.dir/core/node_selector.cc.o"
+  "CMakeFiles/e2gcl_core.dir/core/node_selector.cc.o.d"
+  "CMakeFiles/e2gcl_core.dir/core/raw_aggregation.cc.o"
+  "CMakeFiles/e2gcl_core.dir/core/raw_aggregation.cc.o.d"
+  "CMakeFiles/e2gcl_core.dir/core/scores.cc.o"
+  "CMakeFiles/e2gcl_core.dir/core/scores.cc.o.d"
+  "CMakeFiles/e2gcl_core.dir/core/trainer.cc.o"
+  "CMakeFiles/e2gcl_core.dir/core/trainer.cc.o.d"
+  "CMakeFiles/e2gcl_core.dir/core/view_generator.cc.o"
+  "CMakeFiles/e2gcl_core.dir/core/view_generator.cc.o.d"
+  "libe2gcl_core.a"
+  "libe2gcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2gcl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/graph_level.cc" "src/CMakeFiles/e2gcl_eval.dir/eval/graph_level.cc.o" "gcc" "src/CMakeFiles/e2gcl_eval.dir/eval/graph_level.cc.o.d"
+  "/root/repo/src/eval/io.cc" "src/CMakeFiles/e2gcl_eval.dir/eval/io.cc.o" "gcc" "src/CMakeFiles/e2gcl_eval.dir/eval/io.cc.o.d"
+  "/root/repo/src/eval/linear_probe.cc" "src/CMakeFiles/e2gcl_eval.dir/eval/linear_probe.cc.o" "gcc" "src/CMakeFiles/e2gcl_eval.dir/eval/linear_probe.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/e2gcl_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/e2gcl_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/projection.cc" "src/CMakeFiles/e2gcl_eval.dir/eval/projection.cc.o" "gcc" "src/CMakeFiles/e2gcl_eval.dir/eval/projection.cc.o.d"
+  "/root/repo/src/eval/protocol.cc" "src/CMakeFiles/e2gcl_eval.dir/eval/protocol.cc.o" "gcc" "src/CMakeFiles/e2gcl_eval.dir/eval/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e2gcl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

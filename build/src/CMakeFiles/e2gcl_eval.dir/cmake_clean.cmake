@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2gcl_eval.dir/eval/graph_level.cc.o"
+  "CMakeFiles/e2gcl_eval.dir/eval/graph_level.cc.o.d"
+  "CMakeFiles/e2gcl_eval.dir/eval/io.cc.o"
+  "CMakeFiles/e2gcl_eval.dir/eval/io.cc.o.d"
+  "CMakeFiles/e2gcl_eval.dir/eval/linear_probe.cc.o"
+  "CMakeFiles/e2gcl_eval.dir/eval/linear_probe.cc.o.d"
+  "CMakeFiles/e2gcl_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/e2gcl_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/e2gcl_eval.dir/eval/projection.cc.o"
+  "CMakeFiles/e2gcl_eval.dir/eval/projection.cc.o.d"
+  "CMakeFiles/e2gcl_eval.dir/eval/protocol.cc.o"
+  "CMakeFiles/e2gcl_eval.dir/eval/protocol.cc.o.d"
+  "libe2gcl_eval.a"
+  "libe2gcl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2gcl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e2gcl_eval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/datasets.cc" "src/CMakeFiles/e2gcl_graph.dir/graph/datasets.cc.o" "gcc" "src/CMakeFiles/e2gcl_graph.dir/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/e2gcl_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/e2gcl_graph.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/e2gcl_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/e2gcl_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/ppr.cc" "src/CMakeFiles/e2gcl_graph.dir/graph/ppr.cc.o" "gcc" "src/CMakeFiles/e2gcl_graph.dir/graph/ppr.cc.o.d"
+  "/root/repo/src/graph/splits.cc" "src/CMakeFiles/e2gcl_graph.dir/graph/splits.cc.o" "gcc" "src/CMakeFiles/e2gcl_graph.dir/graph/splits.cc.o.d"
+  "/root/repo/src/graph/tu_generator.cc" "src/CMakeFiles/e2gcl_graph.dir/graph/tu_generator.cc.o" "gcc" "src/CMakeFiles/e2gcl_graph.dir/graph/tu_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e2gcl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2gcl_graph.dir/graph/datasets.cc.o"
+  "CMakeFiles/e2gcl_graph.dir/graph/datasets.cc.o.d"
+  "CMakeFiles/e2gcl_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/e2gcl_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/e2gcl_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/e2gcl_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/e2gcl_graph.dir/graph/ppr.cc.o"
+  "CMakeFiles/e2gcl_graph.dir/graph/ppr.cc.o.d"
+  "CMakeFiles/e2gcl_graph.dir/graph/splits.cc.o"
+  "CMakeFiles/e2gcl_graph.dir/graph/splits.cc.o.d"
+  "CMakeFiles/e2gcl_graph.dir/graph/tu_generator.cc.o"
+  "CMakeFiles/e2gcl_graph.dir/graph/tu_generator.cc.o.d"
+  "libe2gcl_graph.a"
+  "libe2gcl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2gcl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

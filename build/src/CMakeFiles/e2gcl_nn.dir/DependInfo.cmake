@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gat.cc" "src/CMakeFiles/e2gcl_nn.dir/nn/gat.cc.o" "gcc" "src/CMakeFiles/e2gcl_nn.dir/nn/gat.cc.o.d"
+  "/root/repo/src/nn/gcn.cc" "src/CMakeFiles/e2gcl_nn.dir/nn/gcn.cc.o" "gcc" "src/CMakeFiles/e2gcl_nn.dir/nn/gcn.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/e2gcl_nn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/e2gcl_nn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/e2gcl_nn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/e2gcl_nn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/CMakeFiles/e2gcl_nn.dir/nn/optim.cc.o" "gcc" "src/CMakeFiles/e2gcl_nn.dir/nn/optim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e2gcl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2gcl_nn.dir/nn/gat.cc.o"
+  "CMakeFiles/e2gcl_nn.dir/nn/gat.cc.o.d"
+  "CMakeFiles/e2gcl_nn.dir/nn/gcn.cc.o"
+  "CMakeFiles/e2gcl_nn.dir/nn/gcn.cc.o.d"
+  "CMakeFiles/e2gcl_nn.dir/nn/init.cc.o"
+  "CMakeFiles/e2gcl_nn.dir/nn/init.cc.o.d"
+  "CMakeFiles/e2gcl_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/e2gcl_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/e2gcl_nn.dir/nn/optim.cc.o"
+  "CMakeFiles/e2gcl_nn.dir/nn/optim.cc.o.d"
+  "libe2gcl_nn.a"
+  "libe2gcl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2gcl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2gcl_tensor.dir/tensor/csr.cc.o"
+  "CMakeFiles/e2gcl_tensor.dir/tensor/csr.cc.o.d"
+  "CMakeFiles/e2gcl_tensor.dir/tensor/matrix.cc.o"
+  "CMakeFiles/e2gcl_tensor.dir/tensor/matrix.cc.o.d"
+  "CMakeFiles/e2gcl_tensor.dir/tensor/rng.cc.o"
+  "CMakeFiles/e2gcl_tensor.dir/tensor/rng.cc.o.d"
+  "libe2gcl_tensor.a"
+  "libe2gcl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2gcl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gat_io_projection_test.dir/gat_io_projection_test.cc.o"
+  "CMakeFiles/gat_io_projection_test.dir/gat_io_projection_test.cc.o.d"
+  "gat_io_projection_test"
+  "gat_io_projection_test.pdb"
+  "gat_io_projection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gat_io_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gat_io_projection_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_level_test.dir/graph_level_test.cc.o"
+  "CMakeFiles/graph_level_test.dir/graph_level_test.cc.o.d"
+  "graph_level_test"
+  "graph_level_test.pdb"
+  "graph_level_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_level_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splits_ppr_tu_test.dir/splits_ppr_tu_test.cc.o"
+  "CMakeFiles/splits_ppr_tu_test.dir/splits_ppr_tu_test.cc.o.d"
+  "splits_ppr_tu_test"
+  "splits_ppr_tu_test.pdb"
+  "splits_ppr_tu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splits_ppr_tu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

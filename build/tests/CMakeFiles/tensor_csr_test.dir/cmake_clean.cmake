@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_csr_test.dir/tensor_csr_test.cc.o"
+  "CMakeFiles/tensor_csr_test.dir/tensor_csr_test.cc.o.d"
+  "tensor_csr_test"
+  "tensor_csr_test.pdb"
+  "tensor_csr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

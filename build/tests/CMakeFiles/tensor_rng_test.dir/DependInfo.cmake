@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor_rng_test.cc" "tests/CMakeFiles/tensor_rng_test.dir/tensor_rng_test.cc.o" "gcc" "tests/CMakeFiles/tensor_rng_test.dir/tensor_rng_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e2gcl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e2gcl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

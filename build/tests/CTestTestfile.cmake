@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tensor_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_csr_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/autograd_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/autograd_loss_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/splits_ppr_tu_test[1]_include.cmake")
+include("/root/repo/build/tests/kmeans_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/core_selector_test[1]_include.cmake")
+include("/root/repo/build/tests/core_view_test[1]_include.cmake")
+include("/root/repo/build/tests/core_trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_level_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweeps_test[1]_include.cmake")
+include("/root/repo/build/tests/theory_test[1]_include.cmake")
+include("/root/repo/build/tests/gat_io_projection_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")

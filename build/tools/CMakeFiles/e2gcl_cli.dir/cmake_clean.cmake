@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2gcl_cli.dir/e2gcl_cli.cc.o"
+  "CMakeFiles/e2gcl_cli.dir/e2gcl_cli.cc.o.d"
+  "e2gcl_cli"
+  "e2gcl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2gcl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tune.dir/exp_tune.cc.o"
+  "CMakeFiles/exp_tune.dir/exp_tune.cc.o.d"
+  "exp_tune"
+  "exp_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
