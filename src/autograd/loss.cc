@@ -3,8 +3,10 @@
 #include <cmath>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "autograd/ops.h"
+#include "parallel/parallel_for.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -39,6 +41,27 @@ float WeightTotal(const std::vector<float>& w, std::int64_t n) {
   return static_cast<float>(acc);
 }
 
+// Anchor-row floor for chunked loss reductions: below this many rows a
+// single chunk keeps the exact serial summation order.
+constexpr std::int64_t kLossRowFloor = 64;
+
+/// Splits [0, n) anchors into fixed chunks, runs body(chunk, begin, end)
+/// with a per-chunk double accumulator slot, and returns the chunk-order
+/// sum. `cost` is the per-anchor op estimate used to size the grain.
+template <typename Body>
+double ChunkedLossSum(std::int64_t n, std::int64_t cost, const Body& body) {
+  const std::int64_t grain = std::max(kLossRowFloor, GrainForCost(cost));
+  const std::int64_t chunks = NumChunks(n, grain);
+  std::vector<double> partial(std::max<std::int64_t>(1, chunks), 0.0);
+  ParallelForChunks(0, n, grain,
+                    [&](std::int64_t chunk, std::int64_t b, std::int64_t e) {
+                      partial[chunk] = body(b, e);
+                    });
+  double acc = 0.0;
+  for (double p : partial) acc += p;
+  return acc;
+}
+
 }  // namespace
 
 Var SoftmaxCrossEntropy(const Var& logits,
@@ -55,12 +78,15 @@ Var SoftmaxCrossEntropy(const Var& logits,
   // Forward: weighted mean of -log softmax(x)[label]. Cache the softmax
   // for the backward pass.
   auto probs = std::make_shared<Matrix>(SoftmaxRows(x));
-  double loss = 0.0;
-  for (std::int64_t r = 0; r < n; ++r) {
-    E2GCL_CHECK(labels[r] >= 0 && labels[r] < c);
-    const float p = std::max((*probs)(r, labels[r]), 1e-12f);
-    loss -= static_cast<double>(WeightAt(row_weights, r)) * std::log(p);
-  }
+  double loss = -ChunkedLossSum(n, c, [&](std::int64_t rb, std::int64_t re) {
+    double acc = 0.0;
+    for (std::int64_t r = rb; r < re; ++r) {
+      E2GCL_CHECK(labels[r] >= 0 && labels[r] < c);
+      const float p = std::max((*probs)(r, labels[r]), 1e-12f);
+      acc += static_cast<double>(WeightAt(row_weights, r)) * std::log(p);
+    }
+    return acc;
+  });
   loss /= wtot;
 
   return MakeScalarNode(
@@ -70,12 +96,17 @@ Var SoftmaxCrossEntropy(const Var& logits,
         if (!px->requires_grad) return;
         const float gscale = node.grad(0, 0) / wtot;
         Matrix g = *probs;
-        for (std::int64_t r = 0; r < g.rows(); ++r) {
-          const float w = WeightAt(row_weights, r) * gscale;
-          float* row = g.RowPtr(r);
-          for (std::int64_t cc = 0; cc < g.cols(); ++cc) row[cc] *= w;
-          row[labels[r]] -= w;
-        }
+        ParallelFor(0, g.rows(), GrainForCost(g.cols()),
+                    [&](std::int64_t rb, std::int64_t re) {
+                      for (std::int64_t r = rb; r < re; ++r) {
+                        const float w = WeightAt(row_weights, r) * gscale;
+                        float* row = g.RowPtr(r);
+                        for (std::int64_t cc = 0; cc < g.cols(); ++cc) {
+                          row[cc] *= w;
+                        }
+                        row[labels[r]] -= w;
+                      }
+                    });
         px->AccumulateGrad(g);
       });
 }
@@ -111,57 +142,63 @@ Var InfoNce(const Var& z1, const Var& z2, float temperature,
   auto p21 = std::make_shared<Matrix>(n, n);  // direction 2: over sim12^T
   auto p22 = std::make_shared<Matrix>(n, n);
 
-  double loss = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float w = WeightAt(row_weights, i);
-    // Row max for stability.
-    float mx = sim12(i, 0);
-    for (std::int64_t j = 0; j < n; ++j) {
-      mx = std::max(mx, sim12(i, j));
-      if (j != i) mx = std::max(mx, sim11(i, j));
-    }
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float e12 = std::exp(sim12(i, j) - mx);
-      (*p12)(i, j) = e12;
-      denom += e12;
-      if (j != i) {
-        const float e11 = std::exp(sim11(i, j) - mx);
-        (*p11)(i, j) = e11;
-        denom += e11;
+  // Each anchor i owns row i of every soft-assignment matrix, so the
+  // per-anchor loop parallelizes with no shared writes; the scalar loss
+  // is reduced from per-chunk partials in chunk order.
+  double loss = ChunkedLossSum(n, 8 * n, [&](std::int64_t ib, std::int64_t ie) {
+    double acc = 0.0;
+    for (std::int64_t i = ib; i < ie; ++i) {
+      const float w = WeightAt(row_weights, i);
+      // Row max for stability.
+      float mx = sim12(i, 0);
+      for (std::int64_t j = 0; j < n; ++j) {
+        mx = std::max(mx, sim12(i, j));
+        if (j != i) mx = std::max(mx, sim11(i, j));
       }
-    }
-    const float inv_denom = static_cast<float>(1.0 / denom);
-    for (std::int64_t j = 0; j < n; ++j) {
-      (*p12)(i, j) *= inv_denom;
-      (*p11)(i, j) *= inv_denom;
-    }
-    loss += w * (-(sim12(i, i) - mx) + std::log(denom));
+      double denom = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float e12 = std::exp(sim12(i, j) - mx);
+        (*p12)(i, j) = e12;
+        denom += e12;
+        if (j != i) {
+          const float e11 = std::exp(sim11(i, j) - mx);
+          (*p11)(i, j) = e11;
+          denom += e11;
+        }
+      }
+      const float inv_denom = static_cast<float>(1.0 / denom);
+      for (std::int64_t j = 0; j < n; ++j) {
+        (*p12)(i, j) *= inv_denom;
+        (*p11)(i, j) *= inv_denom;
+      }
+      acc += w * (-(sim12(i, i) - mx) + std::log(denom));
 
-    // Direction 2 -> 1.
-    float mx2 = sim12(0, i);
-    for (std::int64_t j = 0; j < n; ++j) {
-      mx2 = std::max(mx2, sim12(j, i));
-      if (j != i) mx2 = std::max(mx2, sim22(i, j));
-    }
-    double denom2 = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float e21 = std::exp(sim12(j, i) - mx2);
-      (*p21)(i, j) = e21;
-      denom2 += e21;
-      if (j != i) {
-        const float e22 = std::exp(sim22(i, j) - mx2);
-        (*p22)(i, j) = e22;
-        denom2 += e22;
+      // Direction 2 -> 1.
+      float mx2 = sim12(0, i);
+      for (std::int64_t j = 0; j < n; ++j) {
+        mx2 = std::max(mx2, sim12(j, i));
+        if (j != i) mx2 = std::max(mx2, sim22(i, j));
       }
+      double denom2 = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float e21 = std::exp(sim12(j, i) - mx2);
+        (*p21)(i, j) = e21;
+        denom2 += e21;
+        if (j != i) {
+          const float e22 = std::exp(sim22(i, j) - mx2);
+          (*p22)(i, j) = e22;
+          denom2 += e22;
+        }
+      }
+      const float inv_denom2 = static_cast<float>(1.0 / denom2);
+      for (std::int64_t j = 0; j < n; ++j) {
+        (*p21)(i, j) *= inv_denom2;
+        (*p22)(i, j) *= inv_denom2;
+      }
+      acc += w * (-(sim12(i, i) - mx2) + std::log(denom2));
     }
-    const float inv_denom2 = static_cast<float>(1.0 / denom2);
-    for (std::int64_t j = 0; j < n; ++j) {
-      (*p21)(i, j) *= inv_denom2;
-      (*p22)(i, j) *= inv_denom2;
-    }
-    loss += w * (-(sim12(i, i) - mx2) + std::log(denom2));
-  }
+    return acc;
+  });
   loss /= 2.0 * wtot;
 
   return MakeScalarNode(
@@ -181,32 +218,45 @@ Var InfoNce(const Var& z1, const Var& z2, float temperature,
         //   dL/d sim22_ij = w_i * p22_ij (i != j)           (dir 2)
         // sim12 = A B^T / t, sim11 = A A^T / t, sim22 = B B^T / t.
         Matrix g12(n, n), g11(n, n), g22(n, n);
-        for (std::int64_t i = 0; i < n; ++i) {
-          const float wi = WeightAt(row_weights, i);
-          for (std::int64_t j = 0; j < n; ++j) {
-            const float wj = WeightAt(row_weights, j);
-            float v = wi * (*p12)(i, j) + wj * (*p21)(j, i);
-            if (i == j) v -= wi + wj;
-            g12(i, j) = v;
-            if (i != j) {
-              g11(i, j) = wi * (*p11)(i, j);
-              g22(i, j) = wi * (*p22)(i, j);
-            }
-          }
-        }
+        ParallelFor(0, n, GrainForCost(3 * n),
+                    [&](std::int64_t ib, std::int64_t ie) {
+                      for (std::int64_t i = ib; i < ie; ++i) {
+                        const float wi = WeightAt(row_weights, i);
+                        for (std::int64_t j = 0; j < n; ++j) {
+                          const float wj = WeightAt(row_weights, j);
+                          float v = wi * (*p12)(i, j) + wj * (*p21)(j, i);
+                          if (i == j) v -= wi + wj;
+                          g12(i, j) = v;
+                          if (i != j) {
+                            g11(i, j) = wi * (*p11)(i, j);
+                            g22(i, j) = wi * (*p22)(i, j);
+                          }
+                        }
+                      }
+                    });
         if (pa->requires_grad) {
           // dA = (G12 B + (G11 + G11^T) A) * gscale.
           Matrix da = e2gcl::MatMul(g12, b);
           Matrix g11_sym = e2gcl::Add(g11, e2gcl::Transpose(g11));
           AddInPlace(da, e2gcl::MatMul(g11_sym, a));
-          for (std::int64_t i = 0; i < n * d; ++i) da.data()[i] *= gscale;
+          ParallelFor(0, n * d, std::int64_t{1} << 15,
+                      [&](std::int64_t ib, std::int64_t ie) {
+                        for (std::int64_t i = ib; i < ie; ++i) {
+                          da.data()[i] *= gscale;
+                        }
+                      });
           pa->AccumulateGrad(da);
         }
         if (pb->requires_grad) {
           Matrix db = e2gcl::MatMulTransposedA(g12, a);
           Matrix g22_sym = e2gcl::Add(g22, e2gcl::Transpose(g22));
           AddInPlace(db, e2gcl::MatMul(g22_sym, b));
-          for (std::int64_t i = 0; i < n * d; ++i) db.data()[i] *= gscale;
+          ParallelFor(0, n * d, std::int64_t{1} << 15,
+                      [&](std::int64_t ib, std::int64_t ie) {
+                        for (std::int64_t i = ib; i < ie; ++i) {
+                          db.data()[i] *= gscale;
+                        }
+                      });
           pb->AccumulateGrad(db);
         }
       });
@@ -222,18 +272,21 @@ Var EuclideanContrastive(const Var& z1, const Var& z2,
   E2GCL_CHECK(static_cast<std::int64_t>(neg_perm.size()) == n);
   const float wtot = WeightTotal(row_weights, n);
 
-  double loss = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float w = WeightAt(row_weights, i);
-    loss += w * RowSquaredDistance(a, i, b, i);
-    const std::int64_t u = neg_perm[i];
-    E2GCL_CHECK(u >= 0 && u < n);
-    // Negative views drawn from the first view's embeddings (the paper
-    // averages over both positive views; we use one sampled negative per
-    // anchor per view).
-    loss -= 0.5 * w *
-            (RowSquaredDistance(a, i, a, u) + RowSquaredDistance(b, i, a, u));
-  }
+  double loss = ChunkedLossSum(n, 3 * d, [&](std::int64_t ib, std::int64_t ie) {
+    double acc = 0.0;
+    for (std::int64_t i = ib; i < ie; ++i) {
+      const float w = WeightAt(row_weights, i);
+      acc += w * RowSquaredDistance(a, i, b, i);
+      const std::int64_t u = neg_perm[i];
+      E2GCL_CHECK(u >= 0 && u < n);
+      // Negative views drawn from the first view's embeddings (the paper
+      // averages over both positive views; we use one sampled negative per
+      // anchor per view).
+      acc -= 0.5 * w * (RowSquaredDistance(a, i, a, u) +
+                        RowSquaredDistance(b, i, a, u));
+    }
+    return acc;
+  });
   loss /= wtot;
 
   return MakeScalarNode(
@@ -245,6 +298,9 @@ Var EuclideanContrastive(const Var& z1, const Var& z2,
         const Matrix& b = pb->value;
         const float gs = node.grad(0, 0) / wtot;
         Matrix da(n, d), db(n, d);
+        // Stays serial: iteration i writes da rows i and neg_perm[i], so
+        // rows alias across iterations; the loop is O(n d), cold next to
+        // the O(n^2 d) similarity kernels.
         for (std::int64_t i = 0; i < n; ++i) {
           const float w = WeightAt(row_weights, i) * gs;
           const std::int64_t u = neg_perm[i];

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "parallel/parallel_for.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -126,15 +127,21 @@ Var AddRowBroadcast(const Var& a, const Var& bias) {
 
 Var Relu(const Var& a) {
   Matrix value = a.value();
-  for (std::int64_t i = 0; i < value.size(); ++i) {
-    value.data()[i] = std::max(0.0f, value.data()[i]);
-  }
+  ParallelFor(0, value.size(), std::int64_t{1} << 15,
+              [&](std::int64_t ib, std::int64_t ie) {
+                for (std::int64_t i = ib; i < ie; ++i) {
+                  value.data()[i] = std::max(0.0f, value.data()[i]);
+                }
+              });
   return MakeNode(std::move(value), {a}, [](Node& n) {
     Node* pa = n.parents[0].get();
     Matrix g = n.grad;
-    for (std::int64_t i = 0; i < g.size(); ++i) {
-      if (pa->value.data()[i] <= 0.0f) g.data()[i] = 0.0f;
-    }
+    ParallelFor(0, g.size(), std::int64_t{1} << 15,
+                [&](std::int64_t ib, std::int64_t ie) {
+                  for (std::int64_t i = ib; i < ie; ++i) {
+                    if (pa->value.data()[i] <= 0.0f) g.data()[i] = 0.0f;
+                  }
+                });
     pa->AccumulateGrad(g);
   });
 }
@@ -233,28 +240,35 @@ Var NormalizeRowsL2(const Var& a, float eps) {
     const Matrix& x = pa->value;
     const Matrix& y = n.value;
     Matrix g(x.rows(), x.cols());
-    for (std::int64_t r = 0; r < x.rows(); ++r) {
-      const float* xr = x.RowPtr(r);
-      const float* yr = y.RowPtr(r);
-      const float* gr = n.grad.RowPtr(r);
-      float* out = g.RowPtr(r);
-      double norm2 = 0.0;
-      for (std::int64_t c = 0; c < x.cols(); ++c) {
-        norm2 += static_cast<double>(xr[c]) * xr[c];
-      }
-      const float norm = static_cast<float>(std::sqrt(norm2));
-      if (norm <= eps) {
-        // Zero row passed through unchanged: identity gradient.
-        for (std::int64_t c = 0; c < x.cols(); ++c) out[c] = gr[c];
-        continue;
-      }
-      float dot = 0.0f;
-      for (std::int64_t c = 0; c < x.cols(); ++c) dot += gr[c] * yr[c];
-      const float inv = 1.0f / norm;
-      for (std::int64_t c = 0; c < x.cols(); ++c) {
-        out[c] = (gr[c] - dot * yr[c]) * inv;
-      }
-    }
+    ParallelFor(0, x.rows(), GrainForCost(3 * x.cols()),
+                [&](std::int64_t rb, std::int64_t re) {
+                  for (std::int64_t r = rb; r < re; ++r) {
+                    const float* xr = x.RowPtr(r);
+                    const float* yr = y.RowPtr(r);
+                    const float* gr = n.grad.RowPtr(r);
+                    float* out = g.RowPtr(r);
+                    double norm2 = 0.0;
+                    for (std::int64_t c = 0; c < x.cols(); ++c) {
+                      norm2 += static_cast<double>(xr[c]) * xr[c];
+                    }
+                    const float norm = static_cast<float>(std::sqrt(norm2));
+                    if (norm <= eps) {
+                      // Zero row passed through unchanged: identity gradient.
+                      for (std::int64_t c = 0; c < x.cols(); ++c) {
+                        out[c] = gr[c];
+                      }
+                      continue;
+                    }
+                    float dot = 0.0f;
+                    for (std::int64_t c = 0; c < x.cols(); ++c) {
+                      dot += gr[c] * yr[c];
+                    }
+                    const float inv = 1.0f / norm;
+                    for (std::int64_t c = 0; c < x.cols(); ++c) {
+                      out[c] = (gr[c] - dot * yr[c]) * inv;
+                    }
+                  }
+                });
     pa->AccumulateGrad(g);
   });
 }

@@ -3,15 +3,40 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "parallel/parallel_for.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
 
 namespace {
 
+// Row floor for the update-step partial sums: below this many points a
+// single chunk reproduces the exact serial accumulation order.
+constexpr std::int64_t kUpdateRowFloor = 512;
+
+/// Nearest-center scan for one point. Ties break toward the lower center
+/// index, matching the serial loop.
+void NearestCenter(const Matrix& points, const Matrix& centers,
+                   std::int64_t v, std::int64_t k, float* best,
+                   std::int64_t* best_c) {
+  *best = std::numeric_limits<float>::max();
+  *best_c = 0;
+  for (std::int64_t c = 0; c < k; ++c) {
+    const float dist = RowSquaredDistance(points, v, centers, c);
+    if (dist < *best) {
+      *best = dist;
+      *best_c = c;
+    }
+  }
+}
+
 /// kmeans++ seeding: first center uniform, subsequent centers sampled
 /// proportionally to squared distance from the nearest chosen center.
+/// The per-point distance updates run in parallel (exact, element-wise);
+/// the sampling scan stays serial so the RNG stream and the picked
+/// centers are identical to the single-threaded implementation.
 Matrix SeedPlusPlus(const Matrix& points, std::int64_t k, Rng& rng) {
   const std::int64_t n = points.rows();
   Matrix centers(k, points.cols());
@@ -19,13 +44,16 @@ Matrix SeedPlusPlus(const Matrix& points, std::int64_t k, Rng& rng) {
   std::int64_t first = rng.UniformInt(n);
   std::copy(points.RowPtr(first), points.RowPtr(first) + points.cols(),
             centers.RowPtr(0));
+  const std::int64_t grain = GrainForCost(points.cols());
   for (std::int64_t c = 1; c < k; ++c) {
+    ParallelFor(0, n, grain, [&](std::int64_t vb, std::int64_t ve) {
+      for (std::int64_t v = vb; v < ve; ++v) {
+        const float d = RowSquaredDistance(points, v, centers, c - 1);
+        d2[v] = std::min(d2[v], d);
+      }
+    });
     double total = 0.0;
-    for (std::int64_t v = 0; v < n; ++v) {
-      const float d = RowSquaredDistance(points, v, centers, c - 1);
-      d2[v] = std::min(d2[v], d);
-      total += d2[v];
-    }
+    for (std::int64_t v = 0; v < n; ++v) total += d2[v];
     std::int64_t pick = 0;
     if (total > 0.0) {
       double u = static_cast<double>(rng.Uniform()) * total;
@@ -63,34 +91,64 @@ KMeansResult KMeans(const Matrix& points, const KMeansOptions& opts,
   }
   res.assignment.assign(n, 0);
 
+  // Per-point squared distance to the assigned center, filled by the
+  // parallel assignment scans; inertia is summed serially from it so the
+  // total keeps the serial accumulation order.
+  std::vector<float> point_d2(n, 0.0f);
+  const std::int64_t assign_grain = GrainForCost(k * d);
+
   double prev_inertia = std::numeric_limits<double>::max();
   for (int iter = 0; iter < opts.max_iters; ++iter) {
-    // Assignment step.
-    double inertia = 0.0;
-    for (std::int64_t v = 0; v < n; ++v) {
-      float best = std::numeric_limits<float>::max();
-      std::int64_t best_c = 0;
-      for (std::int64_t c = 0; c < k; ++c) {
-        const float dist = RowSquaredDistance(points, v, res.centers, c);
-        if (dist < best) {
-          best = dist;
-          best_c = c;
-        }
+    // Assignment step: the O(n k d) scan is row-parallel and exact.
+    ParallelFor(0, n, assign_grain, [&](std::int64_t vb, std::int64_t ve) {
+      for (std::int64_t v = vb; v < ve; ++v) {
+        float best;
+        std::int64_t best_c;
+        NearestCenter(points, res.centers, v, k, &best, &best_c);
+        res.assignment[v] = best_c;
+        point_d2[v] = best;
       }
-      res.assignment[v] = best_c;
-      inertia += best;
-    }
+    });
+    double inertia = 0.0;
+    for (std::int64_t v = 0; v < n; ++v) inertia += point_d2[v];
     res.inertia = inertia;
 
-    // Update step.
+    // Update step: per-chunk partial sums and counts, reduced in chunk
+    // order so center positions are independent of the thread count.
     Matrix sums(k, d);
     std::vector<std::int64_t> counts(k, 0);
-    for (std::int64_t v = 0; v < n; ++v) {
-      const std::int64_t c = res.assignment[v];
-      counts[c] += 1;
-      const float* row = points.RowPtr(v);
-      float* srow = sums.RowPtr(c);
-      for (std::int64_t j = 0; j < d; ++j) srow[j] += row[j];
+    const std::int64_t update_grain = std::max(kUpdateRowFloor, GrainForCost(d));
+    const std::int64_t chunks = NumChunks(n, update_grain);
+    if (chunks <= 1) {
+      for (std::int64_t v = 0; v < n; ++v) {
+        const std::int64_t c = res.assignment[v];
+        counts[c] += 1;
+        const float* row = points.RowPtr(v);
+        float* srow = sums.RowPtr(c);
+        for (std::int64_t j = 0; j < d; ++j) srow[j] += row[j];
+      }
+    } else {
+      std::vector<Matrix> sum_parts(chunks);
+      std::vector<std::vector<std::int64_t>> count_parts(chunks);
+      ParallelForChunks(
+          0, n, update_grain,
+          [&](std::int64_t chunk, std::int64_t vb, std::int64_t ve) {
+            Matrix part(k, d);
+            std::vector<std::int64_t> cnt(k, 0);
+            for (std::int64_t v = vb; v < ve; ++v) {
+              const std::int64_t c = res.assignment[v];
+              cnt[c] += 1;
+              const float* row = points.RowPtr(v);
+              float* srow = part.RowPtr(c);
+              for (std::int64_t j = 0; j < d; ++j) srow[j] += row[j];
+            }
+            sum_parts[chunk] = std::move(part);
+            count_parts[chunk] = std::move(cnt);
+          });
+      for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
+        AddInPlace(sums, sum_parts[chunk]);
+        for (std::int64_t c = 0; c < k; ++c) counts[c] += count_parts[chunk][c];
+      }
     }
     for (std::int64_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
@@ -123,24 +181,25 @@ KMeansResult KMeans(const Matrix& points, const KMeansOptions& opts,
   }
 
   // Final bookkeeping: clusters, radii, inertia under final centers.
+  // The distance scan is parallel; the membership lists are built by a
+  // serial pass so node order inside each cluster stays ascending.
+  ParallelFor(0, n, assign_grain, [&](std::int64_t vb, std::int64_t ve) {
+    for (std::int64_t v = vb; v < ve; ++v) {
+      float best;
+      std::int64_t best_c;
+      NearestCenter(points, res.centers, v, k, &best, &best_c);
+      res.assignment[v] = best_c;
+      point_d2[v] = best;
+    }
+  });
   res.clusters.assign(k, {});
   res.max_radius.assign(k, 0.0f);
   double inertia = 0.0;
   for (std::int64_t v = 0; v < n; ++v) {
-    float best = std::numeric_limits<float>::max();
-    std::int64_t best_c = 0;
-    for (std::int64_t c = 0; c < k; ++c) {
-      const float dist = RowSquaredDistance(points, v, res.centers, c);
-      if (dist < best) {
-        best = dist;
-        best_c = c;
-      }
-    }
-    res.assignment[v] = best_c;
-    res.clusters[best_c].push_back(v);
-    inertia += best;
-    res.max_radius[best_c] =
-        std::max(res.max_radius[best_c], std::sqrt(best));
+    const std::int64_t c = res.assignment[v];
+    res.clusters[c].push_back(v);
+    inertia += point_d2[v];
+    res.max_radius[c] = std::max(res.max_radius[c], std::sqrt(point_d2[v]));
   }
   res.inertia = inertia;
   return res;

@@ -4,12 +4,18 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "parallel/parallel_for.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
 
 namespace {
+
+// Row floor for chunked double-sum reductions: below this many nodes a
+// single chunk keeps the exact serial summation order.
+constexpr std::int64_t kSumRowFloor = 512;
 
 /// Clustered distance of Eq. (13): exact within u's cluster, relaxed
 /// (center distance + cluster radius) across clusters.
@@ -26,14 +32,26 @@ float ClusteredDistance(const Matrix& r, const KMeansResult& km,
 double RepresentativityObjective(const Matrix& r, const KMeansResult& km,
                                  const std::vector<std::int64_t>& selected) {
   E2GCL_CHECK(!selected.empty());
+  const std::int64_t n = r.rows();
+  const std::int64_t grain = std::max(
+      kSumRowFloor,
+      GrainForCost(static_cast<std::int64_t>(selected.size()) * r.cols()));
+  const std::int64_t chunks = NumChunks(n, grain);
+  std::vector<double> partial(std::max<std::int64_t>(1, chunks), 0.0);
+  ParallelForChunks(0, n, grain,
+                    [&](std::int64_t chunk, std::int64_t vb, std::int64_t ve) {
+                      double total = 0.0;
+                      for (std::int64_t v = vb; v < ve; ++v) {
+                        float best = std::numeric_limits<float>::max();
+                        for (std::int64_t u : selected) {
+                          best = std::min(best, ClusteredDistance(r, km, v, u));
+                        }
+                        total += best;
+                      }
+                      partial[chunk] = total;
+                    });
   double total = 0.0;
-  for (std::int64_t v = 0; v < r.rows(); ++v) {
-    float best = std::numeric_limits<float>::max();
-    for (std::int64_t u : selected) {
-      best = std::min(best, ClusteredDistance(r, km, v, u));
-    }
-    total += best;
-  }
+  for (double p : partial) total += p;
   return total;
 }
 
@@ -106,30 +124,45 @@ SelectionResult SelectCoreset(const Matrix& r, const SelectorConfig& config,
     pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
 
     // --- Lines 5-8: pick the candidate with maximal marginal gain. -------
+    // Candidate gains are independent (each reads best_dist, none writes
+    // it), so they are computed in parallel — these are the Thm. 1
+    // pairwise raw-aggregated-distance loops, the selector's hot path.
+    // Each candidate's own summation order is unchanged, and the argmax
+    // runs serially in pool order, so the pick matches the serial code
+    // exactly at any thread count.
+    const std::int64_t pool_size = static_cast<std::int64_t>(pool.size());
+    std::vector<double> gains(pool_size, 0.0);
+    ParallelFor(0, pool_size, 1, [&](std::int64_t pb, std::int64_t pe) {
+      std::vector<float> cdist(nc);
+      for (std::int64_t pi = pb; pi < pe; ++pi) {
+        const std::int64_t u = pool[pi];
+        const std::int64_t cu = km.assignment[u];
+        for (std::int64_t j = 0; j < nc; ++j) {
+          cdist[j] = RowDistance(km.centers, j, r, u);
+        }
+        double gain = 0.0;
+        // Exact distances within u's cluster.
+        for (std::int64_t v : km.clusters[cu]) {
+          const float d = RowDistance(r, v, r, u);
+          if (d < best_dist[v]) gain += best_dist[v] - d;
+        }
+        // Relaxed distances for all other clusters: threshold per cluster.
+        for (std::int64_t j = 0; j < nc; ++j) {
+          if (j == cu) continue;
+          const float t = cdist[j] + km.max_radius[j];
+          for (std::int64_t v : km.clusters[j]) {
+            if (best_dist[v] > t) gain += best_dist[v] - t;
+          }
+        }
+        gains[pi] = gain;
+      }
+    });
     double best_gain = -1.0;
     std::int64_t best_u = pool.front();
-    for (std::int64_t u : pool) {
-      const std::int64_t cu = km.assignment[u];
-      for (std::int64_t j = 0; j < nc; ++j) {
-        center_dist[j] = RowDistance(km.centers, j, r, u);
-      }
-      double gain = 0.0;
-      // Exact distances within u's cluster.
-      for (std::int64_t v : km.clusters[cu]) {
-        const float d = RowDistance(r, v, r, u);
-        if (d < best_dist[v]) gain += best_dist[v] - d;
-      }
-      // Relaxed distances for all other clusters: threshold per cluster.
-      for (std::int64_t j = 0; j < nc; ++j) {
-        if (j == cu) continue;
-        const float t = center_dist[j] + km.max_radius[j];
-        for (std::int64_t v : km.clusters[j]) {
-          if (best_dist[v] > t) gain += best_dist[v] - t;
-        }
-      }
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_u = u;
+    for (std::int64_t pi = 0; pi < pool_size; ++pi) {
+      if (gains[pi] > best_gain) {
+        best_gain = gains[pi];
+        best_u = pool[pi];
       }
     }
 
@@ -140,9 +173,17 @@ SelectionResult SelectCoreset(const Matrix& r, const SelectorConfig& config,
     for (std::int64_t j = 0; j < nc; ++j) {
       center_dist[j] = RowDistance(km.centers, j, r, best_u);
     }
-    for (std::int64_t v : km.clusters[cu]) {
-      best_dist[v] = std::min(best_dist[v], RowDistance(r, v, r, best_u));
-    }
+    // Exact element-wise min updates: each v is owned by one chunk.
+    const auto& cu_members = km.clusters[cu];
+    const std::int64_t n_members = static_cast<std::int64_t>(cu_members.size());
+    ParallelFor(0, n_members, GrainForCost(r.cols()),
+                [&](std::int64_t mb, std::int64_t me) {
+                  for (std::int64_t mi = mb; mi < me; ++mi) {
+                    const std::int64_t v = cu_members[mi];
+                    best_dist[v] =
+                        std::min(best_dist[v], RowDistance(r, v, r, best_u));
+                  }
+                });
     for (std::int64_t j = 0; j < nc; ++j) {
       if (j == cu) continue;
       const float t = center_dist[j] + km.max_radius[j];
@@ -171,38 +212,63 @@ SelectionResult SelectCoreset(const Matrix& r, const SelectorConfig& config,
   // minimizing ||c_j - R[u]|| (the +d_j^max offset is common).
   std::vector<std::int64_t> best_cross(nc, -1);
   std::vector<float> best_cross_dist(nc, std::numeric_limits<float>::max());
-  for (std::int64_t j = 0; j < nc; ++j) {
-    for (std::int64_t u : result.nodes) {
-      if (km.assignment[u] == j) continue;  // Eq. 13: u2 outside C_i.
-      const float d = RowDistance(km.centers, j, r, u);
-      if (d < best_cross_dist[j]) {
-        best_cross_dist[j] = d;
-        best_cross[j] = u;
+  // Each target cluster j scans the selected set independently.
+  ParallelFor(0, nc, 1, [&](std::int64_t jb, std::int64_t je) {
+    for (std::int64_t j = jb; j < je; ++j) {
+      for (std::int64_t u : result.nodes) {
+        if (km.assignment[u] == j) continue;  // Eq. 13: u2 outside C_i.
+        const float d = RowDistance(km.centers, j, r, u);
+        if (d < best_cross_dist[j]) {
+          best_cross_dist[j] = d;
+          best_cross[j] = u;
+        }
       }
     }
-  }
+  });
+  // Per-chunk weight/objective partials, reduced in chunk order. Weight
+  // increments are +1.0f adds, which are exact under any regrouping, so
+  // the weights themselves are bit-identical to the serial pass.
+  const std::int64_t w_grain = std::max(kSumRowFloor, GrainForCost(r.cols()));
+  const std::int64_t w_chunks = NumChunks(n, w_grain);
+  std::vector<std::vector<float>> weight_parts(
+      std::max<std::int64_t>(1, w_chunks));
+  std::vector<double> objective_parts(std::max<std::int64_t>(1, w_chunks),
+                                      0.0);
+  ParallelForChunks(
+      0, n, w_grain, [&](std::int64_t chunk, std::int64_t vb, std::int64_t ve) {
+        std::vector<float> wpart(ks, 0.0f);
+        double objective = 0.0;
+        for (std::int64_t v = vb; v < ve; ++v) {
+          const std::int64_t cv = km.assignment[v];
+          float best = std::numeric_limits<float>::max();
+          std::int64_t rep = -1;
+          for (std::int64_t u : sel_by_cluster[cv]) {
+            const float d = RowDistance(r, v, r, u);
+            if (d < best) {
+              best = d;
+              rep = u;
+            }
+          }
+          if (best_cross[cv] >= 0) {
+            const float d = best_cross_dist[cv] + km.max_radius[cv];
+            if (d < best) {
+              best = d;
+              rep = best_cross[cv];
+            }
+          }
+          if (rep < 0) rep = result.nodes.front();
+          wpart[sel_index[rep]] += 1.0f;
+          objective += best == std::numeric_limits<float>::max() ? 0.0 : best;
+        }
+        weight_parts[chunk] = std::move(wpart);
+        objective_parts[chunk] = objective;
+      });
   double objective = 0.0;
-  for (std::int64_t v = 0; v < n; ++v) {
-    const std::int64_t cv = km.assignment[v];
-    float best = std::numeric_limits<float>::max();
-    std::int64_t rep = -1;
-    for (std::int64_t u : sel_by_cluster[cv]) {
-      const float d = RowDistance(r, v, r, u);
-      if (d < best) {
-        best = d;
-        rep = u;
-      }
+  for (std::int64_t chunk = 0; chunk < w_chunks; ++chunk) {
+    for (std::int64_t i = 0; i < ks; ++i) {
+      result.weights[i] += weight_parts[chunk][i];
     }
-    if (best_cross[cv] >= 0) {
-      const float d = best_cross_dist[cv] + km.max_radius[cv];
-      if (d < best) {
-        best = d;
-        rep = best_cross[cv];
-      }
-    }
-    if (rep < 0) rep = result.nodes.front();
-    result.weights[sel_index[rep]] += 1.0f;
-    objective += best == std::numeric_limits<float>::max() ? 0.0 : best;
+    objective += objective_parts[chunk];
   }
   result.representativity = objective;
   result.seconds = std::chrono::duration<double>(

@@ -1,0 +1,76 @@
+#ifndef E2GCL_PARALLEL_PARALLEL_FOR_H_
+#define E2GCL_PARALLEL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "parallel/thread_pool.h"
+
+namespace e2gcl {
+
+/// Fixed, size-based chunking.
+///
+/// The index range [begin, end) is split into ceil(n / grain) chunks of
+/// `grain` consecutive indices (last chunk may be short). Chunk count and
+/// boundaries depend ONLY on the range and the grain — never on the
+/// thread count — so a kernel that (a) writes disjoint outputs per chunk
+/// and (b) reduces per-chunk partials in ascending chunk order produces
+/// bit-identical results at any pool size. This is the determinism
+/// contract every kernel in the library relies on; see DESIGN.md
+/// "Threading model".
+
+/// Number of chunks the range [0, n) splits into at the given grain.
+inline std::int64_t NumChunks(std::int64_t n, std::int64_t grain) {
+  if (n <= 0) return 0;
+  grain = std::max<std::int64_t>(1, grain);
+  return (n + grain - 1) / grain;
+}
+
+/// Runs fn(chunk_index, chunk_begin, chunk_end) for every chunk of
+/// [begin, end). Chunks run concurrently on the global pool; the call
+/// blocks until all chunks finish. Use the chunk index to address
+/// per-chunk partial accumulators, then reduce them in index order on
+/// the calling thread.
+template <typename Fn>
+void ParallelForChunks(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain, const Fn& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = NumChunks(n, grain);
+  if (chunks == 1) {
+    fn(std::int64_t{0}, begin, end);
+    return;
+  }
+  GlobalThreadPool().Run(chunks, [&](std::int64_t c) {
+    const std::int64_t b = begin + c * grain;
+    const std::int64_t e = std::min(end, b + grain);
+    fn(c, b, e);
+  });
+}
+
+/// Runs fn(chunk_begin, chunk_end) for every chunk of [begin, end).
+/// For loops whose iterations write disjoint outputs (e.g. one output
+/// row per index); such kernels are bit-identical to their serial form.
+template <typename Fn>
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const Fn& fn) {
+  ParallelForChunks(begin, end, grain,
+                    [&](std::int64_t, std::int64_t b, std::int64_t e) {
+                      fn(b, e);
+                    });
+}
+
+/// Grain that targets roughly `target_ops` inner operations per chunk
+/// for a loop whose per-iteration cost is `ops_per_item`. Size-based
+/// only, so chunk boundaries stay independent of thread count.
+inline std::int64_t GrainForCost(std::int64_t ops_per_item,
+                                 std::int64_t target_ops = std::int64_t{1}
+                                                           << 15) {
+  ops_per_item = std::max<std::int64_t>(1, ops_per_item);
+  return std::max<std::int64_t>(1, target_ops / ops_per_item);
+}
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_PARALLEL_PARALLEL_FOR_H_

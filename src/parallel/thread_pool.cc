@@ -1,0 +1,152 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+namespace {
+
+/// True while the current thread is executing pool chunks; nested Run()
+/// calls from such a thread execute inline to avoid self-deadlock.
+thread_local bool t_in_parallel_region = false;
+
+int ClampThreads(long n) {
+  return static_cast<int>(std::clamp<long>(n, 1, 1024));
+}
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("E2GCL_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return ClampThreads(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return ClampThreads(hw == 0 ? 1 : static_cast<long>(hw));
+}
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+int g_requested_threads = 0;  // 0 = not overridden via SetNumThreads
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(ClampThreads(num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::int64_t ThreadPool::DrainCurrentJob() {
+  std::int64_t ran = 0;
+  for (;;) {
+    const std::function<void(std::int64_t)>* fn;
+    std::int64_t chunk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_chunk_ >= job_chunks_) return ran;
+      chunk = next_chunk_++;
+      fn = job_fn_;
+    }
+    try {
+      (*fn)(chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    ++ran;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_parallel_region = true;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] {
+        return shutdown_ || (generation_ != seen_generation &&
+                             next_chunk_ < job_chunks_);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    DrainCurrentJob();
+  }
+}
+
+void ThreadPool::Run(std::int64_t num_chunks,
+                     const std::function<void(std::int64_t)>& fn) {
+  if (num_chunks <= 0) return;
+  if (num_chunks == 1 || num_threads_ == 1 || t_in_parallel_region) {
+    for (std::int64_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_chunks_ = num_chunks;
+    next_chunk_ = 0;
+    pending_ = num_chunks;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+
+  t_in_parallel_region = true;
+  DrainCurrentJob();
+  t_in_parallel_region = false;
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_fn_ = nullptr;
+    job_chunks_ = 0;
+    err = first_error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+ThreadPool& GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(
+        g_requested_threads > 0 ? g_requested_threads : DefaultNumThreads());
+  }
+  return *g_pool;
+}
+
+int GetNumThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool) return g_pool->num_threads();
+  return g_requested_threads > 0 ? g_requested_threads : DefaultNumThreads();
+}
+
+void SetNumThreads(int num_threads) {
+  E2GCL_CHECK(num_threads >= 1);
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_requested_threads = ClampThreads(num_threads);
+  g_pool.reset();  // next GlobalThreadPool() call respawns at the new size
+}
+
+}  // namespace e2gcl

@@ -1,0 +1,83 @@
+#ifndef E2GCL_PARALLEL_THREAD_POOL_H_
+#define E2GCL_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace e2gcl {
+
+/// Persistent worker-thread pool used by every parallel kernel.
+///
+/// The pool hands out *chunk indices* [0, num_chunks) to its workers and
+/// the calling thread; the mapping from chunks to threads is dynamic
+/// (work-stealing via a shared counter), but chunk *contents* are defined
+/// entirely by the caller, so determinism is a property of the chunking
+/// scheme, never of the schedule. See parallel_for.h for the fixed,
+/// size-based chunking that all kernels use.
+///
+/// A pool of size n runs chunks on n-1 dedicated workers plus the calling
+/// thread. Calls from inside a pool thread (nested parallelism) execute
+/// inline on that thread, so kernels may freely call other kernels.
+class ThreadPool {
+ public:
+  /// Spawns num_threads - 1 workers (the caller is the n-th executor).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Invokes fn(chunk) for every chunk in [0, num_chunks), distributed
+  /// across the pool and the calling thread. Blocks until all chunks have
+  /// finished. Exceptions thrown by fn are rethrown (first one wins).
+  /// Concurrent top-level Run() calls are serialized; calls from inside a
+  /// worker run inline.
+  void Run(std::int64_t num_chunks, const std::function<void(std::int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims chunks from the current job until none remain. Returns the
+  /// number of chunks this thread executed.
+  std::int64_t DrainCurrentJob();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait for a new job
+  std::condition_variable done_cv_;  // Run() waits for completion
+  const std::function<void(std::int64_t)>* job_fn_ = nullptr;
+  std::int64_t job_chunks_ = 0;
+  std::int64_t next_chunk_ = 0;    // next unclaimed chunk
+  std::int64_t pending_ = 0;       // chunks not yet finished
+  std::uint64_t generation_ = 0;   // bumped per job so workers re-wake
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+
+  std::mutex run_mu_;  // serializes top-level Run() calls
+};
+
+/// The process-wide pool used by all kernels, created on first use with
+/// GetNumThreads() threads. Not destroyed until process exit.
+ThreadPool& GlobalThreadPool();
+
+/// Thread count the global pool uses: the value of SetNumThreads() if
+/// called, else the E2GCL_NUM_THREADS environment variable, else
+/// std::thread::hardware_concurrency().
+int GetNumThreads();
+
+/// Re-sizes the global pool (tears down and respawns workers). Intended
+/// for tests and benchmarks; must not race with in-flight kernels.
+/// Values are clamped to [1, 1024]. Thread count never affects results —
+/// only wall-clock — because all kernels chunk by size, not by threads.
+void SetNumThreads(int num_threads);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_PARALLEL_THREAD_POOL_H_

@@ -1,7 +1,9 @@
 #include "tensor/csr.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "parallel/parallel_for.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -63,6 +65,15 @@ Matrix CsrMatrix::ToDense() const {
   return d;
 }
 
+namespace {
+
+// Output-row floor for the scatter-form SpmmTransposedA: below this many
+// input rows there is a single chunk and the exact serial accumulation
+// order is preserved (covers every unit-test-sized graph).
+constexpr std::int64_t kScatterRowFloor = 512;
+
+}  // namespace
+
 Matrix Spmm(const CsrMatrix& a, const Matrix& b) {
   E2GCL_CHECK_MSG(a.cols() == b.rows(), "spmm inner-dim mismatch");
   const std::int64_t n = b.cols();
@@ -70,14 +81,21 @@ Matrix Spmm(const CsrMatrix& a, const Matrix& b) {
   const auto& rp = a.row_ptr();
   const auto& ci = a.col_idx();
   const auto& vs = a.values();
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    float* crow = c.RowPtr(r);
-    for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k) {
-      const float v = vs[k];
-      const float* brow = b.RowPtr(ci[k]);
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
-    }
-  }
+  // Row-parallel gather form: each output row is owned by one chunk, so
+  // the result is bit-identical to the serial kernel at any thread count.
+  const std::int64_t avg_nnz =
+      a.rows() > 0 ? std::max<std::int64_t>(1, a.nnz() / a.rows()) : 1;
+  ParallelFor(0, a.rows(), GrainForCost(avg_nnz * n),
+              [&](std::int64_t rb, std::int64_t re) {
+                for (std::int64_t r = rb; r < re; ++r) {
+                  float* crow = c.RowPtr(r);
+                  for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k) {
+                    const float v = vs[k];
+                    const float* brow = b.RowPtr(ci[k]);
+                    for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+                  }
+                }
+              });
   return c;
 }
 
@@ -88,14 +106,38 @@ Matrix SpmmTransposedA(const CsrMatrix& a, const Matrix& b) {
   const auto& rp = a.row_ptr();
   const auto& ci = a.col_idx();
   const auto& vs = a.values();
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    const float* brow = b.RowPtr(r);
-    for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k) {
-      const float v = vs[k];
-      float* crow = c.RowPtr(ci[k]);
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+  // Scatter form: entry (r, col) contributes to output row `col`, so
+  // output rows are shared across input rows. Input rows are cut into
+  // fixed size-based chunks, each scattering into its own cols x n
+  // partial; partials are reduced in ascending chunk order, making the
+  // result independent of the thread count (never atomics on floats).
+  const std::int64_t avg_nnz =
+      a.rows() > 0 ? std::max<std::int64_t>(1, a.nnz() / a.rows()) : 1;
+  const std::int64_t grain =
+      std::max({kScatterRowFloor, GrainForCost(avg_nnz * n),
+                (a.rows() + 63) / 64});
+  const std::int64_t chunks = NumChunks(a.rows(), grain);
+  auto scatter = [&](Matrix& dst, std::int64_t rb, std::int64_t re) {
+    for (std::int64_t r = rb; r < re; ++r) {
+      const float* brow = b.RowPtr(r);
+      for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k) {
+        const float v = vs[k];
+        float* crow = dst.RowPtr(ci[k]);
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+      }
     }
+  };
+  if (chunks <= 1) {
+    scatter(c, 0, a.rows());
+    return c;
   }
+  std::vector<Matrix> partials(chunks);
+  ParallelForChunks(0, a.rows(), grain,
+                    [&](std::int64_t chunk, std::int64_t rb, std::int64_t re) {
+                      partials[chunk] = Matrix(a.cols(), n);
+                      scatter(partials[chunk], rb, re);
+                    });
+  for (const Matrix& part : partials) AddInPlace(c, part);
   return c;
 }
 

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstring>
 #include <sstream>
+#include <vector>
 
+#include "parallel/parallel_for.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -91,6 +93,14 @@ void CheckSameShape(const Matrix& a, const Matrix& b) {
                   static_cast<long long>(b.cols()));
 }
 
+// Elements per chunk for flat element-wise loops.
+constexpr std::int64_t kFlatGrain = std::int64_t{1} << 15;
+
+// Row floor for kernels whose chunking changes float-reduction order
+// (per-chunk partials). Below this many rows there is a single chunk, so
+// small inputs keep the exact serial summation order.
+constexpr std::int64_t kReduceRowFloor = 512;
+
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
@@ -98,17 +108,22 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n);
   // i-k-j loop order: streams over b and c rows; good cache behaviour
-  // without blocking for the sizes this library runs at.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a.RowPtr(i);
-    float* crow = c.RowPtr(i);
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.RowPtr(p);
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // without blocking for the sizes this library runs at. Each output row
+  // is owned by exactly one chunk, so the parallel result is bit-identical
+  // to the serial one at any thread count.
+  const float* bdata = b.data();
+  ParallelFor(0, m, GrainForCost(k * n), [&](std::int64_t rb, std::int64_t re) {
+    for (std::int64_t i = rb; i < re; ++i) {
+      const float* arow = a.RowPtr(i);
+      float* crow = c.RowPtr(i);
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = bdata + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -116,16 +131,18 @@ Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
   E2GCL_CHECK_MSG(a.cols() == b.cols(), "matmul(B^T) inner-dim mismatch");
   const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n);
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a.RowPtr(i);
-    float* crow = c.RowPtr(i);
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b.RowPtr(j);
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
+  ParallelFor(0, m, GrainForCost(k * n), [&](std::int64_t rb, std::int64_t re) {
+    for (std::int64_t i = rb; i < re; ++i) {
+      const float* arow = a.RowPtr(i);
+      float* crow = c.RowPtr(i);
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b.RowPtr(j);
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = acc;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -133,16 +150,38 @@ Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
   E2GCL_CHECK_MSG(a.rows() == b.rows(), "matmul(A^T) inner-dim mismatch");
   const std::int64_t m = a.cols(), k = a.rows(), n = b.cols();
   Matrix c(m, n);
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = a.RowPtr(p);
-    const float* brow = b.RowPtr(p);
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.RowPtr(i);
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // The reduction runs over k (the shared row dimension), so output rows
+  // cannot be assigned to single chunks. Instead k is cut into fixed
+  // size-based chunks, each accumulating into its own m x n partial;
+  // partials are reduced in ascending chunk order, which keeps the result
+  // independent of the thread count. A single chunk (small k) follows the
+  // exact serial path.
+  const std::int64_t grain =
+      std::max({kReduceRowFloor, GrainForCost(m * n), (k + 63) / 64});
+  const std::int64_t chunks = NumChunks(k, grain);
+  auto accumulate = [&](Matrix& dst, std::int64_t pb, std::int64_t pe) {
+    for (std::int64_t p = pb; p < pe; ++p) {
+      const float* arow = a.RowPtr(p);
+      const float* brow = b.RowPtr(p);
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = dst.RowPtr(i);
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
+  };
+  if (chunks <= 1) {
+    accumulate(c, 0, k);
+    return c;
   }
+  std::vector<Matrix> partials(chunks);
+  ParallelForChunks(0, k, grain,
+                    [&](std::int64_t chunk, std::int64_t pb, std::int64_t pe) {
+                      partials[chunk] = Matrix(m, n);
+                      accumulate(partials[chunk], pb, pe);
+                    });
+  for (const Matrix& part : partials) AddInPlace(c, part);
   return c;
 }
 
@@ -163,39 +202,58 @@ Matrix Sub(const Matrix& a, const Matrix& b) {
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
   Matrix c = a;
-  for (std::int64_t i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+  ParallelFor(0, c.size(), kFlatGrain, [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t i = ib; i < ie; ++i) c.data()[i] *= b.data()[i];
+  });
   return c;
 }
 
 Matrix Scale(const Matrix& a, float alpha) {
   Matrix c = a;
-  for (std::int64_t i = 0; i < c.size(); ++i) c.data()[i] *= alpha;
+  ParallelFor(0, c.size(), kFlatGrain, [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t i = ib; i < ie; ++i) c.data()[i] *= alpha;
+  });
   return c;
 }
 
 void AxpyInPlace(Matrix& a, float alpha, const Matrix& b) {
   CheckSameShape(a, b);
-  for (std::int64_t i = 0; i < a.size(); ++i) a.data()[i] += alpha * b.data()[i];
+  ParallelFor(0, a.size(), kFlatGrain, [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t i = ib; i < ie; ++i) a.data()[i] += alpha * b.data()[i];
+  });
 }
 
 void AddInPlace(Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
-  for (std::int64_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+  ParallelFor(0, a.size(), kFlatGrain, [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t i = ib; i < ie; ++i) a.data()[i] += b.data()[i];
+  });
 }
 
 Matrix Transpose(const Matrix& a) {
   Matrix t(a.cols(), a.rows());
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    for (std::int64_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
-  }
+  ParallelFor(0, a.rows(), GrainForCost(a.cols()),
+              [&](std::int64_t rb, std::int64_t re) {
+                for (std::int64_t r = rb; r < re; ++r) {
+                  for (std::int64_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+                }
+              });
   return t;
 }
 
 float SumAll(const Matrix& a) {
-  // Pairwise-ish accumulation in double to keep reductions accurate for
-  // the large matrices the benches touch.
+  // Per-chunk accumulation in double (reduced in chunk order) to keep
+  // reductions accurate for the large matrices the benches touch.
+  const std::int64_t chunks = NumChunks(a.size(), kFlatGrain * 2);
+  std::vector<double> partial(std::max<std::int64_t>(1, chunks), 0.0);
+  ParallelForChunks(0, a.size(), kFlatGrain * 2,
+                    [&](std::int64_t chunk, std::int64_t ib, std::int64_t ie) {
+                      double acc = 0.0;
+                      for (std::int64_t i = ib; i < ie; ++i) acc += a.data()[i];
+                      partial[chunk] = acc;
+                    });
   double acc = 0.0;
-  for (std::int64_t i = 0; i < a.size(); ++i) acc += a.data()[i];
+  for (double p : partial) acc += p;
   return static_cast<float>(acc);
 }
 
@@ -205,60 +263,97 @@ float MeanAll(const Matrix& a) {
 }
 
 float FrobeniusNorm(const Matrix& a) {
+  const std::int64_t chunks = NumChunks(a.size(), kFlatGrain * 2);
+  std::vector<double> partial(std::max<std::int64_t>(1, chunks), 0.0);
+  ParallelForChunks(0, a.size(), kFlatGrain * 2,
+                    [&](std::int64_t chunk, std::int64_t ib, std::int64_t ie) {
+                      double acc = 0.0;
+                      for (std::int64_t i = ib; i < ie; ++i) {
+                        acc += static_cast<double>(a.data()[i]) * a.data()[i];
+                      }
+                      partial[chunk] = acc;
+                    });
   double acc = 0.0;
-  for (std::int64_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(a.data()[i]) * a.data()[i];
-  }
+  for (double p : partial) acc += p;
   return static_cast<float>(std::sqrt(acc));
 }
 
 Matrix RowSums(const Matrix& a) {
   Matrix s(a.rows(), 1);
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    double acc = 0.0;
-    const float* row = a.RowPtr(r);
-    for (std::int64_t c = 0; c < a.cols(); ++c) acc += row[c];
-    s(r, 0) = static_cast<float>(acc);
-  }
+  ParallelFor(0, a.rows(), GrainForCost(a.cols()),
+              [&](std::int64_t rb, std::int64_t re) {
+                for (std::int64_t r = rb; r < re; ++r) {
+                  double acc = 0.0;
+                  const float* row = a.RowPtr(r);
+                  for (std::int64_t c = 0; c < a.cols(); ++c) acc += row[c];
+                  s(r, 0) = static_cast<float>(acc);
+                }
+              });
   return s;
 }
 
 Matrix ColSums(const Matrix& a) {
   Matrix s(1, a.cols());
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    const float* row = a.RowPtr(r);
-    for (std::int64_t c = 0; c < a.cols(); ++c) s(0, c) += row[c];
+  // Reduction over rows: per-chunk 1 x cols partials, combined in chunk
+  // order so the summation order is fixed regardless of thread count.
+  const std::int64_t grain = std::max(kReduceRowFloor, GrainForCost(a.cols()));
+  const std::int64_t chunks = NumChunks(a.rows(), grain);
+  if (chunks <= 1) {
+    for (std::int64_t r = 0; r < a.rows(); ++r) {
+      const float* row = a.RowPtr(r);
+      for (std::int64_t c = 0; c < a.cols(); ++c) s(0, c) += row[c];
+    }
+    return s;
   }
+  std::vector<Matrix> partials(chunks);
+  ParallelForChunks(0, a.rows(), grain,
+                    [&](std::int64_t chunk, std::int64_t rb, std::int64_t re) {
+                      Matrix part(1, a.cols());
+                      for (std::int64_t r = rb; r < re; ++r) {
+                        const float* row = a.RowPtr(r);
+                        for (std::int64_t c = 0; c < a.cols(); ++c) {
+                          part(0, c) += row[c];
+                        }
+                      }
+                      partials[chunk] = std::move(part);
+                    });
+  for (const Matrix& part : partials) AddInPlace(s, part);
   return s;
 }
 
 Matrix RowL2Norms(const Matrix& a) {
   Matrix s(a.rows(), 1);
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    double acc = 0.0;
-    const float* row = a.RowPtr(r);
-    for (std::int64_t c = 0; c < a.cols(); ++c) {
-      acc += static_cast<double>(row[c]) * row[c];
-    }
-    s(r, 0) = static_cast<float>(std::sqrt(acc));
-  }
+  ParallelFor(0, a.rows(), GrainForCost(a.cols()),
+              [&](std::int64_t rb, std::int64_t re) {
+                for (std::int64_t r = rb; r < re; ++r) {
+                  double acc = 0.0;
+                  const float* row = a.RowPtr(r);
+                  for (std::int64_t c = 0; c < a.cols(); ++c) {
+                    acc += static_cast<double>(row[c]) * row[c];
+                  }
+                  s(r, 0) = static_cast<float>(std::sqrt(acc));
+                }
+              });
   return s;
 }
 
 Matrix NormalizeRowsL2(const Matrix& a, float eps) {
   Matrix out = a;
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    double acc = 0.0;
-    const float* row = a.RowPtr(r);
-    for (std::int64_t c = 0; c < a.cols(); ++c) {
-      acc += static_cast<double>(row[c]) * row[c];
-    }
-    const float norm = static_cast<float>(std::sqrt(acc));
-    if (norm <= eps) continue;
-    float* orow = out.RowPtr(r);
-    const float inv = 1.0f / norm;
-    for (std::int64_t c = 0; c < a.cols(); ++c) orow[c] *= inv;
-  }
+  ParallelFor(0, a.rows(), GrainForCost(a.cols()),
+              [&](std::int64_t rb, std::int64_t re) {
+                for (std::int64_t r = rb; r < re; ++r) {
+                  double acc = 0.0;
+                  const float* row = a.RowPtr(r);
+                  for (std::int64_t c = 0; c < a.cols(); ++c) {
+                    acc += static_cast<double>(row[c]) * row[c];
+                  }
+                  const float norm = static_cast<float>(std::sqrt(acc));
+                  if (norm <= eps) continue;
+                  float* orow = out.RowPtr(r);
+                  const float inv = 1.0f / norm;
+                  for (std::int64_t c = 0; c < a.cols(); ++c) orow[c] *= inv;
+                }
+              });
   return out;
 }
 
@@ -282,38 +377,57 @@ float RowDistance(const Matrix& a, std::int64_t r, const Matrix& b,
 
 Matrix GatherRows(const Matrix& a, const std::vector<std::int64_t>& indices) {
   Matrix out(static_cast<std::int64_t>(indices.size()), a.cols());
-  for (std::int64_t i = 0; i < out.rows(); ++i) {
-    const std::int64_t r = indices[i];
-    E2GCL_CHECK(r >= 0 && r < a.rows());
-    std::memcpy(out.RowPtr(i), a.RowPtr(r), sizeof(float) * a.cols());
-  }
+  ParallelFor(0, out.rows(), GrainForCost(a.cols()),
+              [&](std::int64_t ib, std::int64_t ie) {
+                for (std::int64_t i = ib; i < ie; ++i) {
+                  const std::int64_t r = indices[i];
+                  E2GCL_CHECK(r >= 0 && r < a.rows());
+                  std::memcpy(out.RowPtr(i), a.RowPtr(r),
+                              sizeof(float) * a.cols());
+                }
+              });
   return out;
 }
 
 Matrix SoftmaxRows(const Matrix& a) {
   Matrix out(a.rows(), a.cols());
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    const float* in = a.RowPtr(r);
-    float* o = out.RowPtr(r);
-    float mx = in[0];
-    for (std::int64_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
-    float denom = 0.0f;
-    for (std::int64_t c = 0; c < a.cols(); ++c) {
-      o[c] = std::exp(in[c] - mx);
-      denom += o[c];
-    }
-    const float inv = 1.0f / denom;
-    for (std::int64_t c = 0; c < a.cols(); ++c) o[c] *= inv;
-  }
+  ParallelFor(0, a.rows(), GrainForCost(a.cols() * 4),
+              [&](std::int64_t rb, std::int64_t re) {
+                for (std::int64_t r = rb; r < re; ++r) {
+                  const float* in = a.RowPtr(r);
+                  float* o = out.RowPtr(r);
+                  float mx = in[0];
+                  for (std::int64_t c = 1; c < a.cols(); ++c) {
+                    mx = std::max(mx, in[c]);
+                  }
+                  float denom = 0.0f;
+                  for (std::int64_t c = 0; c < a.cols(); ++c) {
+                    o[c] = std::exp(in[c] - mx);
+                    denom += o[c];
+                  }
+                  const float inv = 1.0f / denom;
+                  for (std::int64_t c = 0; c < a.cols(); ++c) o[c] *= inv;
+                }
+              });
   return out;
 }
 
 float MaxAbsDiff(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
+  // Max is order-insensitive, so per-chunk maxima need no ordered reduce,
+  // but we still combine them in chunk order for uniformity.
+  const std::int64_t chunks = NumChunks(a.size(), kFlatGrain * 2);
+  std::vector<float> partial(std::max<std::int64_t>(1, chunks), 0.0f);
+  ParallelForChunks(0, a.size(), kFlatGrain * 2,
+                    [&](std::int64_t chunk, std::int64_t ib, std::int64_t ie) {
+                      float mx = 0.0f;
+                      for (std::int64_t i = ib; i < ie; ++i) {
+                        mx = std::max(mx, std::fabs(a.data()[i] - b.data()[i]));
+                      }
+                      partial[chunk] = mx;
+                    });
   float mx = 0.0f;
-  for (std::int64_t i = 0; i < a.size(); ++i) {
-    mx = std::max(mx, std::fabs(a.data()[i] - b.data()[i]));
-  }
+  for (float p : partial) mx = std::max(mx, p);
   return mx;
 }
 

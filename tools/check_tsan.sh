@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Builds the library with ThreadSanitizer (or AddressSanitizer) and runs
+# the test binaries that exercise the parallel kernels: parallel, tensor,
+# cluster, and core suites plus the autograd losses the contrastive path
+# uses. Usage:
+#
+#   tools/check_tsan.sh            # ThreadSanitizer (default)
+#   tools/check_tsan.sh address    # AddressSanitizer
+#
+# The sanitized tree lives in build-<sanitizer>/ next to the regular
+# build/ so the two configurations never share object files.
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+case "$SANITIZER" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-$SANITIZER"
+
+# The race-prone code paths live in these binaries; running the full
+# suite under TSAN takes far longer without covering more parallel code.
+TARGETS=(
+  parallel_test
+  tensor_matrix_test
+  tensor_csr_test
+  kmeans_test
+  core_selector_test
+  core_trainer_test
+  core_view_test
+  autograd_ops_test
+  autograd_loss_test
+)
+
+cmake -B "$BUILD" -S "$ROOT" -DE2GCL_SANITIZE="$SANITIZER" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$(nproc)" --target "${TARGETS[@]}"
+
+# Exercise a real pool even on small CI machines, and fail on any report.
+export E2GCL_NUM_THREADS="${E2GCL_NUM_THREADS:-4}"
+if [ "$SANITIZER" = thread ]; then
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+fi
+
+# Run each gtest binary directly (ctest registers per-case names, which
+# makes selecting whole binaries awkward); any sanitizer report fails it.
+status=0
+for t in "${TARGETS[@]}"; do
+  echo "=== $t ($SANITIZER) ==="
+  if ! "$BUILD/tests/$t"; then
+    status=1
+  fi
+done
+exit $status
