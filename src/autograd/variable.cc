@@ -51,6 +51,12 @@ const Matrix& Var::grad() const {
   return node_->grad_initialized ? node_->grad : kEmpty;
 }
 
+Matrix& Var::mutable_grad() {
+  E2GCL_CHECK(node_ != nullptr);
+  E2GCL_CHECK(node_->grad_initialized);
+  return node_->grad;
+}
+
 bool Var::requires_grad() const {
   E2GCL_CHECK(node_ != nullptr);
   return node_->requires_grad;

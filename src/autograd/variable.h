@@ -41,6 +41,10 @@ class Var {
   /// until backward has touched this node.
   const Matrix& grad() const;
 
+  /// Mutable access to the accumulated gradient (used by gradient
+  /// clipping). Must not be called before backward has touched the node.
+  Matrix& mutable_grad();
+
   bool requires_grad() const;
 
   /// Zeroes the stored gradient (optimizers call this between steps).

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <numeric>
 
 #include "core/raw_aggregation.h"
+#include "io/serialize.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -15,6 +18,28 @@ namespace {
 double SecondsSince(const std::chrono::steady_clock::time_point& t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// FNV-1a over a byte buffer; stable across platforms/compilers.
+std::uint64_t Fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool ShapesMatch(const std::vector<Var>& params,
+                 const std::vector<Matrix>& values) {
+  if (params.size() != values.size()) return false;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].value().rows() != values[i].rows() ||
+        params[i].value().cols() != values[i].cols()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -37,7 +62,80 @@ E2gclTrainer::E2gclTrainer(const Graph& graph, const E2gclConfig& config)
   generator_ = std::make_unique<ViewGenerator>(graph, config.view_hat.beta);
 }
 
-void E2gclTrainer::Train(const EpochCallback& callback) {
+std::uint64_t E2gclTrainer::ConfigFingerprint() const {
+  // Everything that shapes parameter tensors or the training trajectory
+  // belongs here; total epoch count does NOT (so a run can be resumed
+  // with a larger --epochs to train longer).
+  ByteWriter w;
+  w.WriteU64(config_.seed);
+  w.WriteI64(config_.hidden_dim);
+  w.WriteI64(config_.embed_dim);
+  w.WriteI64(config_.num_layers);
+  w.WriteF32(config_.dropout);
+  w.WriteF32(config_.lr);
+  w.WriteF32(config_.weight_decay);
+  w.WriteI64(config_.batch_size);
+  w.WriteF32(config_.temperature);
+  w.WriteU32(static_cast<std::uint32_t>(config_.loss));
+  w.WriteU32(config_.projection_head ? 1 : 0);
+  w.WriteU32(config_.use_selector ? 1 : 0);
+  w.WriteF32(static_cast<float>(config_.node_ratio));
+  w.WriteU32(config_.use_coreset_weights ? 1 : 0);
+  w.WriteF32(config_.grad_clip_norm);
+  w.WriteI64(graph_->num_nodes);
+  w.WriteI64(graph_->feature_dim());
+  w.WriteI64(graph_->num_edges());
+  return Fnv1a(w.bytes());
+}
+
+TrainerCheckpoint E2gclTrainer::CaptureState(std::int64_t epoch,
+                                             const Adam& adam,
+                                             std::int64_t retries,
+                                             float lr_scale) const {
+  TrainerCheckpoint c;
+  c.epoch = epoch;
+  c.config_fingerprint = ConfigFingerprint();
+  c.retries_used = retries;
+  c.lr_scale = lr_scale;
+  c.rng_state = rng_.SerializeState();
+  c.encoder_params = encoder_->params().CloneValues();
+  if (projector_ != nullptr) {
+    c.projector_params = projector_->params().CloneValues();
+  }
+  AdamState state = adam.CloneState();
+  c.adam_m = std::move(state.m);
+  c.adam_v = std::move(state.v);
+  c.adam_t = state.t;
+  return c;
+}
+
+bool E2gclTrainer::RestoreState(const TrainerCheckpoint& ckpt, Adam& adam) {
+  // Validate everything up front so a mismatched checkpoint is rejected
+  // atomically instead of aborting mid-restore.
+  if (!ShapesMatch(encoder_->params().params(), ckpt.encoder_params)) {
+    return false;
+  }
+  if (projector_ != nullptr) {
+    if (!ShapesMatch(projector_->params().params(), ckpt.projector_params)) {
+      return false;
+    }
+  } else if (!ckpt.projector_params.empty()) {
+    return false;
+  }
+  AdamState state;
+  state.m = ckpt.adam_m;
+  state.v = ckpt.adam_v;
+  state.t = ckpt.adam_t;
+  if (!rng_.RestoreState(ckpt.rng_state)) return false;
+  if (!adam.LoadState(state)) return false;
+  encoder_->params().LoadValues(ckpt.encoder_params);
+  if (projector_ != nullptr) {
+    projector_->params().LoadValues(ckpt.projector_params);
+  }
+  return true;
+}
+
+TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t n = graph_->num_nodes;
 
@@ -77,7 +175,44 @@ void E2gclTrainer::Train(const EpochCallback& callback) {
   const std::int64_t batch =
       std::min<std::int64_t>(config_.batch_size, pool);
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  TrainResult result;
+  const float base_lr = config_.lr;
+  std::int64_t retries = 0;
+  float lr_scale = 1.0f;
+
+  // Rollback anchor for divergence recovery: the initial (epoch -1)
+  // state until the first checkpoint replaces it.
+  TrainerCheckpoint rollback = CaptureState(-1, adam, 0, 1.0f);
+
+  const bool checkpointing = !config_.checkpoint_dir.empty();
+  if (checkpointing) {
+    E2GCL_CHECK(config_.checkpoint_every >= 1);
+    E2GCL_CHECK(config_.checkpoint_keep >= 1);
+    std::error_code ec;
+    std::filesystem::create_directories(config_.checkpoint_dir, ec);
+    if (config_.resume) {
+      TrainerCheckpoint ckpt;
+      std::string from;
+      if (FindNewestValidCheckpoint(config_.checkpoint_dir,
+                                    ConfigFingerprint(), &ckpt, &from)) {
+        if (RestoreState(ckpt, adam)) {
+          retries = ckpt.retries_used;
+          lr_scale = ckpt.lr_scale;
+          adam.set_lr(base_lr * lr_scale);
+          result.resumed = true;
+          result.start_epoch = static_cast<int>(ckpt.epoch) + 1;
+          rollback = std::move(ckpt);
+        } else {
+          std::fprintf(stderr,
+                       "[e2gcl] warning: checkpoint %s does not match the "
+                       "current model; starting fresh\n",
+                       from.c_str());
+        }
+      }
+    }
+  }
+
+  for (int epoch = result.start_epoch; epoch < config_.epochs; ++epoch) {
     // Line 3: generate the two positive views.
     const auto tv = std::chrono::steady_clock::now();
     Graph view_hat = generator_->GenerateGlobalView(config_.view_hat, rng_);
@@ -122,12 +257,107 @@ void E2gclTrainer::Train(const EpochCallback& callback) {
                                       batch_weights);
     adam.ZeroGrad();
     loss.Backward();
+
+    // --- Training health guard. ------------------------------------------
+    float loss_value = loss.value()(0, 0);
+    if (config_.fault_injector.corrupt_loss) {
+      loss_value = config_.fault_injector.corrupt_loss(epoch, loss_value);
+    }
+    double grad_sq = 0.0;
+    for (const Var& p : params) {
+      const Matrix& g = p.grad();
+      for (std::int64_t j = 0; j < g.size(); ++j) {
+        const double gj = g.data()[j];
+        grad_sq += gj * gj;
+      }
+    }
+    const double grad_norm = std::sqrt(grad_sq);
+    if (!std::isfinite(loss_value) || !std::isfinite(grad_norm)) {
+      if (retries >= config_.max_retries) {
+        // Leave the encoder at the last finite state, not garbage.
+        RestoreState(rollback, adam);
+        result.status = TrainStatus::kDiverged;
+        result.retries_used = static_cast<int>(retries);
+        char msg[160];
+        std::snprintf(msg, sizeof(msg),
+                      "non-finite loss/gradient at epoch %d after %lld "
+                      "retries (lr scale %.4g)",
+                      epoch, static_cast<long long>(retries), lr_scale);
+        result.message = msg;
+        stats_.total_seconds = SecondsSince(t0);
+        return result;
+      }
+      ++retries;
+      lr_scale *= 0.5f;
+      if (!RestoreState(rollback, adam)) {
+        // The in-memory anchor always matches; this cannot fail, but
+        // never continue on a half-restored state.
+        result.status = TrainStatus::kDiverged;
+        result.message = "rollback failed";
+        return result;
+      }
+      adam.set_lr(base_lr * lr_scale);
+      // Reseed the view-generator/batch RNG stream so the retry explores
+      // a different augmentation trajectory instead of replaying the one
+      // that diverged. Deterministic given (seed, retries).
+      rng_ = Rng(config_.seed ^
+                 (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(retries)));
+      std::fprintf(stderr,
+                   "[e2gcl] warning: non-finite loss/gradient at epoch %d; "
+                   "rolled back to epoch %lld, lr scale %.4g (retry %lld/%d)\n",
+                   epoch, static_cast<long long>(rollback.epoch), lr_scale,
+                   static_cast<long long>(retries), config_.max_retries);
+      epoch = static_cast<int>(rollback.epoch);  // ++ resumes at epoch + 1
+      continue;
+    }
+
+    // Global gradient-norm clipping (0 = off).
+    if (config_.grad_clip_norm > 0.0f &&
+        grad_norm > static_cast<double>(config_.grad_clip_norm)) {
+      const float scale =
+          config_.grad_clip_norm / static_cast<float>(grad_norm);
+      for (Var& p : params) {
+        if (p.grad().empty()) continue;
+        Matrix& g = p.mutable_grad();
+        for (std::int64_t j = 0; j < g.size(); ++j) g.data()[j] *= scale;
+      }
+    }
     adam.Step();
     stats_.epochs_run = epoch + 1;
 
+    // --- Checkpointing (atomic write, keep-last-K). -----------------------
+    if (checkpointing && ((epoch + 1) % config_.checkpoint_every == 0 ||
+                          epoch + 1 == config_.epochs)) {
+      TrainerCheckpoint ckpt = CaptureState(epoch, adam, retries, lr_scale);
+      const std::string path =
+          CheckpointPath(config_.checkpoint_dir, epoch);
+      if (SaveTrainerCheckpoint(path, ckpt)) {
+        PruneCheckpoints(config_.checkpoint_dir, config_.checkpoint_keep);
+        rollback = std::move(ckpt);
+      } else {
+        std::fprintf(stderr,
+                     "[e2gcl] warning: failed to write checkpoint %s\n",
+                     path.c_str());
+      }
+    }
+
     if (callback) callback(epoch, SecondsSince(t0), *encoder_);
+
+    if (config_.fault_injector.kill_after_epoch &&
+        config_.fault_injector.kill_after_epoch(epoch)) {
+      result.status = TrainStatus::kKilled;
+      result.retries_used = static_cast<int>(retries);
+      char msg[96];
+      std::snprintf(msg, sizeof(msg),
+                    "killed by fault injector after epoch %d", epoch);
+      result.message = msg;
+      stats_.total_seconds = SecondsSince(t0);
+      return result;
+    }
   }
+  result.retries_used = static_cast<int>(retries);
   stats_.total_seconds = SecondsSince(t0);
+  return result;
 }
 
 }  // namespace e2gcl

@@ -4,16 +4,31 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/contrastive.h"
 #include "core/node_selector.h"
 #include "core/view_generator.h"
+#include "io/checkpoint.h"
 #include "nn/gcn.h"
 #include "nn/mlp.h"
 #include "nn/optim.h"
 
 namespace e2gcl {
+
+/// Deterministic fault-injection hooks for robustness tests (see
+/// tests/fault_tolerance_test.cc). All hooks are optional; production
+/// runs leave them unset and pay nothing.
+struct FaultInjector {
+  /// Maps the observed per-epoch loss to the value fed into the health
+  /// guard — return NaN/Inf at a chosen epoch to fake divergence.
+  std::function<float(int epoch, float loss)> corrupt_loss;
+  /// Called after an epoch completes (post-step, post-checkpoint).
+  /// Return true to abandon training immediately, simulating a crash;
+  /// Train() then returns TrainStatus::kKilled.
+  std::function<bool(int epoch)> kill_after_epoch;
+};
 
 /// Full configuration of the E2GCL pre-training pipeline (Alg. 1 lines
 /// 1-5, with the node selector of Sec. III and the view generator of
@@ -60,6 +75,31 @@ struct E2gclConfig {
   /// Use a 2-layer projection head before the loss (GRACE-style).
   bool projection_head = true;
   std::uint64_t seed = 1;
+
+  // --- Fault tolerance (checkpoint/restore + health guards). ---------------
+  /// Directory for epoch-stamped checkpoints (created if missing).
+  /// Empty disables checkpointing entirely.
+  std::string checkpoint_dir;
+  /// Write a checkpoint every this many completed epochs (the final
+  /// epoch is always checkpointed). Must be >= 1 when checkpointing.
+  int checkpoint_every = 10;
+  /// Keep only the newest K checkpoint files; older ones are pruned.
+  int checkpoint_keep = 3;
+  /// On Train(), resume from the newest *valid* checkpoint found in
+  /// checkpoint_dir; corrupted or mismatched files are skipped with a
+  /// logged warning. Resumed runs are bit-identical to uninterrupted
+  /// runs at the same thread count.
+  bool resume = true;
+  /// Divergence recovery budget: on a non-finite loss or gradient the
+  /// trainer rolls back to the last checkpoint (or the initial state),
+  /// halves the learning rate, reseeds the RNG stream, and retries — up
+  /// to this many times before Train() fails with kDiverged.
+  int max_retries = 2;
+  /// Global gradient-norm clip applied before each Adam step
+  /// (0 disables clipping).
+  float grad_clip_norm = 0.0f;
+  /// Test-only fault hooks; unset in production runs.
+  FaultInjector fault_injector;
 };
 
 /// Timing breakdown of one pre-training run (Table V's ST/TT columns).
@@ -76,6 +116,33 @@ struct E2gclStats {
 using EpochCallback =
     std::function<void(int, double, const GcnEncoder&)>;
 
+/// Why Train() returned.
+enum class TrainStatus {
+  kOk = 0,
+  /// Loss or gradients went non-finite and the retry budget was
+  /// exhausted; the encoder holds the last rolled-back (finite) state,
+  /// not garbage.
+  kDiverged,
+  /// A FaultInjector kill hook stopped the run mid-training (tests
+  /// only); state up to the last checkpoint is on disk.
+  kKilled,
+};
+
+/// Structured outcome of one Train() call.
+struct TrainResult {
+  TrainStatus status = TrainStatus::kOk;
+  /// First epoch this call actually ran (> 0 after a resume).
+  int start_epoch = 0;
+  /// True when training continued from an on-disk checkpoint.
+  bool resumed = false;
+  /// Divergence retries consumed (across resumes).
+  int retries_used = 0;
+  /// Human-readable detail for kDiverged/kKilled.
+  std::string message;
+
+  bool ok() const { return status == TrainStatus::kOk; }
+};
+
 /// The E2GCL pre-trainer. Owns the encoder; Train() runs the full
 /// pipeline and leaves the encoder ready for linear-probe evaluation.
 class E2gclTrainer {
@@ -83,7 +150,10 @@ class E2gclTrainer {
   E2gclTrainer(const Graph& graph, const E2gclConfig& config);
 
   /// Runs selection + contrastive pre-training. Safe to call once.
-  void Train(const EpochCallback& callback = nullptr);
+  /// When config.checkpoint_dir is set, resumes from the newest valid
+  /// checkpoint (if config.resume) and writes epoch-stamped checkpoints
+  /// every config.checkpoint_every epochs.
+  TrainResult Train(const EpochCallback& callback = nullptr);
 
   const GcnEncoder& encoder() const { return *encoder_; }
   GcnEncoder& encoder() { return *encoder_; }
@@ -92,7 +162,18 @@ class E2gclTrainer {
   const SelectionResult& selection() const { return selection_; }
   const E2gclConfig& config() const { return config_; }
 
+  /// Hash of the config knobs + graph shape that determine training
+  /// state layout and trajectory; stamped into checkpoints so a resume
+  /// under a different setup is refused.
+  std::uint64_t ConfigFingerprint() const;
+
  private:
+  /// Snapshots all mutable training state as of completed epoch `epoch`.
+  TrainerCheckpoint CaptureState(std::int64_t epoch, const Adam& adam,
+                                 std::int64_t retries, float lr_scale) const;
+  /// Restores a snapshot; returns false on shape/count mismatch.
+  bool RestoreState(const TrainerCheckpoint& ckpt, Adam& adam);
+
   const Graph* graph_;
   E2gclConfig config_;
   std::unique_ptr<GcnEncoder> encoder_;

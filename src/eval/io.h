@@ -10,7 +10,10 @@ namespace e2gcl {
 
 /// Simple text I/O so embeddings/graphs round-trip to disk for external
 /// analysis (plotting, downstream models). All functions return false on
-/// I/O failure (no exceptions).
+/// I/O failure (no exceptions). Loaders validate their input strictly —
+/// ragged rows, non-numeric tokens, out-of-range node ids or labels, and
+/// negative/oversized headers all return false rather than aborting or
+/// invoking undefined behaviour.
 
 /// Writes a matrix as comma-separated rows.
 bool SaveMatrixCsv(const Matrix& m, const std::string& path);
@@ -20,11 +23,15 @@ bool SaveMatrixCsv(const Matrix& m, const std::string& path);
 bool LoadMatrixCsv(const std::string& path, Matrix* out);
 
 /// Writes the graph as a header line "num_nodes num_classes" followed by
-/// one "u v" line per undirected edge, then (if present) a "labels" line
-/// per node. Features are saved separately via SaveMatrixCsv.
+/// one "u v" line per undirected edge, then (if present) a "labels"
+/// sentinel and one label per node. Features are saved separately via
+/// SaveMatrixCsv.
 bool SaveGraphEdgeList(const Graph& g, const std::string& path);
 
 /// Reads a graph written by SaveGraphEdgeList (features left empty).
+/// Requires node ids in [0, num_nodes), exactly num_nodes labels in
+/// [0, num_classes) when the labels sentinel is present, and no trailing
+/// garbage.
 bool LoadGraphEdgeList(const std::string& path, Graph* out);
 
 }  // namespace e2gcl

@@ -1,0 +1,209 @@
+#include "io/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "io/serialize.h"
+
+namespace e2gcl {
+
+namespace {
+
+// "E2GC" in little-endian byte order.
+constexpr std::uint32_t kCheckpointMagic = 0x43473245u;
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+constexpr const char* kMetaSection = "meta";
+constexpr const char* kRngSection = "rng";
+constexpr const char* kEncoderSection = "encoder";
+constexpr const char* kProjectorSection = "projector";
+constexpr const char* kAdamSection = "adam";
+
+// A checkpoint never carries more parameter tensors than a sane model;
+// bounds the loop on corrupted-but-CRC-valid counts.
+constexpr std::uint64_t kMaxTensors = 1u << 20;
+
+std::string PackMatrixList(const std::vector<Matrix>& ms) {
+  ByteWriter w;
+  w.WriteU64(ms.size());
+  for (const Matrix& m : ms) w.WriteMatrix(m);
+  return w.bytes();
+}
+
+bool UnpackMatrixList(const std::string& payload, std::vector<Matrix>* out) {
+  ByteReader r(payload);
+  const std::uint64_t count = r.ReadU64();
+  if (!r.ok() || count > kMaxTensors) return false;
+  std::vector<Matrix> ms;
+  ms.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ms.push_back(r.ReadMatrix());
+    if (!r.ok()) return false;
+  }
+  if (!r.AtEnd()) return false;
+  *out = std::move(ms);
+  return true;
+}
+
+/// Parses "ckpt-NNNNNN.e2gcl"; returns -1 when `name` is not a
+/// canonical checkpoint file name.
+std::int64_t EpochFromFileName(const std::string& name) {
+  constexpr const char* kPrefix = "ckpt-";
+  constexpr const char* kSuffix = ".e2gcl";
+  if (name.size() < 12 || name.rfind(kPrefix, 0) != 0) return -1;
+  const std::size_t suffix_at = name.size() - 6;
+  if (name.compare(suffix_at, 6, kSuffix) != 0) return -1;
+  const std::string digits = name.substr(5, suffix_at - 5);
+  if (digits.empty()) return -1;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+  }
+  char* end = nullptr;
+  const long long epoch = std::strtoll(digits.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return -1;
+  return static_cast<std::int64_t>(epoch);
+}
+
+}  // namespace
+
+bool SaveTrainerCheckpoint(const std::string& path,
+                           const TrainerCheckpoint& ckpt) {
+  ByteWriter meta;
+  meta.WriteI64(ckpt.epoch);
+  meta.WriteU64(ckpt.config_fingerprint);
+  meta.WriteI64(ckpt.retries_used);
+  meta.WriteF32(ckpt.lr_scale);
+
+  ByteWriter adam;
+  adam.WriteI64(ckpt.adam_t);
+  adam.WriteU64(ckpt.adam_m.size());
+  for (const Matrix& m : ckpt.adam_m) adam.WriteMatrix(m);
+  adam.WriteU64(ckpt.adam_v.size());
+  for (const Matrix& m : ckpt.adam_v) adam.WriteMatrix(m);
+
+  std::vector<StateSection> sections;
+  sections.push_back({kMetaSection, meta.bytes()});
+  sections.push_back({kRngSection, ckpt.rng_state});
+  sections.push_back({kEncoderSection, PackMatrixList(ckpt.encoder_params)});
+  sections.push_back(
+      {kProjectorSection, PackMatrixList(ckpt.projector_params)});
+  sections.push_back({kAdamSection, adam.bytes()});
+  return WriteStateFile(path, kCheckpointMagic, kCheckpointVersion, sections);
+}
+
+bool LoadTrainerCheckpoint(const std::string& path, TrainerCheckpoint* out) {
+  if (out == nullptr) return false;
+  std::vector<StateSection> sections;
+  if (!ReadStateFile(path, kCheckpointMagic, kCheckpointVersion, &sections)) {
+    return false;
+  }
+  const StateSection* meta = FindSection(sections, kMetaSection);
+  const StateSection* rng = FindSection(sections, kRngSection);
+  const StateSection* encoder = FindSection(sections, kEncoderSection);
+  const StateSection* projector = FindSection(sections, kProjectorSection);
+  const StateSection* adam = FindSection(sections, kAdamSection);
+  if (meta == nullptr || rng == nullptr || encoder == nullptr ||
+      projector == nullptr || adam == nullptr) {
+    return false;
+  }
+
+  TrainerCheckpoint c;
+  {
+    ByteReader r(meta->payload);
+    c.epoch = r.ReadI64();
+    c.config_fingerprint = r.ReadU64();
+    c.retries_used = r.ReadI64();
+    c.lr_scale = r.ReadF32();
+    if (!r.AtEnd() || c.epoch < 0 || c.retries_used < 0) return false;
+  }
+  c.rng_state = rng->payload;
+  if (!UnpackMatrixList(encoder->payload, &c.encoder_params)) return false;
+  if (!UnpackMatrixList(projector->payload, &c.projector_params)) return false;
+  {
+    ByteReader r(adam->payload);
+    c.adam_t = r.ReadI64();
+    const std::uint64_t m_count = r.ReadU64();
+    if (!r.ok() || m_count > kMaxTensors || c.adam_t < 0) return false;
+    c.adam_m.reserve(m_count);
+    for (std::uint64_t i = 0; i < m_count; ++i) {
+      c.adam_m.push_back(r.ReadMatrix());
+      if (!r.ok()) return false;
+    }
+    const std::uint64_t v_count = r.ReadU64();
+    if (!r.ok() || v_count > kMaxTensors) return false;
+    c.adam_v.reserve(v_count);
+    for (std::uint64_t i = 0; i < v_count; ++i) {
+      c.adam_v.push_back(r.ReadMatrix());
+      if (!r.ok()) return false;
+    }
+    if (!r.AtEnd()) return false;
+  }
+  *out = std::move(c);
+  return true;
+}
+
+std::string CheckpointPath(const std::string& dir, std::int64_t epoch) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%06lld.e2gcl",
+                static_cast<long long>(epoch));
+  return dir + "/" + name;
+}
+
+std::vector<std::string> ListCheckpointFiles(const std::string& dir) {
+  std::vector<std::pair<std::int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const std::int64_t epoch = EpochFromFileName(name);
+    if (epoch >= 0) found.emplace_back(epoch, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [epoch, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+bool FindNewestValidCheckpoint(const std::string& dir,
+                               std::uint64_t config_fingerprint,
+                               TrainerCheckpoint* out,
+                               std::string* path_out) {
+  const std::vector<std::string> files = ListCheckpointFiles(dir);
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    TrainerCheckpoint c;
+    if (!LoadTrainerCheckpoint(*it, &c)) {
+      std::fprintf(stderr,
+                   "[e2gcl] warning: skipping corrupted/truncated "
+                   "checkpoint %s\n",
+                   it->c_str());
+      continue;
+    }
+    if (c.config_fingerprint != config_fingerprint) {
+      std::fprintf(stderr,
+                   "[e2gcl] warning: skipping checkpoint %s (written by a "
+                   "different config/graph)\n",
+                   it->c_str());
+      continue;
+    }
+    if (out != nullptr) *out = std::move(c);
+    if (path_out != nullptr) *path_out = *it;
+    return true;
+  }
+  return false;
+}
+
+void PruneCheckpoints(const std::string& dir, int keep) {
+  if (keep < 0) keep = 0;
+  const std::vector<std::string> files = ListCheckpointFiles(dir);
+  if (static_cast<int>(files.size()) <= keep) return;
+  const std::size_t drop = files.size() - static_cast<std::size_t>(keep);
+  std::error_code ec;
+  for (std::size_t i = 0; i < drop; ++i) {
+    std::filesystem::remove(files[i], ec);
+  }
+}
+
+}  // namespace e2gcl

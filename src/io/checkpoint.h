@@ -1,0 +1,72 @@
+#ifndef E2GCL_IO_CHECKPOINT_H_
+#define E2GCL_IO_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace e2gcl {
+
+/// One full pre-training checkpoint: everything the trainer needs to
+/// resume Alg. 1 bit-identically from an epoch boundary. Kept free of
+/// nn/core types so the io layer depends only on tensor (the trainer
+/// converts to/from its own encoder/optimizer state).
+struct TrainerCheckpoint {
+  /// Last completed epoch (epoch -1 is the pre-training initial state;
+  /// it only ever exists in memory, never on disk).
+  std::int64_t epoch = -1;
+  /// Hash of the config + graph shape that produced this run; resuming
+  /// under a different configuration is refused.
+  std::uint64_t config_fingerprint = 0;
+  /// Divergence retries consumed so far and the lr backoff they applied.
+  std::int64_t retries_used = 0;
+  float lr_scale = 1.0f;
+  /// Serialized Rng engine state (Rng::SerializeState()).
+  std::string rng_state;
+  /// Encoder parameter values in ParamSet order.
+  std::vector<Matrix> encoder_params;
+  /// Projection-head parameter values (empty when no projector).
+  std::vector<Matrix> projector_params;
+  /// Adam first/second moment buffers (aligned with encoder params
+  /// followed by projector params) and step counter.
+  std::vector<Matrix> adam_m;
+  std::vector<Matrix> adam_v;
+  std::int64_t adam_t = 0;
+};
+
+/// Writes `ckpt` atomically (tmp + fsync + rename) with per-section
+/// CRC32 checksums. Returns false on I/O failure.
+bool SaveTrainerCheckpoint(const std::string& path,
+                           const TrainerCheckpoint& ckpt);
+
+/// Loads and validates a checkpoint. Returns false on any corruption
+/// (bad magic/version, truncation, CRC mismatch, malformed payload)
+/// without touching `out` partially.
+bool LoadTrainerCheckpoint(const std::string& path, TrainerCheckpoint* out);
+
+/// Canonical file name for epoch `epoch` inside `dir`
+/// ("<dir>/ckpt-000042.e2gcl").
+std::string CheckpointPath(const std::string& dir, std::int64_t epoch);
+
+/// Checkpoint files in `dir` matching the canonical name, sorted by
+/// epoch ascending. Non-checkpoint files are ignored.
+std::vector<std::string> ListCheckpointFiles(const std::string& dir);
+
+/// Scans `dir` newest-first and loads the first checkpoint that parses,
+/// passes all checksums, and matches `config_fingerprint`. Invalid files
+/// are skipped with a warning on stderr (never a crash). Returns false
+/// when no usable checkpoint exists. `path_out`, if non-null, receives
+/// the winning file path.
+bool FindNewestValidCheckpoint(const std::string& dir,
+                               std::uint64_t config_fingerprint,
+                               TrainerCheckpoint* out,
+                               std::string* path_out = nullptr);
+
+/// Deletes all but the `keep` newest checkpoint files in `dir`.
+void PruneCheckpoints(const std::string& dir, int keep);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_IO_CHECKPOINT_H_

@@ -1,0 +1,252 @@
+#include "io/serialize.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace e2gcl {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// Hard cap on any single length field (1 GiB): a corrupted length that
+// slips past the bounds checks must not trigger a giant allocation.
+constexpr std::uint64_t kMaxChunkBytes = 1ull << 30;
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::WriteU32(std::uint32_t v) { WriteBytes(&v, sizeof(v)); }
+void ByteWriter::WriteU64(std::uint64_t v) { WriteBytes(&v, sizeof(v)); }
+void ByteWriter::WriteI64(std::int64_t v) { WriteBytes(&v, sizeof(v)); }
+void ByteWriter::WriteF32(float v) { WriteBytes(&v, sizeof(v)); }
+
+void ByteWriter::WriteBytes(const void* data, std::size_t size) {
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+void ByteWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+void ByteWriter::WriteMatrix(const Matrix& m) {
+  WriteI64(m.rows());
+  WriteI64(m.cols());
+  WriteBytes(m.data(), sizeof(float) * static_cast<std::size_t>(m.size()));
+}
+
+ByteReader::ByteReader(const void* data, std::size_t size)
+    : data_(static_cast<const unsigned char*>(data)), size_(size) {}
+
+ByteReader::ByteReader(const std::string& bytes)
+    : ByteReader(bytes.data(), bytes.size()) {}
+
+bool ByteReader::Take(void* out, std::size_t n) {
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    std::memset(out, 0, n);
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+std::uint32_t ByteReader::ReadU32() {
+  std::uint32_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+std::uint64_t ByteReader::ReadU64() {
+  std::uint64_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+std::int64_t ByteReader::ReadI64() {
+  std::int64_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+float ByteReader::ReadF32() {
+  float v = 0.0f;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::ReadRaw(std::size_t n) {
+  if (!ok_ || n > size_ - pos_ || n > kMaxChunkBytes) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::string ByteReader::ReadString() {
+  const std::uint64_t len = ReadU64();
+  if (!ok_ || len > kMaxChunkBytes) {
+    ok_ = false;
+    return {};
+  }
+  return ReadRaw(static_cast<std::size_t>(len));
+}
+
+Matrix ByteReader::ReadMatrix() {
+  const std::int64_t rows = ReadI64();
+  const std::int64_t cols = ReadI64();
+  if (!ok_ || rows < 0 || cols < 0) {
+    ok_ = false;
+    return {};
+  }
+  // Validate the element count against the remaining bytes before
+  // allocating, so a corrupted shape cannot demand terabytes.
+  const std::uint64_t elems =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+  if (cols != 0 && elems / static_cast<std::uint64_t>(cols) !=
+                       static_cast<std::uint64_t>(rows)) {
+    ok_ = false;
+    return {};
+  }
+  const std::uint64_t need = elems * sizeof(float);
+  if (need > size_ - pos_ || need > kMaxChunkBytes) {
+    ok_ = false;
+    return {};
+  }
+  Matrix m(rows, cols);
+  std::memcpy(m.data(), data_ + pos_, static_cast<std::size_t>(need));
+  pos_ += static_cast<std::size_t>(need);
+  return m;
+}
+
+namespace {
+
+/// Writes `bytes` to `path` durably and atomically: stage at path.tmp,
+/// flush + fsync, rename over path, then fsync the parent directory so
+/// the rename itself survives a crash.
+bool WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && ::fsync(fileno(f)) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // Best-effort durability of the rename itself.
+    ::close(dfd);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteStateFile(const std::string& path, std::uint32_t magic,
+                    std::uint32_t version,
+                    const std::vector<StateSection>& sections) {
+  ByteWriter w;
+  w.WriteU32(magic);
+  w.WriteU32(version);
+  w.WriteU32(static_cast<std::uint32_t>(sections.size()));
+  for (const StateSection& s : sections) {
+    w.WriteU32(static_cast<std::uint32_t>(s.name.size()));
+    w.WriteBytes(s.name.data(), s.name.size());
+    w.WriteU64(s.payload.size());
+    w.WriteU32(Crc32(s.payload.data(), s.payload.size()));
+    w.WriteBytes(s.payload.data(), s.payload.size());
+  }
+  return WriteFileAtomic(path, w.bytes());
+}
+
+bool ReadStateFile(const std::string& path, std::uint32_t magic,
+                   std::uint32_t max_version,
+                   std::vector<StateSection>* sections,
+                   std::uint32_t* version) {
+  if (sections == nullptr) return false;
+  sections->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  ByteReader r(bytes);
+  const std::uint32_t file_magic = r.ReadU32();
+  const std::uint32_t file_version = r.ReadU32();
+  const std::uint32_t count = r.ReadU32();
+  if (!r.ok() || file_magic != magic || file_version == 0 ||
+      file_version > max_version || count > 65536) {
+    return false;
+  }
+  std::vector<StateSection> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = r.ReadU32();
+    if (!r.ok() || name_len > 4096) return false;
+    StateSection s;
+    s.name = r.ReadRaw(name_len);
+    const std::uint64_t payload_len = r.ReadU64();
+    const std::uint32_t crc = r.ReadU32();
+    if (!r.ok() || payload_len > kMaxChunkBytes) return false;
+    s.payload = r.ReadRaw(static_cast<std::size_t>(payload_len));
+    if (!r.ok()) return false;
+    if (Crc32(s.payload.data(), s.payload.size()) != crc) return false;
+    out.push_back(std::move(s));
+  }
+  if (!r.AtEnd()) return false;  // Trailing garbage == malformed file.
+  *sections = std::move(out);
+  if (version != nullptr) *version = file_version;
+  return true;
+}
+
+const StateSection* FindSection(const std::vector<StateSection>& sections,
+                                const std::string& name) {
+  for (const StateSection& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace e2gcl

@@ -1,0 +1,110 @@
+#ifndef E2GCL_IO_SERIALIZE_H_
+#define E2GCL_IO_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace e2gcl {
+
+/// Versioned binary state serialization used by the checkpoint system.
+///
+/// A state file is a sequence of named sections, each independently
+/// protected by a CRC32 checksum, inside a small magic/version envelope:
+///
+///   u32 magic | u32 version | u32 section_count
+///   repeated: u32 name_len | name bytes | u64 payload_len | u32 crc32 |
+///             payload bytes
+///
+/// All integers are little-endian (the library targets little-endian
+/// hosts; float payloads are raw IEEE-754 words). Readers are strictly
+/// bounds-checked: a truncated, oversized, or checksum-failing file
+/// makes the load return false — it never aborts and never returns
+/// partially-filled state. Writes are atomic: the file is staged at
+/// `path.tmp`, fsync'd, and renamed over `path`, so a crash mid-write
+/// leaves either the old file or the new one, never a torn mix.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// Append-only byte buffer for building section payloads.
+class ByteWriter {
+ public:
+  void WriteU32(std::uint32_t v);
+  void WriteU64(std::uint64_t v);
+  void WriteI64(std::int64_t v);
+  void WriteF32(float v);
+  void WriteBytes(const void* data, std::size_t size);
+  /// Length-prefixed (u64) byte string.
+  void WriteString(const std::string& s);
+  /// rows (i64), cols (i64), then rows*cols raw float32 words.
+  void WriteMatrix(const Matrix& m);
+
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a payload. Any out-of-range or malformed
+/// read latches ok() to false and yields a zero value; callers perform a
+/// read sequence and check ok() once at the end.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size);
+  explicit ByteReader(const std::string& bytes);
+
+  std::uint32_t ReadU32();
+  std::uint64_t ReadU64();
+  std::int64_t ReadI64();
+  float ReadF32();
+  std::string ReadString();
+  Matrix ReadMatrix();
+  /// Reads exactly `n` raw bytes into a string ("" + ok()=false when
+  /// fewer remain).
+  std::string ReadRaw(std::size_t n);
+
+  bool ok() const { return ok_; }
+  /// True once every byte has been consumed (and no read failed).
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+ private:
+  bool Take(void* out, std::size_t n);
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// One named section of a state file.
+struct StateSection {
+  std::string name;
+  std::string payload;
+};
+
+/// Atomically writes `sections` to `path` (stage at path.tmp, fsync,
+/// rename). Returns false on any I/O failure; no partial file is left at
+/// `path`.
+bool WriteStateFile(const std::string& path, std::uint32_t magic,
+                    std::uint32_t version,
+                    const std::vector<StateSection>& sections);
+
+/// Reads a state file written by WriteStateFile. Returns false — leaving
+/// `sections` empty — on bad magic, a version above `max_version`,
+/// truncation, trailing garbage, or any per-section CRC mismatch.
+/// `version`, if non-null, receives the file's version on success.
+bool ReadStateFile(const std::string& path, std::uint32_t magic,
+                   std::uint32_t max_version,
+                   std::vector<StateSection>* sections,
+                   std::uint32_t* version = nullptr);
+
+/// Finds a section by name; returns nullptr when absent.
+const StateSection* FindSection(const std::vector<StateSection>& sections,
+                                const std::string& name);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_IO_SERIALIZE_H_

@@ -44,6 +44,32 @@ void Adam::ZeroGrad() {
   for (Var& p : params_) p.ZeroGrad();
 }
 
+AdamState Adam::CloneState() const {
+  AdamState state;
+  state.m = m_;
+  state.v = v_;
+  state.t = t_;
+  return state;
+}
+
+bool Adam::LoadState(const AdamState& state) {
+  if (state.m.size() != params_.size() || state.v.size() != params_.size() ||
+      state.t < 0) {
+    return false;
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Matrix& w = params_[i].value();
+    if (state.m[i].rows() != w.rows() || state.m[i].cols() != w.cols() ||
+        state.v[i].rows() != w.rows() || state.v[i].cols() != w.cols()) {
+      return false;
+    }
+  }
+  m_ = state.m;
+  v_ = state.v;
+  t_ = state.t;
+  return true;
+}
+
 Sgd::Sgd(std::vector<Var> params, float lr, float weight_decay)
     : params_(std::move(params)), lr_(lr), weight_decay_(weight_decay) {
   for (const Var& p : params_) E2GCL_CHECK(p.defined() && p.requires_grad());

@@ -7,6 +7,16 @@
 
 namespace e2gcl {
 
+/// Snapshot of an Adam optimizer's mutable state: first/second moment
+/// buffers (in parameter order) and the step counter. Checkpointing
+/// round-trips this so resumed runs are bit-identical to uninterrupted
+/// ones.
+struct AdamState {
+  std::vector<Matrix> m;
+  std::vector<Matrix> v;
+  std::int64_t t = 0;
+};
+
 /// Adam optimizer (Kingma & Ba) over a fixed parameter list. The
 /// parameter Vars are shared handles into the model, so Step() mutates
 /// the model weights in place.
@@ -31,6 +41,14 @@ class Adam {
 
   float lr() const { return opts_.lr; }
   void set_lr(float lr) { opts_.lr = lr; }
+
+  /// Deep copy of the moment buffers and step counter.
+  AdamState CloneState() const;
+
+  /// Restores state cloned by CloneState(). Returns false (leaving the
+  /// optimizer untouched) when buffer counts or shapes do not match the
+  /// managed parameters.
+  bool LoadState(const AdamState& state);
 
  private:
   std::vector<Var> params_;

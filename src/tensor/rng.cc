@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <sstream>
+#include <string>
 
 #include "tensor/check.h"
 
@@ -113,6 +115,21 @@ void Rng::Shuffle(std::vector<std::int64_t>& values) {
 Rng Rng::Fork() {
   std::uint64_t child_seed = engine_();
   return Rng(child_seed);
+}
+
+std::string Rng::SerializeState() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+bool Rng::RestoreState(const std::string& state) {
+  std::istringstream is(state);
+  std::mt19937_64 restored;
+  is >> restored;
+  if (is.fail()) return false;
+  engine_ = restored;
+  return true;
 }
 
 }  // namespace e2gcl

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace e2gcl {
@@ -61,6 +62,14 @@ class Rng {
   /// Derives an independent child generator; useful to give parallel or
   /// repeated phases their own streams without correlating them.
   Rng Fork();
+
+  /// Serializes the full engine state (position included) to a portable
+  /// text form, so a restored generator continues the exact stream.
+  std::string SerializeState() const;
+
+  /// Restores a state produced by SerializeState(). Returns false (and
+  /// leaves the generator untouched) when `state` does not parse.
+  bool RestoreState(const std::string& state);
 
   /// Access to the raw engine for std:: distributions.
   std::mt19937_64& engine() { return engine_; }

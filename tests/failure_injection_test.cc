@@ -17,6 +17,15 @@ namespace {
 
 using testing_util::SmallGraph;
 
+// The process owns a live worker thread pool (src/parallel), so the
+// default "fast" death-test style — fork() straight out of a
+// multi-threaded parent — is unsafe. "threadsafe" re-executes the test
+// binary instead.
+const int kDeathTestStyle = []() {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  return 0;
+}();
+
 TEST(MatrixDeath, MatMulShapeMismatchAborts) {
   Matrix a(2, 3), b(4, 2);
   EXPECT_DEATH(MatMul(a, b), "matmul inner-dim mismatch");

@@ -1,0 +1,192 @@
+// Regression tests for eval/io hardening: malformed CSV / edge-list
+// input must return false (never UB, never an abort), and well-formed
+// graphs must round-trip exactly — including labels, isolated nodes,
+// and the empty graph.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "eval/io.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("e2gcl_io_test_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string WriteFile(const std::string& name, const std::string& text) {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream out(path);
+    out << text;
+    return path;
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// LoadMatrixCsv: malformed inputs.
+// ---------------------------------------------------------------------------
+
+TEST_F(IoRobustnessTest, CsvRejectsRaggedRows) {
+  Matrix m;
+  EXPECT_FALSE(LoadMatrixCsv(WriteFile("ragged.csv", "1,2,3\n4,5\n"), &m));
+}
+
+TEST_F(IoRobustnessTest, CsvRejectsNonNumericTokens) {
+  Matrix m;
+  EXPECT_FALSE(LoadMatrixCsv(WriteFile("alpha.csv", "1,2\nx,4\n"), &m));
+  EXPECT_FALSE(LoadMatrixCsv(WriteFile("suffix.csv", "1,2\n3pt5,4\n"), &m));
+  EXPECT_FALSE(LoadMatrixCsv(WriteFile("empty_cell.csv", "1,,3\n"), &m));
+}
+
+TEST_F(IoRobustnessTest, CsvRejectsNullOutput) {
+  EXPECT_FALSE(LoadMatrixCsv(WriteFile("ok.csv", "1,2\n"), nullptr));
+  Matrix m;
+  EXPECT_FALSE(LoadMatrixCsv(dir_ + "/does_not_exist.csv", &m));
+}
+
+TEST_F(IoRobustnessTest, CsvAcceptsScientificNegativeAndCrlf) {
+  Matrix m;
+  ASSERT_TRUE(
+      LoadMatrixCsv(WriteFile("sci.csv", "-1.5,2e-3\r\n+4,.5\r\n"), &m));
+  ASSERT_EQ(m.rows(), 2);
+  ASSERT_EQ(m.cols(), 2);
+  EXPECT_FLOAT_EQ(m(0, 0), -1.5f);
+  EXPECT_FLOAT_EQ(m(0, 1), 2e-3f);
+  EXPECT_FLOAT_EQ(m(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 0.5f);
+}
+
+TEST_F(IoRobustnessTest, CsvMatrixRoundTripExact) {
+  Rng rng(11);
+  Matrix m = Matrix::RandomNormal(7, 4, 0.0f, 2.0f, rng);
+  const std::string path = dir_ + "/roundtrip.csv";
+  ASSERT_TRUE(SaveMatrixCsv(m, path));
+  Matrix back;
+  ASSERT_TRUE(LoadMatrixCsv(path, &back));
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.cols(), m.cols());
+  // Text round-trip is near-exact (default float formatting).
+  EXPECT_LT(MaxAbsDiff(m, back), 1e-4f);
+}
+
+// ---------------------------------------------------------------------------
+// LoadGraphEdgeList: malformed inputs.
+// ---------------------------------------------------------------------------
+
+TEST_F(IoRobustnessTest, EdgeListRejectsMalformedHeaders) {
+  Graph g;
+  EXPECT_FALSE(LoadGraphEdgeList(WriteFile("neg.txt", "-3 2\n"), &g));
+  EXPECT_FALSE(LoadGraphEdgeList(WriteFile("negc.txt", "3 -2\n"), &g));
+  EXPECT_FALSE(LoadGraphEdgeList(WriteFile("alpha.txt", "abc 2\n"), &g));
+  EXPECT_FALSE(LoadGraphEdgeList(WriteFile("empty.txt", ""), &g));
+  // Oversized header: would otherwise drive a giant allocation.
+  EXPECT_FALSE(
+      LoadGraphEdgeList(WriteFile("huge.txt", "99999999999999 2\n"), &g));
+}
+
+TEST_F(IoRobustnessTest, EdgeListRejectsOutOfRangeNodeIds) {
+  Graph g;
+  EXPECT_FALSE(LoadGraphEdgeList(WriteFile("oob.txt", "3 2\n0 7\n"), &g));
+  EXPECT_FALSE(LoadGraphEdgeList(WriteFile("negid.txt", "3 2\n-1 2\n"), &g));
+}
+
+TEST_F(IoRobustnessTest, EdgeListRejectsNonNumericTokens) {
+  Graph g;
+  EXPECT_FALSE(LoadGraphEdgeList(WriteFile("tok.txt", "3 2\n0 one\n"), &g));
+  EXPECT_FALSE(LoadGraphEdgeList(WriteFile("tok2.txt", "3 2\ntwo 1\n"), &g));
+  EXPECT_FALSE(LoadGraphEdgeList(WriteFile("dangling.txt", "3 2\n0\n"), &g));
+}
+
+TEST_F(IoRobustnessTest, EdgeListRejectsBadLabelBlocks) {
+  Graph g;
+  // Too few labels.
+  EXPECT_FALSE(LoadGraphEdgeList(
+      WriteFile("short.txt", "3 2\n0 1\nlabels\n0\n1\n"), &g));
+  // Label out of [0, num_classes).
+  EXPECT_FALSE(LoadGraphEdgeList(
+      WriteFile("range.txt", "3 2\n0 1\nlabels\n0\n1\n5\n"), &g));
+  // Non-numeric label.
+  EXPECT_FALSE(LoadGraphEdgeList(
+      WriteFile("alpha.txt", "3 2\n0 1\nlabels\n0\n1\nx\n"), &g));
+  // Trailing garbage after the label block.
+  EXPECT_FALSE(LoadGraphEdgeList(
+      WriteFile("trail.txt", "3 2\n0 1\nlabels\n0\n1\n1\nextra\n"), &g));
+  // Labels with a zero class count are inconsistent.
+  EXPECT_FALSE(LoadGraphEdgeList(
+      WriteFile("zeroc.txt", "3 0\n0 1\nlabels\n0\n0\n0\n"), &g));
+}
+
+// ---------------------------------------------------------------------------
+// SaveGraphEdgeList / LoadGraphEdgeList round-trips.
+// ---------------------------------------------------------------------------
+
+void ExpectSameStructure(const Graph& a, const Graph& b) {
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.num_classes, b.num_classes);
+  EXPECT_EQ(a.row_ptr, b.row_ptr);
+  EXPECT_EQ(a.col, b.col);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST_F(IoRobustnessTest, RoundTripWithLabels) {
+  Graph g = testing_util::SmallGraph();
+  const std::string path = dir_ + "/labeled.txt";
+  ASSERT_TRUE(SaveGraphEdgeList(g, path));
+  Graph back;
+  ASSERT_TRUE(LoadGraphEdgeList(path, &back));
+  ExpectSameStructure(g, back);
+}
+
+TEST_F(IoRobustnessTest, RoundTripWithIsolatedNodes) {
+  // Nodes 3 and 5 have no incident edges; the header keeps them alive.
+  Graph g = BuildGraph(6, {{0, 1}, {1, 2}, {2, 4}}, Matrix(),
+                       {0, 1, 0, 1, 0, 1}, 2);
+  const std::string path = dir_ + "/isolated.txt";
+  ASSERT_TRUE(SaveGraphEdgeList(g, path));
+  Graph back;
+  ASSERT_TRUE(LoadGraphEdgeList(path, &back));
+  ExpectSameStructure(g, back);
+  EXPECT_EQ(back.Degree(3), 0);
+  EXPECT_EQ(back.Degree(5), 0);
+}
+
+TEST_F(IoRobustnessTest, RoundTripUnlabeledGraph) {
+  Graph g = BuildGraph(4, {{0, 3}, {1, 2}});
+  const std::string path = dir_ + "/unlabeled.txt";
+  ASSERT_TRUE(SaveGraphEdgeList(g, path));
+  Graph back;
+  ASSERT_TRUE(LoadGraphEdgeList(path, &back));
+  ExpectSameStructure(g, back);
+}
+
+TEST_F(IoRobustnessTest, RoundTripEmptyGraph) {
+  Graph g;  // 0 nodes, 0 edges
+  const std::string path = dir_ + "/empty.txt";
+  ASSERT_TRUE(SaveGraphEdgeList(g, path));
+  Graph back;
+  ASSERT_TRUE(LoadGraphEdgeList(path, &back));
+  EXPECT_EQ(back.num_nodes, 0);
+  EXPECT_EQ(back.num_edges(), 0);
+  EXPECT_TRUE(back.labels.empty());
+}
+
+}  // namespace
+}  // namespace e2gcl

@@ -1,0 +1,299 @@
+// Unit tests for the versioned binary state format (src/io/serialize)
+// and the checkpoint container (src/io/checkpoint): round-trips, CRC
+// integrity, truncation handling, and atomic-write behaviour.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/checkpoint.h"
+#include "io/serialize.h"
+#include "tensor/rng.h"
+
+namespace e2gcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kMagic = 0xABCD1234u;
+
+std::string TempDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("e2gcl_serialize_test_" + tag + "_" +
+                  std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // The canonical CRC-32/IEEE check value.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(s, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(s, 0), 0u);
+}
+
+TEST(ByteRoundTrip, AllScalarTypes) {
+  ByteWriter w;
+  w.WriteU32(0xDEADBEEFu);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteI64(-42);
+  w.WriteF32(3.5f);
+  w.WriteString("hello");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_EQ(r.ReadF32(), 3.5f);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteRoundTrip, MatrixExact) {
+  Rng rng(7);
+  Matrix m = Matrix::RandomNormal(5, 3, 0.0f, 1.0f, rng);
+  ByteWriter w;
+  w.WriteMatrix(m);
+  w.WriteMatrix(Matrix());  // empty matrix round-trips too
+
+  ByteReader r(w.bytes());
+  Matrix back = r.ReadMatrix();
+  Matrix empty = r.ReadMatrix();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(back == m);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ByteReader, TruncatedReadFailsSticky) {
+  ByteWriter w;
+  w.WriteU32(1);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadU64(), 0u);  // needs 8 bytes, only 4 present
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.ReadU32(), 0u);  // sticky failure
+  EXPECT_FALSE(r.AtEnd());
+}
+
+TEST(ByteReader, CorruptMatrixShapeRejectedBeforeAllocation) {
+  ByteWriter w;
+  w.WriteI64(1LL << 40);  // absurd rows
+  w.WriteI64(1LL << 40);  // absurd cols
+  ByteReader r(w.bytes());
+  Matrix m = r.ReadMatrix();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(StateFile, RoundTripsMultipleSections) {
+  const std::string dir = TempDir("roundtrip");
+  const std::string path = dir + "/state.bin";
+  std::vector<StateSection> sections = {
+      {"alpha", std::string("payload-a")},
+      {"beta", std::string("\x00\x01\x02\xFF", 4)},
+      {"empty", std::string()},
+  };
+  ASSERT_TRUE(WriteStateFile(path, kMagic, 3, sections));
+
+  std::vector<StateSection> back;
+  std::uint32_t version = 0;
+  ASSERT_TRUE(ReadStateFile(path, kMagic, 3, &back, &version));
+  EXPECT_EQ(version, 3u);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].name, "alpha");
+  EXPECT_EQ(back[0].payload, "payload-a");
+  EXPECT_EQ(back[1].payload, sections[1].payload);
+  EXPECT_EQ(back[2].payload, "");
+  EXPECT_NE(FindSection(back, "beta"), nullptr);
+  EXPECT_EQ(FindSection(back, "missing"), nullptr);
+  fs::remove_all(dir);
+}
+
+TEST(StateFile, RejectsWrongMagicAndFutureVersion) {
+  const std::string dir = TempDir("magic");
+  const std::string path = dir + "/state.bin";
+  ASSERT_TRUE(WriteStateFile(path, kMagic, 2, {{"s", "x"}}));
+  std::vector<StateSection> back;
+  EXPECT_FALSE(ReadStateFile(path, kMagic + 1, 2, &back));
+  EXPECT_FALSE(ReadStateFile(path, kMagic, 1, &back));  // version 2 > max 1
+  EXPECT_TRUE(ReadStateFile(path, kMagic, 2, &back));
+  fs::remove_all(dir);
+}
+
+TEST(StateFile, DetectsPayloadCorruption) {
+  const std::string dir = TempDir("corrupt");
+  const std::string path = dir + "/state.bin";
+  ASSERT_TRUE(WriteStateFile(path, kMagic, 1,
+                             {{"weights", std::string(256, 'w')}}));
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() - 10] ^= 0x40;  // flip one payload bit
+  WriteFileBytes(path, bytes);
+  std::vector<StateSection> back;
+  EXPECT_FALSE(ReadStateFile(path, kMagic, 1, &back));
+  EXPECT_TRUE(back.empty());
+  fs::remove_all(dir);
+}
+
+TEST(StateFile, DetectsTruncationAndTrailingGarbage) {
+  const std::string dir = TempDir("truncate");
+  const std::string path = dir + "/state.bin";
+  ASSERT_TRUE(WriteStateFile(path, kMagic, 1,
+                             {{"weights", std::string(256, 'w')}}));
+  const std::string full = ReadFileBytes(path);
+
+  WriteFileBytes(path, full.substr(0, full.size() / 2));
+  std::vector<StateSection> back;
+  EXPECT_FALSE(ReadStateFile(path, kMagic, 1, &back));
+
+  WriteFileBytes(path, full + "garbage");
+  EXPECT_FALSE(ReadStateFile(path, kMagic, 1, &back));
+
+  WriteFileBytes(path, full);
+  EXPECT_TRUE(ReadStateFile(path, kMagic, 1, &back));
+  fs::remove_all(dir);
+}
+
+TEST(StateFile, AtomicWriteLeavesNoTmpFile) {
+  const std::string dir = TempDir("atomic");
+  const std::string path = dir + "/state.bin";
+  ASSERT_TRUE(WriteStateFile(path, kMagic, 1, {{"s", "x"}}));
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  // A write to an unreachable path fails cleanly without creating the
+  // destination.
+  const std::string bad = dir + "/no/such/subdir/state.bin";
+  EXPECT_FALSE(WriteStateFile(bad, kMagic, 1, {{"s", "x"}}));
+  EXPECT_FALSE(fs::exists(bad));
+  fs::remove_all(dir);
+}
+
+TEST(RngState, SerializedStateContinuesExactStream) {
+  Rng a(123);
+  for (int i = 0; i < 100; ++i) a.Uniform();  // advance mid-stream
+  const std::string state = a.SerializeState();
+
+  Rng b(999);  // completely different stream
+  ASSERT_TRUE(b.RestoreState(state));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.engine()(), b.engine()());
+  }
+}
+
+TEST(RngState, RestoreRejectsGarbageWithoutClobbering) {
+  Rng a(5);
+  const std::uint64_t before = Rng(5).engine()();
+  EXPECT_FALSE(a.RestoreState("definitely not an engine state"));
+  EXPECT_EQ(a.engine()(), before);  // untouched on failure
+}
+
+TEST(TrainerCheckpointFile, RoundTripsAllFields) {
+  const std::string dir = TempDir("ckpt");
+  const std::string path = CheckpointPath(dir, 12);
+  Rng rng(3);
+
+  TrainerCheckpoint c;
+  c.epoch = 12;
+  c.config_fingerprint = 0xFEEDFACEull;
+  c.retries_used = 1;
+  c.lr_scale = 0.5f;
+  c.rng_state = rng.SerializeState();
+  c.encoder_params = {Matrix::RandomNormal(4, 3, 0, 1, rng),
+                      Matrix::RandomNormal(1, 3, 0, 1, rng)};
+  c.projector_params = {Matrix::RandomNormal(3, 3, 0, 1, rng)};
+  c.adam_m = {Matrix(4, 3, 0.25f), Matrix(1, 3, 0.5f), Matrix(3, 3, 1.0f)};
+  c.adam_v = {Matrix(4, 3, 0.125f), Matrix(1, 3, 0.0f), Matrix(3, 3, 2.0f)};
+  c.adam_t = 77;
+  ASSERT_TRUE(SaveTrainerCheckpoint(path, c));
+
+  TrainerCheckpoint back;
+  ASSERT_TRUE(LoadTrainerCheckpoint(path, &back));
+  EXPECT_EQ(back.epoch, 12);
+  EXPECT_EQ(back.config_fingerprint, 0xFEEDFACEull);
+  EXPECT_EQ(back.retries_used, 1);
+  EXPECT_EQ(back.lr_scale, 0.5f);
+  EXPECT_EQ(back.rng_state, c.rng_state);
+  ASSERT_EQ(back.encoder_params.size(), 2u);
+  EXPECT_TRUE(back.encoder_params[0] == c.encoder_params[0]);
+  EXPECT_TRUE(back.encoder_params[1] == c.encoder_params[1]);
+  ASSERT_EQ(back.projector_params.size(), 1u);
+  ASSERT_EQ(back.adam_m.size(), 3u);
+  ASSERT_EQ(back.adam_v.size(), 3u);
+  EXPECT_TRUE(back.adam_m[1] == c.adam_m[1]);
+  EXPECT_TRUE(back.adam_v[2] == c.adam_v[2]);
+  EXPECT_EQ(back.adam_t, 77);
+  fs::remove_all(dir);
+}
+
+TEST(TrainerCheckpointFile, ListAndPruneKeepNewest) {
+  const std::string dir = TempDir("prune");
+  TrainerCheckpoint c;
+  c.epoch = 0;
+  for (std::int64_t e : {3, 9, 1, 7}) {
+    c.epoch = e;
+    ASSERT_TRUE(SaveTrainerCheckpoint(CheckpointPath(dir, e), c));
+  }
+  // A stray non-checkpoint file must be ignored, not deleted.
+  WriteFileBytes(dir + "/notes.txt", "hands off");
+
+  std::vector<std::string> files = ListCheckpointFiles(dir);
+  ASSERT_EQ(files.size(), 4u);
+  EXPECT_NE(files[0].find("ckpt-000001"), std::string::npos);
+  EXPECT_NE(files[3].find("ckpt-000009"), std::string::npos);
+
+  PruneCheckpoints(dir, 2);
+  files = ListCheckpointFiles(dir);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_NE(files[0].find("ckpt-000007"), std::string::npos);
+  EXPECT_NE(files[1].find("ckpt-000009"), std::string::npos);
+  EXPECT_TRUE(fs::exists(dir + "/notes.txt"));
+  fs::remove_all(dir);
+}
+
+TEST(TrainerCheckpointFile, FindNewestSkipsCorruptAndMismatched) {
+  const std::string dir = TempDir("skip");
+  TrainerCheckpoint c;
+  c.config_fingerprint = 42;
+  c.encoder_params = {Matrix(2, 2, 1.0f)};
+  c.adam_m = {Matrix(2, 2)};
+  c.adam_v = {Matrix(2, 2)};
+
+  c.epoch = 2;
+  ASSERT_TRUE(SaveTrainerCheckpoint(CheckpointPath(dir, 2), c));
+  c.epoch = 5;
+  ASSERT_TRUE(SaveTrainerCheckpoint(CheckpointPath(dir, 5), c));
+  c.epoch = 9;
+  c.config_fingerprint = 777;  // written by a "different" config
+  ASSERT_TRUE(SaveTrainerCheckpoint(CheckpointPath(dir, 9), c));
+  // Corrupt the epoch-5 file.
+  std::string bytes = ReadFileBytes(CheckpointPath(dir, 5));
+  bytes[bytes.size() / 2] ^= 0xFF;
+  WriteFileBytes(CheckpointPath(dir, 5), bytes);
+
+  TrainerCheckpoint found;
+  std::string from;
+  ASSERT_TRUE(FindNewestValidCheckpoint(dir, 42, &found, &from));
+  EXPECT_EQ(found.epoch, 2);  // 9 mismatches fingerprint, 5 is corrupt
+  EXPECT_NE(from.find("ckpt-000002"), std::string::npos);
+
+  EXPECT_FALSE(FindNewestValidCheckpoint(dir, 41, &found));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace e2gcl

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Builds the library under ThreadSanitizer and AddressSanitizer and runs
+# the suites that exercise the parallel kernels and the fault-tolerance
+# machinery (checkpoint I/O, kill/resume, death tests). Usage:
+#
+#   tools/check_sanitizers.sh            # both sanitizers (default)
+#   tools/check_sanitizers.sh thread     # ThreadSanitizer only
+#   tools/check_sanitizers.sh address    # AddressSanitizer only
+#
+# Each sanitized tree lives in build-<sanitizer>/ next to the regular
+# build/ so configurations never share object files.
+set -euo pipefail
+
+case "${1:-both}" in
+  thread)  SANITIZERS=(thread) ;;
+  address) SANITIZERS=(address) ;;
+  both)    SANITIZERS=(thread address) ;;
+  *) echo "usage: $0 [thread|address|both]" >&2; exit 2 ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+# The race-prone and fault-injection code paths live in these binaries;
+# running the full suite under sanitizers takes far longer without
+# covering more of the interesting code.
+TARGETS=(
+  parallel_test
+  tensor_matrix_test
+  tensor_csr_test
+  kmeans_test
+  core_selector_test
+  core_trainer_test
+  core_view_test
+  autograd_ops_test
+  autograd_loss_test
+  serialize_test
+  io_robustness_test
+  fault_tolerance_test
+  failure_injection_test
+)
+
+status=0
+for SANITIZER in "${SANITIZERS[@]}"; do
+  BUILD="$ROOT/build-$SANITIZER"
+  cmake -B "$BUILD" -S "$ROOT" -DE2GCL_SANITIZE="$SANITIZER" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j "$(nproc)" --target "${TARGETS[@]}"
+
+  # Exercise a real pool even on small CI machines; fail on any report.
+  export E2GCL_NUM_THREADS="${E2GCL_NUM_THREADS:-4}"
+  if [ "$SANITIZER" = thread ]; then
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+  fi
+
+  # Run each gtest binary directly (ctest registers per-case names,
+  # which makes selecting whole binaries awkward); any sanitizer report
+  # fails it.
+  for t in "${TARGETS[@]}"; do
+    echo "=== $t ($SANITIZER) ==="
+    if ! "$BUILD/tests/$t"; then
+      status=1
+    fi
+  done
+done
+exit $status

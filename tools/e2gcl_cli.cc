@@ -5,12 +5,21 @@
 //   e2gcl_cli [--dataset cora] [--model e2gcl] [--epochs 40]
 //             [--ratio 0.4] [--scale 1.0] [--runs 2] [--seed 1]
 //             [--save-embedding path.csv]
+//             [--checkpoint-dir dir] [--resume] [--max-retries 2]
+//             [--checkpoint-every 10]
 //
 // Models: mlp gcn deepwalk node2vec gae vgae dgi bgrl afgrl mvgrl grace
 //         gca e2gcl.
 // Datasets: cora citeseer photo computers cs arxiv products.
+//
+// Fault tolerance (e2gcl model only): --checkpoint-dir enables atomic
+// epoch-stamped checkpoints; --resume continues from the newest valid
+// one; --max-retries bounds the NaN-recovery retry budget.
 
+#include <cerrno>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -18,35 +27,158 @@
 #include "eval/protocol.h"
 #include "graph/datasets.h"
 
+namespace {
+
+void Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --dataset <name>         cora|citeseer|photo|computers|cs|arxiv|"
+      "products (default cora)\n"
+      "  --model <name>           mlp|gcn|deepwalk|node2vec|gae|vgae|dgi|"
+      "bgrl|afgrl|mvgrl|grace|gca|e2gcl (default e2gcl)\n"
+      "  --epochs <int>           pre-training epochs (default 40)\n"
+      "  --ratio <float>          e2gcl node budget r (default 0.4)\n"
+      "  --scale <float>          dataset size multiplier (default 1.0)\n"
+      "  --runs <int>             repeated runs to aggregate (default 2)\n"
+      "  --seed <uint64>          base RNG seed (default 1)\n"
+      "  --save-embedding <path>  write the final embedding as CSV\n"
+      "  --checkpoint-dir <dir>   write atomic training checkpoints here "
+      "(e2gcl only; forces --runs 1)\n"
+      "  --resume                 resume from the newest valid checkpoint\n"
+      "  --max-retries <int>      NaN-divergence retry budget (default 2)\n"
+      "  --checkpoint-every <int> epochs between checkpoints (default 10)\n",
+      prog);
+}
+
+/// Strict whole-token integer parse; "", "12x", and out-of-range fail.
+bool ParseInt(const char* s, long long lo, long long hi, long long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  if (v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseU64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace e2gcl;
 
   std::string dataset = "cora";
   std::string model = "e2gcl";
   std::string save_embedding;
-  int epochs = 40;
+  std::string checkpoint_dir;
+  bool resume = false;
+  long long epochs = 40;
+  long long runs = 2;
+  long long max_retries = 2;
+  long long checkpoint_every = 10;
   double ratio = 0.4;
   double scale = 1.0;
-  int runs = 2;
   std::uint64_t seed = 1;
 
   for (int i = 1; i < argc; ++i) {
-    auto next = [&](const char* flag) -> const char* {
-      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
-      return nullptr;
+    const char* flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
     };
-    if (const char* v = next("--dataset")) dataset = v;
-    else if (const char* v2 = next("--model")) model = v2;
-    else if (const char* v3 = next("--epochs")) epochs = std::atoi(v3);
-    else if (const char* v4 = next("--ratio")) ratio = std::atof(v4);
-    else if (const char* v5 = next("--scale")) scale = std::atof(v5);
-    else if (const char* v6 = next("--runs")) runs = std::atoi(v6);
-    else if (const char* v7 = next("--seed")) seed = std::strtoull(v7, nullptr, 10);
-    else if (const char* v8 = next("--save-embedding")) save_embedding = v8;
-    else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      return 1;
+    auto invalid = [&](const char* v) {
+      std::fprintf(stderr, "%s: invalid value for %s: '%s'\n", argv[0], flag,
+                   v);
+      Usage(argv[0]);
+      std::exit(2);
+    };
+    if (std::strcmp(flag, "--dataset") == 0) {
+      dataset = value();
+    } else if (std::strcmp(flag, "--model") == 0) {
+      model = value();
+    } else if (std::strcmp(flag, "--epochs") == 0) {
+      const char* v = value();
+      if (!ParseInt(v, 1, 1000000, &epochs)) invalid(v);
+    } else if (std::strcmp(flag, "--ratio") == 0) {
+      const char* v = value();
+      if (!ParseDouble(v, &ratio) || ratio <= 0.0 || ratio > 1.0) invalid(v);
+    } else if (std::strcmp(flag, "--scale") == 0) {
+      const char* v = value();
+      if (!ParseDouble(v, &scale) || scale <= 0.0) invalid(v);
+    } else if (std::strcmp(flag, "--runs") == 0) {
+      const char* v = value();
+      if (!ParseInt(v, 1, 10000, &runs)) invalid(v);
+    } else if (std::strcmp(flag, "--seed") == 0) {
+      const char* v = value();
+      if (!ParseU64(v, &seed)) invalid(v);
+    } else if (std::strcmp(flag, "--save-embedding") == 0) {
+      save_embedding = value();
+    } else if (std::strcmp(flag, "--checkpoint-dir") == 0) {
+      checkpoint_dir = value();
+    } else if (std::strcmp(flag, "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(flag, "--max-retries") == 0) {
+      const char* v = value();
+      if (!ParseInt(v, 0, 1000, &max_retries)) invalid(v);
+    } else if (std::strcmp(flag, "--checkpoint-every") == 0) {
+      const char* v = value();
+      if (!ParseInt(v, 1, 1000000, &checkpoint_every)) invalid(v);
+    } else if (std::strcmp(flag, "--help") == 0 ||
+               std::strcmp(flag, "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag: %s\n", argv[0], flag);
+      Usage(argv[0]);
+      return 2;
     }
+  }
+
+  ModelKind kind = ModelKindFromName(model);
+
+  if (!checkpoint_dir.empty()) {
+    if (kind != ModelKind::kE2gcl) {
+      std::fprintf(stderr,
+                   "%s: --checkpoint-dir is only supported for --model "
+                   "e2gcl\n",
+                   argv[0]);
+      return 2;
+    }
+    if (runs != 1) {
+      std::fprintf(stderr,
+                   "note: --checkpoint-dir forces --runs 1 (checkpoints "
+                   "track a single training trajectory)\n");
+      runs = 1;
+    }
+  }
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "%s: --resume requires --checkpoint-dir\n", argv[0]);
+    return 2;
   }
 
   Graph g = LoadDatasetScaled(dataset, scale, 0x5eed);
@@ -56,14 +188,17 @@ int main(int argc, char** argv) {
               (long long)g.num_edges(), (long long)g.feature_dim(),
               (long long)g.num_classes);
 
-  ModelKind kind = ModelKindFromName(model);
   RunConfig cfg;
-  cfg.epochs = epochs;
+  cfg.epochs = static_cast<int>(epochs);
   cfg.seed = seed;
-  cfg.supervised.epochs = 3 * epochs;
+  cfg.supervised.epochs = 3 * static_cast<int>(epochs);
   cfg.e2gcl.node_ratio = ratio;
+  cfg.e2gcl.checkpoint_dir = checkpoint_dir;
+  cfg.e2gcl.checkpoint_every = static_cast<int>(checkpoint_every);
+  cfg.e2gcl.resume = resume;
+  cfg.e2gcl.max_retries = static_cast<int>(max_retries);
 
-  AggregateResult agg = RunRepeated(kind, g, cfg, runs);
+  AggregateResult agg = RunRepeated(kind, g, cfg, static_cast<int>(runs));
   std::printf("%s: accuracy %.2f%% ± %.2f  (selection %.2fs, total %.2fs)\n",
               ModelKindName(kind).c_str(), agg.accuracy.mean,
               agg.accuracy.std, agg.selection_seconds, agg.total_seconds);
