@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "tensor/check.h"
 
@@ -81,6 +83,11 @@ KMeansResult KMeans(const Matrix& points, const KMeansOptions& opts,
   const std::int64_t d = points.cols();
   std::int64_t k = std::min<std::int64_t>(opts.num_clusters, n);
   E2GCL_CHECK(k > 0);
+  TraceSpan kmeans_span("kmeans");
+  static const Counter calls_counter = Counter::Get("kmeans.calls");
+  static const Counter iters_counter = Counter::Get("kmeans.iterations");
+  static const Counter reseeds_counter = Counter::Get("kmeans.reseeds");
+  calls_counter.Increment();
 
   KMeansResult res;
   if (opts.kmeanspp) {
@@ -99,6 +106,7 @@ KMeansResult KMeans(const Matrix& points, const KMeansOptions& opts,
 
   double prev_inertia = std::numeric_limits<double>::max();
   for (int iter = 0; iter < opts.max_iters; ++iter) {
+    iters_counter.Increment();
     // Assignment step: the O(n k d) scan is row-parallel and exact.
     ParallelFor(0, n, assign_grain, [&](std::int64_t vb, std::int64_t ve) {
       for (std::int64_t v = vb; v < ve; ++v) {
@@ -152,6 +160,7 @@ KMeansResult KMeans(const Matrix& points, const KMeansOptions& opts,
     }
     for (std::int64_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
+        reseeds_counter.Increment();
         // Re-seed an empty cluster with the point farthest from its center.
         float worst = -1.0f;
         std::int64_t worst_v = 0;

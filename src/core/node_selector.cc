@@ -6,6 +6,8 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "tensor/check.h"
 
@@ -57,6 +59,12 @@ double RepresentativityObjective(const Matrix& r, const KMeansResult& km,
 
 SelectionResult SelectCoreset(const Matrix& r, const SelectorConfig& config,
                               Rng& rng) {
+  TraceSpan select_span("select_coreset");
+  static const Counter rounds_counter = Counter::Get("selector.rounds");
+  static const Counter candidates_counter =
+      Counter::Get("selector.candidates_evaluated");
+  static const Counter selected_counter =
+      Counter::Get("selector.nodes_selected");
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t n = r.rows();
   E2GCL_CHECK(config.budget > 0 && config.budget <= n);
@@ -122,6 +130,8 @@ SelectionResult SelectCoreset(const Matrix& r, const SelectorConfig& config,
     if (pool.empty()) break;  // Everything selected.
     std::sort(pool.begin(), pool.end());
     pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+    rounds_counter.Increment();
+    candidates_counter.Add(pool.size());
 
     // --- Lines 5-8: pick the candidate with maximal marginal gain. -------
     // Candidate gains are independent (each reads best_dist, none writes
@@ -169,6 +179,7 @@ SelectionResult SelectCoreset(const Matrix& r, const SelectorConfig& config,
     // --- Line 9: commit and update best distances. ------------------------
     selected_mask[best_u] = 1;
     result.nodes.push_back(best_u);
+    selected_counter.Increment();
     const std::int64_t cu = km.assignment[best_u];
     for (std::int64_t j = 0; j < nc; ++j) {
       center_dist[j] = RowDistance(km.centers, j, r, best_u);

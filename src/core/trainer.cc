@@ -9,6 +9,10 @@
 
 #include "core/raw_aggregation.h"
 #include "io/serialize.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -42,7 +46,46 @@ bool ShapesMatch(const std::vector<Var>& params,
   return true;
 }
 
+/// The trainer's status as a stable report string.
+const char* StatusName(TrainStatus status) {
+  switch (status) {
+    case TrainStatus::kOk:
+      return "ok";
+    case TrainStatus::kDiverged:
+      return "diverged";
+    case TrainStatus::kKilled:
+      return "killed";
+  }
+  return "unknown";
+}
+
 }  // namespace
+
+const char* TrainEventKindName(TrainEvent::Kind kind) {
+  switch (kind) {
+    case TrainEvent::Kind::kResume:
+      return "resume";
+    case TrainEvent::Kind::kRetry:
+      return "retry";
+    case TrainEvent::Kind::kDiverged:
+      return "diverged";
+    case TrainEvent::Kind::kKilled:
+      return "killed";
+    case TrainEvent::Kind::kCheckpointWrite:
+      return "checkpoint_write";
+    case TrainEvent::Kind::kCheckpointWriteFailure:
+      return "checkpoint_write_failure";
+  }
+  return "unknown";
+}
+
+int TrainResult::CountEvents(TrainEvent::Kind kind) const {
+  int count = 0;
+  for (const TrainEvent& e : events) {
+    if (e.kind == kind) ++count;
+  }
+  return count;
+}
 
 E2gclTrainer::E2gclTrainer(const Graph& graph, const E2gclConfig& config)
     : graph_(&graph), config_(config), rng_(config.seed) {
@@ -139,6 +182,56 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t n = graph_->num_nodes;
 
+  static const Counter epochs_counter = Counter::Get("trainer.epochs");
+  static const Counter retries_counter = Counter::Get("trainer.retries");
+  static const Counter resumes_counter = Counter::Get("trainer.resumes");
+
+  // Per-epoch counter snapshots in the run report are deltas from this
+  // baseline, so they are independent of whatever ran earlier in the
+  // process (the registry is process-global).
+  const MetricsSnapshot metrics_baseline = MetricsRegistry::Get().Snapshot();
+  std::vector<RunReport::Epoch> epoch_records;
+
+  // Routes every exit through run-report emission. The report lands at
+  // config_.report_path, or next to the checkpoints when only
+  // checkpoint_dir is set; with neither, no report is written.
+  auto finish = [&](TrainResult result) {
+    stats_.total_seconds = SecondsSince(t0);
+    std::string report_path = config_.report_path;
+    if (report_path.empty() && !config_.checkpoint_dir.empty()) {
+      report_path = config_.checkpoint_dir + "/run_report.json";
+    }
+    if (!report_path.empty()) {
+      RunReport report;
+      char fp[24];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(ConfigFingerprint()));
+      report.config_fingerprint = fp;
+      report.seed = config_.seed;
+      report.threads = GetNumThreads();
+      report.status = StatusName(result.status);
+      report.resumed = result.resumed;
+      report.start_epoch = result.start_epoch;
+      report.retries_used = result.retries_used;
+      report.selection_seconds = stats_.selection_seconds;
+      report.total_seconds = stats_.total_seconds;
+      report.epochs = epoch_records;
+      for (const TrainEvent& e : result.events) {
+        report.events.push_back(
+            {TrainEventKindName(e.kind), e.epoch, e.detail});
+      }
+      report.metrics = MetricsRegistry::Get().Snapshot().DeltaFrom(
+          metrics_baseline);
+      report.spans = TraceRegistry::Get().Snapshot();
+      if (!SaveRunReport(report_path, report)) {
+        std::fprintf(stderr,
+                     "[e2gcl] warning: failed to write run report %s\n",
+                     report_path.c_str());
+      }
+    }
+    return result;
+  };
+
   // --- Node selection (Sec. III). ----------------------------------------
   std::vector<std::int64_t> train_nodes;
   std::vector<float> node_weights;
@@ -201,6 +294,10 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
           adam.set_lr(base_lr * lr_scale);
           result.resumed = true;
           result.start_epoch = static_cast<int>(ckpt.epoch) + 1;
+          resumes_counter.Increment();
+          result.events.push_back({TrainEvent::Kind::kResume,
+                                   static_cast<int>(ckpt.epoch),
+                                   "resumed from " + from});
           rollback = std::move(ckpt);
         } else {
           std::fprintf(stderr,
@@ -213,6 +310,10 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
   }
 
   for (int epoch = result.start_epoch; epoch < config_.epochs; ++epoch) {
+    TraceSpan epoch_span("epoch");
+    RunReport::Epoch record;
+    record.epoch = epoch;
+
     // Line 3: generate the two positive views.
     const auto tv = std::chrono::steady_clock::now();
     Graph view_hat = generator_->GenerateGlobalView(config_.view_hat, rng_);
@@ -222,8 +323,10 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
         std::make_shared<const CsrMatrix>(NormalizedAdjacency(view_hat));
     auto adj_tilde =
         std::make_shared<const CsrMatrix>(NormalizedAdjacency(view_tilde));
-    stats_.view_seconds += SecondsSince(tv);
+    record.view_seconds = SecondsSince(tv);
+    stats_.view_seconds += record.view_seconds;
 
+    const auto tl = std::chrono::steady_clock::now();
     // Sample a training batch from the (selected) node pool.
     std::vector<std::int64_t> batch_nodes;
     std::vector<float> batch_weights;
@@ -257,6 +360,7 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
                                       batch_weights);
     adam.ZeroGrad();
     loss.Backward();
+    record.loss_seconds = SecondsSince(tl);
 
     // --- Training health guard. ------------------------------------------
     float loss_value = loss.value()(0, 0);
@@ -284,17 +388,21 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
                       "retries (lr scale %.4g)",
                       epoch, static_cast<long long>(retries), lr_scale);
         result.message = msg;
-        stats_.total_seconds = SecondsSince(t0);
-        return result;
+        result.events.push_back(
+            {TrainEvent::Kind::kDiverged, epoch, result.message});
+        return finish(std::move(result));
       }
       ++retries;
+      retries_counter.Increment();
       lr_scale *= 0.5f;
       if (!RestoreState(rollback, adam)) {
         // The in-memory anchor always matches; this cannot fail, but
         // never continue on a half-restored state.
         result.status = TrainStatus::kDiverged;
         result.message = "rollback failed";
-        return result;
+        result.events.push_back(
+            {TrainEvent::Kind::kDiverged, epoch, result.message});
+        return finish(std::move(result));
       }
       adam.set_lr(base_lr * lr_scale);
       // Reseed the view-generator/batch RNG stream so the retry explores
@@ -302,16 +410,30 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
       // that diverged. Deterministic given (seed, retries).
       rng_ = Rng(config_.seed ^
                  (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(retries)));
+      char detail[160];
+      std::snprintf(detail, sizeof(detail),
+                    "non-finite loss/gradient; rolled back to epoch %lld, "
+                    "lr scale %.4g (retry %lld/%d)",
+                    static_cast<long long>(rollback.epoch), lr_scale,
+                    static_cast<long long>(retries), config_.max_retries);
+      result.events.push_back({TrainEvent::Kind::kRetry, epoch, detail});
       std::fprintf(stderr,
                    "[e2gcl] warning: non-finite loss/gradient at epoch %d; "
                    "rolled back to epoch %lld, lr scale %.4g (retry %lld/%d)\n",
                    epoch, static_cast<long long>(rollback.epoch), lr_scale,
                    static_cast<long long>(retries), config_.max_retries);
+      // Drop per-epoch records from the abandoned trajectory.
+      while (!epoch_records.empty() &&
+             epoch_records.back().epoch >
+                 static_cast<int>(rollback.epoch)) {
+        epoch_records.pop_back();
+      }
       epoch = static_cast<int>(rollback.epoch);  // ++ resumes at epoch + 1
       continue;
     }
 
     // Global gradient-norm clipping (0 = off).
+    const auto ts = std::chrono::steady_clock::now();
     if (config_.grad_clip_norm > 0.0f &&
         grad_norm > static_cast<double>(config_.grad_clip_norm)) {
       const float scale =
@@ -323,23 +445,36 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
       }
     }
     adam.Step();
+    record.step_seconds = SecondsSince(ts);
     stats_.epochs_run = epoch + 1;
+    epochs_counter.Increment();
 
     // --- Checkpointing (atomic write, keep-last-K). -----------------------
     if (checkpointing && ((epoch + 1) % config_.checkpoint_every == 0 ||
                           epoch + 1 == config_.epochs)) {
+      const auto tc = std::chrono::steady_clock::now();
       TrainerCheckpoint ckpt = CaptureState(epoch, adam, retries, lr_scale);
       const std::string path =
           CheckpointPath(config_.checkpoint_dir, epoch);
       if (SaveTrainerCheckpoint(path, ckpt)) {
         PruneCheckpoints(config_.checkpoint_dir, config_.checkpoint_keep);
         rollback = std::move(ckpt);
+        result.events.push_back(
+            {TrainEvent::Kind::kCheckpointWrite, epoch, path});
       } else {
+        result.events.push_back(
+            {TrainEvent::Kind::kCheckpointWriteFailure, epoch, path});
         std::fprintf(stderr,
                      "[e2gcl] warning: failed to write checkpoint %s\n",
                      path.c_str());
       }
+      record.checkpoint_seconds = SecondsSince(tc);
     }
+
+    record.loss = static_cast<double>(loss_value);
+    record.counters =
+        MetricsRegistry::Get().Snapshot().DeltaFrom(metrics_baseline).counters;
+    epoch_records.push_back(std::move(record));
 
     if (callback) callback(epoch, SecondsSince(t0), *encoder_);
 
@@ -351,13 +486,13 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
       std::snprintf(msg, sizeof(msg),
                     "killed by fault injector after epoch %d", epoch);
       result.message = msg;
-      stats_.total_seconds = SecondsSince(t0);
-      return result;
+      result.events.push_back(
+          {TrainEvent::Kind::kKilled, epoch, result.message});
+      return finish(std::move(result));
     }
   }
   result.retries_used = static_cast<int>(retries);
-  stats_.total_seconds = SecondsSince(t0);
-  return result;
+  return finish(std::move(result));
 }
 
 }  // namespace e2gcl

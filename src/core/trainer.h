@@ -100,6 +100,13 @@ struct E2gclConfig {
   float grad_clip_norm = 0.0f;
   /// Test-only fault hooks; unset in production runs.
   FaultInjector fault_injector;
+
+  // --- Observability. ------------------------------------------------------
+  /// Where Train() writes its versioned run_report.json (schema in
+  /// obs/run_report.h). Empty: defaults to
+  /// `<checkpoint_dir>/run_report.json` when checkpointing, else no
+  /// report is written.
+  std::string report_path;
 };
 
 /// Timing breakdown of one pre-training run (Table V's ST/TT columns).
@@ -128,6 +135,27 @@ enum class TrainStatus {
   kKilled,
 };
 
+/// One structured lifecycle event of a Train() call. Replaces the old
+/// stderr-only warnings so tests (and the run report) can assert on
+/// exact occurrence counts instead of scraping logs.
+struct TrainEvent {
+  enum class Kind {
+    kResume,                  ///< Resumed from an on-disk checkpoint.
+    kRetry,                   ///< Non-finite loss/grad -> rollback + retry.
+    kDiverged,                ///< Retry budget exhausted.
+    kKilled,                  ///< FaultInjector kill hook fired.
+    kCheckpointWrite,         ///< Checkpoint written successfully.
+    kCheckpointWriteFailure,  ///< Checkpoint write failed (run continues).
+  };
+  Kind kind;
+  /// Epoch the event happened at (-1 for pre-training-loop events).
+  int epoch = 0;
+  std::string detail;
+};
+
+/// Stable lowercase name for a TrainEvent kind (used in run reports).
+const char* TrainEventKindName(TrainEvent::Kind kind);
+
 /// Structured outcome of one Train() call.
 struct TrainResult {
   TrainStatus status = TrainStatus::kOk;
@@ -139,8 +167,12 @@ struct TrainResult {
   int retries_used = 0;
   /// Human-readable detail for kDiverged/kKilled.
   std::string message;
+  /// Every lifecycle event, in occurrence order.
+  std::vector<TrainEvent> events;
 
   bool ok() const { return status == TrainStatus::kOk; }
+  /// Number of recorded events of `kind`.
+  int CountEvents(TrainEvent::Kind kind) const;
 };
 
 /// The E2GCL pre-trainer. Owns the encoder; Train() runs the full

@@ -8,9 +8,34 @@
 
 #include "core/raw_aggregation.h"
 #include "nn/gcn.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
+
+namespace {
+
+// View-generation telemetry. All of these sit on serial, RNG-driven
+// paths, so the counts are identical at any thread count.
+const Counter& ViewsCounter() {
+  static const Counter c = Counter::Get("viewgen.views");
+  return c;
+}
+const Counter& EdgesSampledCounter() {
+  static const Counter c = Counter::Get("viewgen.edges_sampled");
+  return c;
+}
+const Counter& CandidatesCounter() {
+  static const Counter c = Counter::Get("viewgen.edge_candidates");
+  return c;
+}
+const Counter& FeaturesPerturbedCounter() {
+  static const Counter c = Counter::Get("viewgen.features_perturbed");
+  return c;
+}
+
+}  // namespace
 
 ViewGenerator::ViewGenerator(const Graph& graph, float beta)
     : graph_(&graph), scores_(graph, beta) {}
@@ -70,6 +95,8 @@ std::vector<std::int64_t> ViewGenerator::SampleNeighbors(
     for (std::int64_t x : touched_scratch_) seen_scratch_[x] = 0;
   }
 
+  CandidatesCounter().Add(candidates.size());
+
   // Number of neighbors to draw: round(tau * |N_u|), at least 1 so no
   // node is isolated unless tau == 0, capped by the candidate count.
   std::int64_t want = static_cast<std::int64_t>(
@@ -94,6 +121,7 @@ std::vector<std::int64_t> ViewGenerator::SampleNeighbors(
         result.push_back(candidates[deg + idx]);
       }
     }
+    EdgesSampledCounter().Add(result.size());
     return result;
   }
 
@@ -109,6 +137,7 @@ std::vector<std::int64_t> ViewGenerator::SampleNeighbors(
   std::vector<std::int64_t> result;
   result.reserve(picked_idx.size());
   for (std::int64_t idx : picked_idx) result.push_back(candidates[idx]);
+  EdgesSampledCounter().Add(result.size());
   return result;
 }
 
@@ -116,6 +145,7 @@ void ViewGenerator::PerturbRow(float* row, std::int64_t node,
                                const ViewConfig& config, Rng& rng) const {
   if (!config.allow_feature_perturbation || config.eta <= 0.0f) return;
   const std::int64_t d = graph_->feature_dim();
+  std::uint64_t perturbed = 0;
   for (std::int64_t i = 0; i < d; ++i) {
     const float p =
         config.importance_features
@@ -124,12 +154,16 @@ void ViewGenerator::PerturbRow(float* row, std::int64_t node,
     if (rng.Bernoulli(p)) {
       // Eq. (16): x += U(-1, 1) * x.
       row[i] += (2.0f * rng.Uniform() - 1.0f) * row[i];
+      ++perturbed;
     }
   }
+  if (perturbed > 0) FeaturesPerturbedCounter().Add(perturbed);
 }
 
 Graph ViewGenerator::GenerateGlobalView(const ViewConfig& config,
                                         Rng& rng) const {
+  TraceSpan view_span("generate_view");
+  ViewsCounter().Increment();
   const Graph& g = *graph_;
   std::vector<std::pair<std::int64_t, std::int64_t>> edges;
   edges.reserve(g.col.size() / 2 + g.num_nodes);
@@ -150,6 +184,8 @@ Graph ViewGenerator::GeneratePerNodeView(
     std::int64_t root, int hops, const ViewConfig& config, Rng& rng,
     std::int64_t* root_index,
     std::vector<std::int64_t>* subgraph_nodes) const {
+  TraceSpan view_span("generate_view");
+  ViewsCounter().Increment();
   const Graph& g = *graph_;
   E2GCL_CHECK(root >= 0 && root < g.num_nodes);
   E2GCL_CHECK(hops >= 1);

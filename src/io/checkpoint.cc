@@ -6,6 +6,8 @@
 #include <filesystem>
 
 #include "io/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace e2gcl {
 
@@ -66,10 +68,14 @@ std::int64_t EpochFromFileName(const std::string& name) {
   return static_cast<std::int64_t>(epoch);
 }
 
+bool LoadTrainerCheckpointImpl(const std::string& path,
+                               TrainerCheckpoint* out);
+
 }  // namespace
 
 bool SaveTrainerCheckpoint(const std::string& path,
                            const TrainerCheckpoint& ckpt) {
+  TraceSpan span("checkpoint_save");
   ByteWriter meta;
   meta.WriteI64(ckpt.epoch);
   meta.WriteU64(ckpt.config_fingerprint);
@@ -90,10 +96,40 @@ bool SaveTrainerCheckpoint(const std::string& path,
   sections.push_back(
       {kProjectorSection, PackMatrixList(ckpt.projector_params)});
   sections.push_back({kAdamSection, adam.bytes()});
-  return WriteStateFile(path, kCheckpointMagic, kCheckpointVersion, sections);
+
+  std::uint64_t payload_bytes = 0;
+  for (const StateSection& s : sections) payload_bytes += s.payload.size();
+  const bool ok =
+      WriteStateFile(path, kCheckpointMagic, kCheckpointVersion, sections);
+  if (ObsEnabled()) {
+    static const Counter writes = Counter::Get("checkpoint.writes");
+    static const Counter failures = Counter::Get("checkpoint.write_failures");
+    static const Counter bytes = Counter::Get("checkpoint.bytes_written");
+    if (ok) {
+      writes.Increment();
+      bytes.Add(payload_bytes);
+    } else {
+      failures.Increment();
+    }
+  }
+  return ok;
 }
 
 bool LoadTrainerCheckpoint(const std::string& path, TrainerCheckpoint* out) {
+  TraceSpan span("checkpoint_load");
+  const bool ok = LoadTrainerCheckpointImpl(path, out);
+  if (ObsEnabled()) {
+    static const Counter loads = Counter::Get("checkpoint.loads");
+    static const Counter failures = Counter::Get("checkpoint.load_failures");
+    (ok ? loads : failures).Increment();
+  }
+  return ok;
+}
+
+namespace {
+
+bool LoadTrainerCheckpointImpl(const std::string& path,
+                               TrainerCheckpoint* out) {
   if (out == nullptr) return false;
   std::vector<StateSection> sections;
   if (!ReadStateFile(path, kCheckpointMagic, kCheckpointVersion, &sections)) {
@@ -143,6 +179,8 @@ bool LoadTrainerCheckpoint(const std::string& path, TrainerCheckpoint* out) {
   *out = std::move(c);
   return true;
 }
+
+}  // namespace
 
 std::string CheckpointPath(const std::string& dir, std::int64_t epoch) {
   char name[32];

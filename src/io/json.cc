@@ -1,0 +1,510 @@
+#include "io/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/serialize.h"
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+// --- JsonValue construction / access. --------------------------------------
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Int(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.int_ = true;
+  v.i_ = i;
+  v.d_ = static_cast<double>(i);
+  return v;
+}
+
+JsonValue JsonValue::Double(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.int_ = false;
+  v.d_ = d;
+  v.i_ = static_cast<std::int64_t>(d);
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.s_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  E2GCL_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+std::int64_t JsonValue::AsInt() const {
+  E2GCL_CHECK(kind_ == Kind::kNumber);
+  return int_ ? i_ : static_cast<std::int64_t>(d_);
+}
+
+double JsonValue::AsDouble() const {
+  E2GCL_CHECK(kind_ == Kind::kNumber);
+  return int_ ? static_cast<double>(i_) : d_;
+}
+
+const std::string& JsonValue::AsString() const {
+  E2GCL_CHECK(kind_ == Kind::kString);
+  return s_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  E2GCL_CHECK(kind_ == Kind::kArray);
+  return arr_;
+}
+
+std::vector<JsonValue>& JsonValue::items() {
+  E2GCL_CHECK(kind_ == Kind::kArray);
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  E2GCL_CHECK(kind_ == Kind::kObject);
+  return obj_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Append(JsonValue v) {
+  E2GCL_CHECK(kind_ == Kind::kArray);
+  arr_.push_back(std::move(v));
+}
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  E2GCL_CHECK(kind_ == Kind::kObject);
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+// --- Parser. ----------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out, 0)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing garbage after document");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& msg) {
+    if (error_ != nullptr && error_->empty()) {
+      std::ostringstream os;
+      os << "json error at byte " << pos_ << ": " << msg;
+      *error_ = os.str();
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = JsonValue::Str(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!Literal("true")) return Fail("invalid literal");
+        *out = JsonValue::Bool(true);
+        return true;
+      case 'f':
+        if (!Literal("false")) return Fail("invalid literal");
+        *out = JsonValue::Bool(false);
+        return true;
+      case 'n':
+        if (!Literal("null")) return Fail("invalid literal");
+        *out = JsonValue::Null();
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (out->Find(key) != nullptr) return Fail("duplicate key '" + key + "'");
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipWs();
+      JsonValue v;
+      if (!ParseValue(&v, depth + 1)) return false;
+      out->Set(key, std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JsonValue v;
+      if (!ParseValue(&v, depth + 1)) return false;
+      out->Append(std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) return Fail("truncated escape");
+      const char e = text_[pos_ + 1];
+      pos_ += 2;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned int cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned int>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned int>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned int>(h - 'A' + 10);
+            } else {
+              return Fail("invalid \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // needed for report content; lone surrogates pass through as
+          // their 3-byte encoding).
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("invalid escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Fail("invalid number");
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = JsonValue::Int(static_cast<std::int64_t>(v));
+        return true;
+      }
+      // Out-of-range integer literal: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(d)) {
+      return Fail("invalid number '" + tok + "'");
+    }
+    *out = JsonValue::Double(d);
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned int>(
+                            static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Dump(const JsonValue& v, bool indent, int depth, std::string* out) {
+  const std::string pad = indent ? std::string(
+                                       static_cast<std::size_t>(depth) * 2, ' ')
+                                 : std::string();
+  const std::string child_pad =
+      indent ? std::string(static_cast<std::size_t>(depth + 1) * 2, ' ')
+             : std::string();
+  const char* nl = indent ? "\n" : "";
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber: {
+      char buf[40];
+      if (v.is_int()) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64, v.AsInt());
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      }
+      *out += buf;
+      break;
+    }
+    case JsonValue::Kind::kString:
+      EscapeString(v.AsString(), out);
+      break;
+    case JsonValue::Kind::kArray: {
+      const auto& items = v.items();
+      if (items.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[";
+      *out += nl;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        *out += child_pad;
+        Dump(items[i], indent, depth + 1, out);
+        if (i + 1 < items.size()) *out += ",";
+        *out += nl;
+      }
+      *out += pad;
+      *out += "]";
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      const auto& members = v.members();
+      if (members.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{";
+      *out += nl;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        *out += child_pad;
+        EscapeString(members[i].first, out);
+        *out += indent ? ": " : ":";
+        Dump(members[i].second, indent, depth + 1, out);
+        if (i + 1 < members.size()) *out += ",";
+        *out += nl;
+      }
+      *out += pad;
+      *out += "}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser p(text, error);
+  return p.Parse(out);
+}
+
+std::string DumpJson(const JsonValue& v, bool indent) {
+  std::string out;
+  Dump(v, indent, 0, &out);
+  if (indent) out += "\n";
+  return out;
+}
+
+bool LoadJsonFile(const std::string& path, JsonValue* out,
+                  std::string* error) {
+  if (error != nullptr) error->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    if (error != nullptr) *error = "read failure on '" + path + "'";
+    return false;
+  }
+  if (!ParseJson(buf.str(), out, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+bool WriteJsonFile(const std::string& path, const JsonValue& v) {
+  return WriteFileAtomic(path, DumpJson(v, /*indent=*/true));
+}
+
+}  // namespace e2gcl

@@ -1,0 +1,87 @@
+#ifndef E2GCL_IO_JSON_H_
+#define E2GCL_IO_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace e2gcl {
+
+/// Minimal strict JSON value for run reports and bench files.
+///
+/// Objects preserve insertion order (vector of pairs) so serialized
+/// reports are stable and diffable. Numbers track whether they were
+/// written as integers so 64-bit counters round-trip exactly (doubles
+/// would lose precision past 2^53).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(std::int64_t v);
+  static JsonValue Double(double v);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_int() const { return kind_ == Kind::kNumber && int_; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Accessors assume the matching kind (checked with E2GCL_CHECK).
+  bool AsBool() const;
+  std::int64_t AsInt() const;  // valid for any number; truncates doubles
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  const std::vector<JsonValue>& items() const;
+  std::vector<JsonValue>& items();
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Appends to an array (must be kArray).
+  void Append(JsonValue v);
+  /// Sets/overwrites an object member (must be kObject).
+  void Set(const std::string& key, JsonValue v);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  bool int_ = false;
+  std::int64_t i_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Parses `text` strictly (single document, no trailing garbage, depth
+/// cap 64, duplicate keys rejected). Returns false and fills `error`
+/// with a position-tagged message on failure.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+/// Serializes with 2-space indentation per level when `indent` is true,
+/// compact otherwise. Integers print exactly; doubles use %.17g.
+std::string DumpJson(const JsonValue& v, bool indent = true);
+
+/// Reads and parses a JSON file. False (with `error`) on missing file,
+/// read failure, or parse failure.
+bool LoadJsonFile(const std::string& path, JsonValue* out, std::string* error);
+
+/// Serializes `v` and writes it atomically (tmp + rename). False on any
+/// filesystem error.
+bool WriteJsonFile(const std::string& path, const JsonValue& v);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_IO_JSON_H_

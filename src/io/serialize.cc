@@ -147,11 +147,6 @@ Matrix ByteReader::ReadMatrix() {
   return m;
 }
 
-namespace {
-
-/// Writes `bytes` to `path` durably and atomically: stage at path.tmp,
-/// flush + fsync, rename over path, then fsync the parent directory so
-/// the rename itself survives a crash.
 bool WriteFileAtomic(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
@@ -180,8 +175,6 @@ bool WriteFileAtomic(const std::string& path, const std::string& bytes) {
   }
   return true;
 }
-
-}  // namespace
 
 bool WriteStateFile(const std::string& path, std::uint32_t magic,
                     std::uint32_t version,

@@ -85,6 +85,11 @@ struct StateSection {
   std::string payload;
 };
 
+/// Writes `bytes` to `path` durably and atomically: stage at path.tmp,
+/// flush + fsync, rename over path, then fsync the parent directory.
+/// Returns false on any I/O failure; no partial file is left at `path`.
+bool WriteFileAtomic(const std::string& path, const std::string& bytes);
+
 /// Atomically writes `sections` to `path` (stage at path.tmp, fsync,
 /// rename). Returns false on any I/O failure; no partial file is left at
 /// `path`.

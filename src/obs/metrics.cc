@@ -1,0 +1,334 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+namespace {
+
+// Fixed per-shard capacities: definitions registered after a shard was
+// created still have a slot, so shards never reallocate (reallocation
+// would race with concurrent snapshot reads).
+constexpr std::int32_t kMaxCounters = 256;
+constexpr std::int32_t kMaxGauges = 256;
+constexpr std::int32_t kMaxHistograms = 64;
+constexpr std::int32_t kMaxHistSlots = 2048;
+
+bool EnvEnabled() {
+  const char* v = std::getenv("E2GCL_OBS");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+           std::strcmp(v, "OFF") == 0);
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{EnvEnabled()};
+  return flag;
+}
+
+/// One thread's slot arrays. Slots are relaxed atomics so snapshot reads
+/// from other threads are race-free; increments stay uncontended and
+/// cache-local because each thread only writes its own shard.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::uint64_t>, kMaxHistSlots> hist{};
+};
+
+struct HistogramDef {
+  std::string name;
+  std::vector<std::int64_t> bounds;
+  std::int32_t slot_offset = 0;  // into the per-shard hist array
+};
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+
+  std::vector<std::string> counter_names;
+  std::map<std::string, std::int32_t> counter_ids;
+  std::vector<std::uint64_t> counter_retired;  // from exited threads
+
+  std::vector<std::string> gauge_names;
+  std::map<std::string, std::int32_t> gauge_ids;
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+
+  std::vector<HistogramDef> histogram_defs;
+  std::map<std::string, std::int32_t> histogram_ids;
+  std::vector<std::uint64_t> hist_retired;
+  std::int32_t next_hist_slot = 0;
+
+  std::vector<Shard*> shards;  // live, in registration order
+
+  Impl() {
+    counter_retired.assign(kMaxCounters, 0);
+    hist_retired.assign(kMaxHistSlots, 0);
+  }
+
+  Shard* AdoptShard() {
+    Shard* s = new Shard();
+    std::lock_guard<std::mutex> lock(mu);
+    shards.push_back(s);
+    return s;
+  }
+
+  void RetireShard(Shard* s) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::int32_t i = 0; i < kMaxCounters; ++i) {
+      counter_retired[i] += s->counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::int32_t i = 0; i < kMaxHistSlots; ++i) {
+      hist_retired[i] += s->hist[i].load(std::memory_order_relaxed);
+    }
+    shards.erase(std::remove(shards.begin(), shards.end(), s), shards.end());
+    delete s;
+  }
+};
+
+namespace {
+
+/// Thread-local shard holder; merges the shard back into the registry's
+/// retired totals when the thread exits (e.g. on SetNumThreads pool
+/// teardown) so no count is ever lost.
+struct ShardHolder {
+  Shard* shard = nullptr;
+  MetricsRegistry::Impl* owner = nullptr;
+  ~ShardHolder() {
+    if (shard != nullptr) owner->RetireShard(shard);
+  }
+};
+
+thread_local ShardHolder t_shard_holder;
+
+MetricsRegistry::Impl* RegistryImpl();
+
+Shard* LocalShard() {
+  if (t_shard_holder.shard == nullptr) {
+    MetricsRegistry::Impl* impl = RegistryImpl();
+    t_shard_holder.shard = impl->AdoptShard();
+    t_shard_holder.owner = impl;
+  }
+  return t_shard_holder.shard;
+}
+
+MetricsRegistry::Impl* RegistryImpl() {
+  // Leaked singleton: thread-exit retirement may run during static
+  // destruction, so the registry must never be destroyed.
+  static MetricsRegistry::Impl* impl = new MetricsRegistry::Impl();
+  return impl;
+}
+
+}  // namespace
+
+bool ObsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetObsEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry() : impl_(RegistryImpl()) {}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+// --- Handle registration. --------------------------------------------------
+
+Counter Counter::Get(const std::string& name) {
+  MetricsRegistry::Impl* impl = RegistryImpl();
+  std::lock_guard<std::mutex> lock(impl->mu);
+  auto it = impl->counter_ids.find(name);
+  if (it != impl->counter_ids.end()) return Counter(it->second);
+  const std::int32_t id =
+      static_cast<std::int32_t>(impl->counter_names.size());
+  E2GCL_CHECK_MSG(id < kMaxCounters, "too many counters (cap %d)",
+                  kMaxCounters);
+  impl->counter_names.push_back(name);
+  impl->counter_ids.emplace(name, id);
+  return Counter(id);
+}
+
+Gauge Gauge::Get(const std::string& name) {
+  MetricsRegistry::Impl* impl = RegistryImpl();
+  std::lock_guard<std::mutex> lock(impl->mu);
+  auto it = impl->gauge_ids.find(name);
+  if (it != impl->gauge_ids.end()) return Gauge(it->second);
+  const std::int32_t id = static_cast<std::int32_t>(impl->gauge_names.size());
+  E2GCL_CHECK_MSG(id < kMaxGauges, "too many gauges (cap %d)", kMaxGauges);
+  impl->gauge_names.push_back(name);
+  impl->gauge_ids.emplace(name, id);
+  return Gauge(id);
+}
+
+Histogram Histogram::Get(const std::string& name,
+                         const std::vector<std::int64_t>& bounds) {
+  MetricsRegistry::Impl* impl = RegistryImpl();
+  std::lock_guard<std::mutex> lock(impl->mu);
+  auto it = impl->histogram_ids.find(name);
+  if (it != impl->histogram_ids.end()) return Histogram(it->second);
+  E2GCL_CHECK_MSG(!bounds.empty(), "histogram '%s' needs bounds",
+                  name.c_str());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    E2GCL_CHECK_MSG(bounds[i] > bounds[i - 1],
+                    "histogram '%s' bounds must be strictly increasing",
+                    name.c_str());
+  }
+  const std::int32_t id =
+      static_cast<std::int32_t>(impl->histogram_defs.size());
+  const std::int32_t slots = static_cast<std::int32_t>(bounds.size()) + 1;
+  E2GCL_CHECK_MSG(id < kMaxHistograms, "too many histograms (cap %d)",
+                  kMaxHistograms);
+  E2GCL_CHECK_MSG(impl->next_hist_slot + slots <= kMaxHistSlots,
+                  "histogram bucket capacity exhausted (cap %d)",
+                  kMaxHistSlots);
+  HistogramDef def;
+  def.name = name;
+  def.bounds = bounds;
+  def.slot_offset = impl->next_hist_slot;
+  impl->next_hist_slot += slots;
+  impl->histogram_defs.push_back(std::move(def));
+  impl->histogram_ids.emplace(name, id);
+  return Histogram(id);
+}
+
+// --- Recording. ------------------------------------------------------------
+
+void Counter::Add(std::uint64_t delta) const {
+  if (!ObsEnabled()) return;
+  LocalShard()->counters[id_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Gauge::Set(std::int64_t value) const {
+  if (!ObsEnabled()) return;
+  RegistryImpl()->gauges[id_].store(value, std::memory_order_relaxed);
+}
+
+void Gauge::Add(std::int64_t delta) const {
+  if (!ObsEnabled()) return;
+  RegistryImpl()->gauges[id_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Gauge::Max(std::int64_t value) const {
+  if (!ObsEnabled()) return;
+  std::atomic<std::int64_t>& cell = RegistryImpl()->gauges[id_];
+  std::int64_t cur = cell.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !cell.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(std::int64_t value) const {
+  if (!ObsEnabled()) return;
+  MetricsRegistry::Impl* impl = RegistryImpl();
+  std::int32_t offset;
+  std::int32_t bucket;
+  {
+    std::lock_guard<std::mutex> lock(impl->mu);
+    const HistogramDef& def = impl->histogram_defs[id_];
+    const auto it =
+        std::lower_bound(def.bounds.begin(), def.bounds.end(), value);
+    bucket = static_cast<std::int32_t>(it - def.bounds.begin());
+    offset = def.slot_offset;
+  }
+  LocalShard()->hist[offset + bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- Snapshot / reset. -----------------------------------------------------
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+
+  const std::size_t ncounters = impl_->counter_names.size();
+  std::vector<std::uint64_t> counter_totals(impl_->counter_retired.begin(),
+                                            impl_->counter_retired.begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    ncounters));
+  // Merge live shards in registration order. Integer sums are exact
+  // under any order; the fixed order is kept for uniformity with the
+  // kernel reduction rule.
+  for (const Shard* s : impl_->shards) {
+    for (std::size_t i = 0; i < ncounters; ++i) {
+      counter_totals[i] += s->counters[i].load(std::memory_order_relaxed);
+    }
+  }
+  snap.counters.reserve(ncounters);
+  for (std::size_t i = 0; i < ncounters; ++i) {
+    snap.counters.emplace_back(impl_->counter_names[i], counter_totals[i]);
+  }
+  std::sort(snap.counters.begin(), snap.counters.end());
+
+  snap.gauges.reserve(impl_->gauge_names.size());
+  for (std::size_t i = 0; i < impl_->gauge_names.size(); ++i) {
+    snap.gauges.emplace_back(impl_->gauge_names[i],
+                             impl_->gauges[i].load(std::memory_order_relaxed));
+  }
+  std::sort(snap.gauges.begin(), snap.gauges.end());
+
+  for (const HistogramDef& def : impl_->histogram_defs) {
+    HistogramSnapshot h;
+    h.name = def.name;
+    h.bounds = def.bounds;
+    const std::size_t slots = def.bounds.size() + 1;
+    h.counts.assign(slots, 0);
+    for (std::size_t b = 0; b < slots; ++b) {
+      h.counts[b] = impl_->hist_retired[def.slot_offset + b];
+      for (const Shard* s : impl_->shards) {
+        h.counts[b] +=
+            s->hist[def.slot_offset + b].load(std::memory_order_relaxed);
+      }
+      h.total += h.counts[b];
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::ResetValuesForTest() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::fill(impl_->counter_retired.begin(), impl_->counter_retired.end(), 0);
+  std::fill(impl_->hist_retired.begin(), impl_->hist_retired.end(), 0);
+  for (auto& g : impl_->gauges) g.store(0, std::memory_order_relaxed);
+  for (Shard* s : impl_->shards) {
+    for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : s->hist) h.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t MetricsRegistry::NumShardsForTest() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return static_cast<std::int64_t>(impl_->shards.size());
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaFrom(
+    const MetricsSnapshot& baseline) const {
+  MetricsSnapshot out = *this;
+  for (auto& [name, value] : out.counters) {
+    const std::uint64_t base = baseline.counter(name);
+    value = value >= base ? value - base : 0;
+  }
+  return out;
+}
+
+}  // namespace e2gcl

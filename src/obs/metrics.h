@@ -1,0 +1,147 @@
+#ifndef E2GCL_OBS_METRICS_H_
+#define E2GCL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace e2gcl {
+
+/// Process-wide runtime metrics: monotonic counters, gauges, and
+/// fixed-bucket histograms.
+///
+/// Design rules (see DESIGN.md "Observability"):
+///  * Counters and histograms are written through per-thread *shards*
+///    (one cache-local slot array per thread) and summed at snapshot
+///    time in ascending shard-registration order. All shard slots are
+///    integers, so the merged totals are exact under any regrouping —
+///    the same no-float-atomics reasoning the threading model uses for
+///    kernel reductions. Counters recorded by deterministic code paths
+///    are therefore bit-identical at any `E2GCL_NUM_THREADS`.
+///  * Gauges are single atomic cells (last-write-wins) meant for
+///    scheduling-dependent quantities (queue depth, worker utilization);
+///    they are *excluded* from determinism comparisons.
+///  * The whole subsystem is disabled by `E2GCL_OBS=off` (or `0`) in the
+///    environment, or SetObsEnabled(false). Disabled, every record call
+///    returns after one relaxed atomic load — no locks, no allocation,
+///    and no thread shard is ever created.
+///
+/// Metric definitions are permanent for the process lifetime (ids are
+/// never recycled); values can be zeroed with ResetValuesForTest().
+
+/// True when metric/span recording is active.
+bool ObsEnabled();
+
+/// Overrides the E2GCL_OBS environment default (CLI --obs-off, tests).
+void SetObsEnabled(bool enabled);
+
+class MetricsRegistry;
+
+/// Monotonic counter handle. Cheap to copy; obtain via Counter::Get
+/// (typically cached in a function-local static).
+class Counter {
+ public:
+  /// Registers (or finds) the counter named `name`.
+  static Counter Get(const std::string& name);
+
+  /// Adds `delta` to this thread's shard slot.
+  void Add(std::uint64_t delta) const;
+  void Increment() const { Add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::int32_t id) : id_(id) {}
+  std::int32_t id_;
+};
+
+/// Gauge handle: a settable signed value (last write wins).
+class Gauge {
+ public:
+  static Gauge Get(const std::string& name);
+
+  void Set(std::int64_t value) const;
+  void Add(std::int64_t delta) const;
+  /// Raises the gauge to `value` if it is below it (atomic max).
+  void Max(std::int64_t value) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::int32_t id) : id_(id) {}
+  std::int32_t id_;
+};
+
+/// Fixed-bucket histogram handle. A histogram with upper bounds
+/// {b_0 < b_1 < ... < b_{k-1}} has k+1 buckets: value v lands in the
+/// first bucket with v <= b_i, or the overflow bucket when v > b_{k-1}.
+class Histogram {
+ public:
+  /// Registers (or finds) the histogram. Bounds must be strictly
+  /// increasing and are fixed by the first registration; later calls
+  /// with the same name ignore `bounds`.
+  static Histogram Get(const std::string& name,
+                       const std::vector<std::int64_t>& bounds);
+
+  void Record(std::int64_t value) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::int32_t id) : id_(id) {}
+  std::int32_t id_;
+};
+
+/// One histogram's merged state.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<std::int64_t> bounds;   // upper bounds, size k
+  std::vector<std::uint64_t> counts;  // size k + 1 (last = overflow)
+  std::uint64_t total = 0;
+};
+
+/// Point-in-time view of every metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Value of a named counter (0 when absent).
+  std::uint64_t counter(const std::string& name) const;
+  /// Counters as `current - baseline` (names from `*this`; a counter
+  /// missing from `baseline` keeps its full value). Gauges/histograms
+  /// are copied as-is — they are not meaningfully subtractable.
+  MetricsSnapshot DeltaFrom(const MetricsSnapshot& baseline) const;
+};
+
+/// The process-wide registry behind the handle types.
+class MetricsRegistry {
+ public:
+  /// Opaque state; defined in metrics.cc (public so that file's helper
+  /// functions — shard adoption/retirement — can name it).
+  struct Impl;
+
+  static MetricsRegistry& Get();
+
+  /// Merges all shards (ascending shard order) plus retired totals.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter/gauge/histogram value in every live shard and
+  /// the retired totals. Definitions (names, ids, bounds) survive.
+  /// Test-only: must not race with concurrent recording.
+  void ResetValuesForTest();
+
+  /// Number of live per-thread shards (test introspection: disabled-mode
+  /// recording must never create one).
+  std::int64_t NumShardsForTest() const;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  MetricsRegistry();
+  Impl* impl_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_OBS_METRICS_H_

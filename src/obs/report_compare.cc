@@ -1,0 +1,209 @@
+#include "obs/report_compare.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "io/json.h"
+#include "obs/run_report.h"
+
+namespace e2gcl {
+
+namespace {
+
+/// Timings below this are clock noise; never flag them as regressions.
+constexpr double kMinComparableSeconds = 1e-6;
+constexpr double kMinComparableNs = 1.0;
+
+std::string FormatRatio(double baseline, double candidate) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g -> %.6g (%.2fx)", baseline, candidate,
+                candidate / baseline);
+  return buf;
+}
+
+void CompareTiming(const std::string& label, double baseline, double candidate,
+                   double min_comparable, const CompareOptions& options,
+                   CompareResult* result) {
+  if (baseline < min_comparable) return;
+  if (candidate > baseline * options.threshold) {
+    result->regressions.push_back(label + ": " +
+                                  FormatRatio(baseline, candidate));
+  } else if (baseline > candidate * options.threshold) {
+    result->notes.push_back(label + " improved: " +
+                            FormatRatio(baseline, candidate));
+  }
+}
+
+double SumStage(const RunReport& report, double RunReport::Epoch::* field) {
+  double total = 0.0;
+  for (const RunReport::Epoch& e : report.epochs) total += e.*field;
+  return total;
+}
+
+void CompareRunReports(const RunReport& a, const RunReport& b,
+                       const CompareOptions& options, CompareResult* result) {
+  if (a.config_fingerprint != b.config_fingerprint) {
+    result->notes.push_back("config fingerprints differ (" +
+                            a.config_fingerprint + " vs " +
+                            b.config_fingerprint + ")");
+  }
+  CompareTiming("total_seconds", a.total_seconds, b.total_seconds,
+                kMinComparableSeconds, options, result);
+  CompareTiming("selection_seconds", a.selection_seconds, b.selection_seconds,
+                kMinComparableSeconds, options, result);
+  CompareTiming("epoch view_seconds",
+                SumStage(a, &RunReport::Epoch::view_seconds),
+                SumStage(b, &RunReport::Epoch::view_seconds),
+                kMinComparableSeconds, options, result);
+  CompareTiming("epoch loss_seconds",
+                SumStage(a, &RunReport::Epoch::loss_seconds),
+                SumStage(b, &RunReport::Epoch::loss_seconds),
+                kMinComparableSeconds, options, result);
+  CompareTiming("epoch step_seconds",
+                SumStage(a, &RunReport::Epoch::step_seconds),
+                SumStage(b, &RunReport::Epoch::step_seconds),
+                kMinComparableSeconds, options, result);
+  CompareTiming("epoch checkpoint_seconds",
+                SumStage(a, &RunReport::Epoch::checkpoint_seconds),
+                SumStage(b, &RunReport::Epoch::checkpoint_seconds),
+                kMinComparableSeconds, options, result);
+
+  if (options.require_equal_counters) {
+    std::map<std::string, std::uint64_t> counters_a(
+        a.metrics.counters.begin(), a.metrics.counters.end());
+    std::map<std::string, std::uint64_t> counters_b(
+        b.metrics.counters.begin(), b.metrics.counters.end());
+    for (const auto& [name, value] : counters_a) {
+      const auto it = counters_b.find(name);
+      if (it == counters_b.end()) {
+        result->regressions.push_back("counter '" + name +
+                                      "' missing from candidate");
+      } else if (it->second != value) {
+        result->regressions.push_back(
+            "counter '" + name + "' differs: " + std::to_string(value) +
+            " vs " + std::to_string(it->second));
+      }
+    }
+    for (const auto& [name, value] : counters_b) {
+      if (counters_a.find(name) == counters_a.end()) {
+        result->regressions.push_back("counter '" + name +
+                                      "' missing from baseline");
+      }
+    }
+  }
+}
+
+/// One record of a BENCH_*.json array.
+struct BenchRecord {
+  std::string name;
+  std::int64_t threads = 0;
+  double ns_per_iter = 0.0;
+};
+
+bool ParseBenchArray(const JsonValue& root, const std::string& path,
+                     std::map<std::string, BenchRecord>* out,
+                     std::string* error) {
+  for (const JsonValue& item : root.items()) {
+    const JsonValue* name = item.Find("name");
+    const JsonValue* threads = item.Find("threads");
+    const JsonValue* ns = item.Find("ns_per_iter");
+    if (name == nullptr || !name->is_string() || threads == nullptr ||
+        !threads->is_number() || ns == nullptr || !ns->is_number()) {
+      *error = path + ": malformed bench record";
+      return false;
+    }
+    BenchRecord rec;
+    rec.name = name->AsString();
+    rec.threads = threads->AsInt();
+    rec.ns_per_iter = ns->AsDouble();
+    // `name` already encodes the size sweep; threads disambiguates the
+    // thread sweep runs that share a name.
+    const std::string key = rec.name + "#t" + std::to_string(rec.threads);
+    (*out)[key] = std::move(rec);
+  }
+  return true;
+}
+
+void CompareBenchFiles(const std::map<std::string, BenchRecord>& a,
+                       const std::map<std::string, BenchRecord>& b,
+                       const CompareOptions& options, CompareResult* result) {
+  for (const auto& [key, rec_a] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) {
+      result->notes.push_back("bench '" + key + "' missing from candidate");
+      continue;
+    }
+    CompareTiming("bench " + key, rec_a.ns_per_iter, it->second.ns_per_iter,
+                  kMinComparableNs, options, result);
+  }
+  for (const auto& [key, rec_b] : b) {
+    if (a.find(key) == a.end()) {
+      result->notes.push_back("bench '" + key + "' missing from baseline");
+    }
+  }
+}
+
+bool IsRunReportJson(const JsonValue& v) {
+  if (!v.is_object()) return false;
+  const JsonValue* schema = v.Find("schema");
+  return schema != nullptr && schema->is_string() &&
+         schema->AsString() == "e2gcl.run_report";
+}
+
+}  // namespace
+
+CompareResult CompareReportFiles(const std::string& baseline_path,
+                                 const std::string& candidate_path,
+                                 const CompareOptions& options) {
+  CompareResult result;
+  if (!(options.threshold > 0.0)) {
+    result.error = "threshold must be positive";
+    return result;
+  }
+
+  JsonValue a;
+  JsonValue b;
+  if (!LoadJsonFile(baseline_path, &a, &result.error)) return result;
+  if (!LoadJsonFile(candidate_path, &b, &result.error)) return result;
+
+  const bool a_report = IsRunReportJson(a);
+  const bool b_report = IsRunReportJson(b);
+  if (a_report != b_report || a.is_array() != b.is_array()) {
+    result.error = "file formats differ ('" + baseline_path + "' vs '" +
+                   candidate_path + "')";
+    return result;
+  }
+
+  if (a_report) {
+    RunReport report_a;
+    RunReport report_b;
+    if (!LoadRunReport(baseline_path, &report_a, &result.error)) return result;
+    if (!LoadRunReport(candidate_path, &report_b, &result.error)) return result;
+    CompareRunReports(report_a, report_b, options, &result);
+  } else if (a.is_array()) {
+    std::map<std::string, BenchRecord> recs_a;
+    std::map<std::string, BenchRecord> recs_b;
+    if (!ParseBenchArray(a, baseline_path, &recs_a, &result.error)) {
+      return result;
+    }
+    if (!ParseBenchArray(b, candidate_path, &recs_b, &result.error)) {
+      return result;
+    }
+    CompareBenchFiles(recs_a, recs_b, options, &result);
+  } else {
+    result.error = "'" + baseline_path +
+                   "' is neither a run report nor a BENCH array";
+    return result;
+  }
+
+  result.ok = result.error.empty() && result.regressions.empty();
+  return result;
+}
+
+int CompareExitCode(const CompareResult& result) {
+  if (!result.error.empty()) return 2;
+  return result.regressions.empty() ? 0 : 1;
+}
+
+}  // namespace e2gcl

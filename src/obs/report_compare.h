@@ -1,0 +1,44 @@
+#ifndef E2GCL_OBS_REPORT_COMPARE_H_
+#define E2GCL_OBS_REPORT_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+namespace e2gcl {
+
+/// Options for comparing two telemetry files (run reports or
+/// BENCH_*.json micro-benchmark dumps).
+struct CompareOptions {
+  /// A timing in the candidate file counts as a regression when it
+  /// exceeds `baseline * threshold` (default: 25% slower).
+  double threshold = 1.25;
+  /// For run reports: also require the run-level counter maps to be
+  /// identical (the determinism contract). Counter mismatches are
+  /// reported as regressions.
+  bool require_equal_counters = false;
+};
+
+/// Outcome of a comparison. `error` is non-empty for usage-level
+/// failures (missing/corrupt/mismatched files); `regressions` lists
+/// threshold violations; `notes` carries informational diffs (records
+/// present in only one file, improvements).
+struct CompareResult {
+  bool ok = false;  // true iff no error and no regressions
+  std::vector<std::string> regressions;
+  std::vector<std::string> notes;
+  std::string error;
+};
+
+/// Compares `baseline_path` against `candidate_path`. The file format —
+/// run_report.json object vs. BENCH array — is auto-detected; both
+/// files must be the same format.
+CompareResult CompareReportFiles(const std::string& baseline_path,
+                                 const std::string& candidate_path,
+                                 const CompareOptions& options);
+
+/// Process exit code for a result: 0 ok, 1 regression(s), 2 error.
+int CompareExitCode(const CompareResult& result);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_OBS_REPORT_COMPARE_H_

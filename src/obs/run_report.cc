@@ -1,0 +1,283 @@
+#include "obs/run_report.h"
+
+#include "io/json.h"
+
+namespace e2gcl {
+
+namespace {
+
+JsonValue CountersToJson(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  JsonValue obj = JsonValue::Object();
+  for (const auto& [name, value] : counters) {
+    obj.Set(name, JsonValue::Int(static_cast<std::int64_t>(value)));
+  }
+  return obj;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CountersFromJson(
+    const JsonValue& obj, bool* ok) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  if (!obj.is_object()) {
+    *ok = false;
+    return out;
+  }
+  for (const auto& [name, value] : obj.members()) {
+    if (!value.is_number()) {
+      *ok = false;
+      return out;
+    }
+    out.emplace_back(name, static_cast<std::uint64_t>(value.AsInt()));
+  }
+  return out;
+}
+
+bool GetString(const JsonValue& obj, const char* key, std::string* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_string()) return false;
+  *out = v->AsString();
+  return true;
+}
+
+bool GetInt(const JsonValue& obj, const char* key, std::int64_t* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->AsInt();
+  return true;
+}
+
+bool GetDouble(const JsonValue& obj, const char* key, double* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->AsDouble();
+  return true;
+}
+
+bool GetBool(const JsonValue& obj, const char* key, bool* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_bool()) return false;
+  *out = v->AsBool();
+  return true;
+}
+
+bool Err(std::string* error, const std::string& msg) {
+  if (error != nullptr && error->empty()) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+bool SaveRunReport(const std::string& path, const RunReport& report) {
+  JsonValue root = JsonValue::Object();
+  root.Set("schema", JsonValue::Str("e2gcl.run_report"));
+  root.Set("version", JsonValue::Int(RunReport::kVersion));
+  root.Set("config_fingerprint", JsonValue::Str(report.config_fingerprint));
+  root.Set("seed", JsonValue::Int(static_cast<std::int64_t>(report.seed)));
+  root.Set("threads", JsonValue::Int(report.threads));
+  root.Set("status", JsonValue::Str(report.status));
+  root.Set("resumed", JsonValue::Bool(report.resumed));
+  root.Set("start_epoch", JsonValue::Int(report.start_epoch));
+  root.Set("retries_used", JsonValue::Int(report.retries_used));
+  root.Set("selection_seconds", JsonValue::Double(report.selection_seconds));
+  root.Set("total_seconds", JsonValue::Double(report.total_seconds));
+
+  JsonValue epochs = JsonValue::Array();
+  for (const RunReport::Epoch& e : report.epochs) {
+    JsonValue obj = JsonValue::Object();
+    obj.Set("epoch", JsonValue::Int(e.epoch));
+    obj.Set("loss", JsonValue::Double(e.loss));
+    obj.Set("view_seconds", JsonValue::Double(e.view_seconds));
+    obj.Set("loss_seconds", JsonValue::Double(e.loss_seconds));
+    obj.Set("step_seconds", JsonValue::Double(e.step_seconds));
+    obj.Set("checkpoint_seconds", JsonValue::Double(e.checkpoint_seconds));
+    obj.Set("counters", CountersToJson(e.counters));
+    epochs.Append(std::move(obj));
+  }
+  root.Set("epochs", std::move(epochs));
+
+  JsonValue events = JsonValue::Array();
+  for (const RunReport::Event& e : report.events) {
+    JsonValue obj = JsonValue::Object();
+    obj.Set("kind", JsonValue::Str(e.kind));
+    obj.Set("epoch", JsonValue::Int(e.epoch));
+    obj.Set("detail", JsonValue::Str(e.detail));
+    events.Append(std::move(obj));
+  }
+  root.Set("events", std::move(events));
+
+  root.Set("counters", CountersToJson(report.metrics.counters));
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, value] : report.metrics.gauges) {
+    gauges.Set(name, JsonValue::Int(value));
+  }
+  root.Set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::Object();
+  for (const HistogramSnapshot& h : report.metrics.histograms) {
+    JsonValue obj = JsonValue::Object();
+    JsonValue bounds = JsonValue::Array();
+    for (const std::int64_t b : h.bounds) bounds.Append(JsonValue::Int(b));
+    JsonValue counts = JsonValue::Array();
+    for (const std::uint64_t c : h.counts) {
+      counts.Append(JsonValue::Int(static_cast<std::int64_t>(c)));
+    }
+    obj.Set("bounds", std::move(bounds));
+    obj.Set("counts", std::move(counts));
+    histograms.Set(h.name, std::move(obj));
+  }
+  root.Set("histograms", std::move(histograms));
+
+  JsonValue spans = JsonValue::Array();
+  for (const SpanSnapshot& s : report.spans) {
+    JsonValue obj = JsonValue::Object();
+    obj.Set("path", JsonValue::Str(s.path));
+    obj.Set("count", JsonValue::Int(static_cast<std::int64_t>(s.count)));
+    obj.Set("seconds", JsonValue::Double(s.seconds));
+    spans.Append(std::move(obj));
+  }
+  root.Set("spans", std::move(spans));
+
+  return WriteJsonFile(path, root);
+}
+
+bool LoadRunReport(const std::string& path, RunReport* out,
+                   std::string* error) {
+  if (error != nullptr) error->clear();
+  JsonValue root;
+  if (!LoadJsonFile(path, &root, error)) return false;
+  if (!root.is_object()) return Err(error, path + ": not a JSON object");
+
+  std::string schema;
+  if (!GetString(root, "schema", &schema) || schema != "e2gcl.run_report") {
+    return Err(error, path + ": missing or wrong schema tag");
+  }
+  std::int64_t version = 0;
+  if (!GetInt(root, "version", &version)) {
+    return Err(error, path + ": missing version");
+  }
+  if (version < 1 || version > RunReport::kVersion) {
+    return Err(error, path + ": unsupported run_report version " +
+                          std::to_string(version));
+  }
+
+  RunReport report;
+  std::int64_t seed = 0;
+  std::int64_t threads = 0;
+  std::int64_t start_epoch = 0;
+  std::int64_t retries = 0;
+  if (!GetString(root, "config_fingerprint", &report.config_fingerprint) ||
+      !GetInt(root, "seed", &seed) || !GetInt(root, "threads", &threads) ||
+      !GetString(root, "status", &report.status) ||
+      !GetBool(root, "resumed", &report.resumed) ||
+      !GetInt(root, "start_epoch", &start_epoch) ||
+      !GetInt(root, "retries_used", &retries) ||
+      !GetDouble(root, "selection_seconds", &report.selection_seconds) ||
+      !GetDouble(root, "total_seconds", &report.total_seconds)) {
+    return Err(error, path + ": missing or mistyped header field");
+  }
+  report.seed = static_cast<std::uint64_t>(seed);
+  report.threads = static_cast<int>(threads);
+  report.start_epoch = static_cast<int>(start_epoch);
+  report.retries_used = static_cast<int>(retries);
+
+  const JsonValue* epochs = root.Find("epochs");
+  if (epochs == nullptr || !epochs->is_array()) {
+    return Err(error, path + ": missing epochs array");
+  }
+  for (const JsonValue& e : epochs->items()) {
+    RunReport::Epoch epoch;
+    std::int64_t num = 0;
+    if (!e.is_object() || !GetInt(e, "epoch", &num) ||
+        !GetDouble(e, "loss", &epoch.loss) ||
+        !GetDouble(e, "view_seconds", &epoch.view_seconds) ||
+        !GetDouble(e, "loss_seconds", &epoch.loss_seconds) ||
+        !GetDouble(e, "step_seconds", &epoch.step_seconds) ||
+        !GetDouble(e, "checkpoint_seconds", &epoch.checkpoint_seconds)) {
+      return Err(error, path + ": malformed epoch record");
+    }
+    epoch.epoch = static_cast<int>(num);
+    const JsonValue* counters = e.Find("counters");
+    if (counters == nullptr) return Err(error, path + ": epoch lacks counters");
+    bool ok = true;
+    epoch.counters = CountersFromJson(*counters, &ok);
+    if (!ok) return Err(error, path + ": malformed epoch counters");
+    report.epochs.push_back(std::move(epoch));
+  }
+
+  const JsonValue* events = root.Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return Err(error, path + ": missing events array");
+  }
+  for (const JsonValue& e : events->items()) {
+    RunReport::Event event;
+    std::int64_t num = 0;
+    if (!e.is_object() || !GetString(e, "kind", &event.kind) ||
+        !GetInt(e, "epoch", &num) || !GetString(e, "detail", &event.detail)) {
+      return Err(error, path + ": malformed event record");
+    }
+    event.epoch = static_cast<int>(num);
+    report.events.push_back(std::move(event));
+  }
+
+  const JsonValue* counters = root.Find("counters");
+  if (counters == nullptr) return Err(error, path + ": missing counters");
+  bool ok = true;
+  report.metrics.counters = CountersFromJson(*counters, &ok);
+  if (!ok) return Err(error, path + ": malformed counters");
+
+  const JsonValue* gauges = root.Find("gauges");
+  if (gauges == nullptr || !gauges->is_object()) {
+    return Err(error, path + ": missing gauges");
+  }
+  for (const auto& [name, value] : gauges->members()) {
+    if (!value.is_number()) return Err(error, path + ": malformed gauge");
+    report.metrics.gauges.emplace_back(name, value.AsInt());
+  }
+
+  const JsonValue* histograms = root.Find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) {
+    return Err(error, path + ": missing histograms");
+  }
+  for (const auto& [name, value] : histograms->members()) {
+    const JsonValue* bounds = value.Find("bounds");
+    const JsonValue* counts = value.Find("counts");
+    if (bounds == nullptr || !bounds->is_array() || counts == nullptr ||
+        !counts->is_array() ||
+        counts->items().size() != bounds->items().size() + 1) {
+      return Err(error, path + ": malformed histogram '" + name + "'");
+    }
+    HistogramSnapshot h;
+    h.name = name;
+    for (const JsonValue& b : bounds->items()) {
+      if (!b.is_number()) return Err(error, path + ": malformed histogram");
+      h.bounds.push_back(b.AsInt());
+    }
+    for (const JsonValue& c : counts->items()) {
+      if (!c.is_number()) return Err(error, path + ": malformed histogram");
+      h.counts.push_back(static_cast<std::uint64_t>(c.AsInt()));
+      h.total += h.counts.back();
+    }
+    report.metrics.histograms.push_back(std::move(h));
+  }
+
+  const JsonValue* spans = root.Find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    return Err(error, path + ": missing spans");
+  }
+  for (const JsonValue& s : spans->items()) {
+    SpanSnapshot span;
+    std::int64_t count = 0;
+    if (!s.is_object() || !GetString(s, "path", &span.path) ||
+        !GetInt(s, "count", &count) ||
+        !GetDouble(s, "seconds", &span.seconds)) {
+      return Err(error, path + ": malformed span record");
+    }
+    span.count = static_cast<std::uint64_t>(count);
+    report.spans.push_back(std::move(span));
+  }
+
+  *out = std::move(report);
+  return true;
+}
+
+}  // namespace e2gcl

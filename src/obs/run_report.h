@@ -1,0 +1,83 @@
+#ifndef E2GCL_OBS_RUN_REPORT_H_
+#define E2GCL_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace e2gcl {
+
+/// Versioned, machine-readable record of one Train() call.
+///
+/// Schema v1 (JSON object):
+///   schema              "e2gcl.run_report"
+///   version             1
+///   config_fingerprint  hex string (u64 fingerprints exceed the exact
+///                       double range, so they travel as strings)
+///   seed, threads       integers
+///   status              "ok" | "diverged" | "killed"
+///   resumed, start_epoch, retries_used
+///   selection_seconds, total_seconds
+///   epochs[]            {epoch, loss, view_seconds, loss_seconds,
+///                        step_seconds, checkpoint_seconds,
+///                        counters{name: delta-from-train-start}}
+///   events[]            {kind, epoch, detail}
+///   counters{}, gauges{}                whole-run metric values
+///   histograms{name: {bounds[], counts[]}}
+///   spans[]             {path, count, seconds}
+///
+/// Determinism contract: every `counters` map (run-level and per-epoch)
+/// is bit-identical across runs with the same config/seed at any thread
+/// count. Timings, gauges, and span seconds are wall-clock and excluded.
+
+struct RunReport {
+  struct Epoch {
+    int epoch = 0;
+    double loss = 0.0;
+    double view_seconds = 0.0;
+    double loss_seconds = 0.0;
+    double step_seconds = 0.0;
+    double checkpoint_seconds = 0.0;
+    /// Counter deltas from the Train() entry snapshot, sorted by name.
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+  };
+
+  struct Event {
+    std::string kind;  // "retry" | "diverged" | "killed" | ...
+    int epoch = 0;
+    std::string detail;
+  };
+
+  static constexpr int kVersion = 1;
+
+  std::string config_fingerprint;  // 16 hex digits
+  std::uint64_t seed = 0;
+  int threads = 0;
+  std::string status;  // "ok" | "diverged" | "killed"
+  bool resumed = false;
+  int start_epoch = 0;
+  int retries_used = 0;
+  double selection_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::vector<Epoch> epochs;
+  std::vector<Event> events;
+  MetricsSnapshot metrics;  // whole-run counters/gauges/histograms
+  std::vector<SpanSnapshot> spans;
+};
+
+/// Serializes `report` as schema-v1 JSON and writes it atomically.
+/// Returns false on any I/O failure.
+bool SaveRunReport(const std::string& path, const RunReport& report);
+
+/// Loads and validates a run report. Returns false — with a message in
+/// `error` when non-null — on missing/corrupt files, a wrong `schema`
+/// tag, or a `version` above kVersion.
+bool LoadRunReport(const std::string& path, RunReport* out,
+                   std::string* error = nullptr);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_OBS_RUN_REPORT_H_

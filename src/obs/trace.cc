@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace e2gcl {
+
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct TraceRegistry::Impl {
+  struct Node {
+    std::string name;
+    Node* parent = nullptr;
+    std::vector<Node*> children;  // creation order
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::int64_t> total_ns{0};
+  };
+
+  mutable std::mutex mu;
+  Node root;  // unnamed sentinel; top-level spans are its children
+
+  Impl() { root.name = ""; }
+
+  /// Finds or creates the child of `parent` named `name`.
+  Node* Resolve(Node* parent, const char* name) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (Node* c : parent->children) {
+      if (c->name == name) return c;
+    }
+    Node* node = new Node();  // nodes live for the process lifetime
+    node->name = name;
+    node->parent = parent;
+    parent->children.push_back(node);
+    return node;
+  }
+
+  void Flatten(const Node* node, const std::string& prefix,
+               std::vector<SpanSnapshot>* out) const {
+    for (const Node* c : node->children) {
+      const std::string path = prefix.empty() ? c->name : prefix + "/" + c->name;
+      SpanSnapshot snap;
+      snap.path = path;
+      snap.count = c->count.load(std::memory_order_relaxed);
+      snap.seconds =
+          static_cast<double>(c->total_ns.load(std::memory_order_relaxed)) *
+          1e-9;
+      out->push_back(std::move(snap));
+      Flatten(c, path, out);
+    }
+  }
+
+  void Reset(Node* node) {
+    for (Node* c : node->children) {
+      c->count.store(0, std::memory_order_relaxed);
+      c->total_ns.store(0, std::memory_order_relaxed);
+      Reset(c);
+    }
+  }
+};
+
+namespace {
+
+TraceRegistry::Impl* TraceImpl() {
+  // Leaked singleton: spans may complete during static destruction.
+  static TraceRegistry::Impl* impl = new TraceRegistry::Impl();
+  return impl;
+}
+
+thread_local TraceRegistry::Impl::Node* t_current_span = nullptr;
+
+}  // namespace
+
+TraceRegistry::TraceRegistry() : impl_(TraceImpl()) {}
+
+TraceRegistry& TraceRegistry::Get() {
+  static TraceRegistry* registry = new TraceRegistry();
+  return *registry;
+}
+
+std::vector<SpanSnapshot> TraceRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<SpanSnapshot> out;
+  impl_->Flatten(&impl_->root, "", &out);
+  return out;
+}
+
+void TraceRegistry::ResetValuesForTest() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->Reset(&impl_->root);
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!ObsEnabled()) return;
+  TraceRegistry::Impl* impl = TraceImpl();
+  TraceRegistry::Impl::Node* parent =
+      t_current_span != nullptr ? t_current_span : &impl->root;
+  TraceRegistry::Impl::Node* node = impl->Resolve(parent, name);
+  parent_ = t_current_span;
+  t_current_span = node;
+  node_ = node;
+  start_ns_ = NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (node_ == nullptr) return;
+  auto* node = static_cast<TraceRegistry::Impl::Node*>(node_);
+  node->count.fetch_add(1, std::memory_order_relaxed);
+  node->total_ns.fetch_add(NowNs() - start_ns_, std::memory_order_relaxed);
+  t_current_span = static_cast<TraceRegistry::Impl::Node*>(parent_);
+}
+
+}  // namespace e2gcl

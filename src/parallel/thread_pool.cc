@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -88,17 +89,38 @@ void ThreadPool::WorkerLoop() {
       if (shutdown_) return;
       seen_generation = generation_;
     }
-    DrainCurrentJob();
+    const std::int64_t ran = DrainCurrentJob();
+    if (ran > 0 && ObsEnabled()) {
+      // Which worker claims which chunk is scheduling-dependent, so
+      // utilization is a gauge, not a counter (see obs/metrics.h).
+      static const Gauge worker_chunks = Gauge::Get("parallel.worker_chunks");
+      worker_chunks.Add(ran);
+    }
   }
 }
 
 void ThreadPool::Run(std::int64_t num_chunks,
                      const std::function<void(std::int64_t)>& fn) {
   if (num_chunks <= 0) return;
+  if (ObsEnabled()) {
+    // Recorded before the inline-path branch: chunk counts come from
+    // size-based splitting, so these counters are thread-count
+    // deterministic. Scheduling-dependent quantities below are gauges.
+    static const Counter jobs = Counter::Get("parallel.jobs");
+    static const Counter chunks = Counter::Get("parallel.chunks");
+    static const Histogram chunks_per_job = Histogram::Get(
+        "parallel.chunks_per_job", {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024});
+    jobs.Increment();
+    chunks.Add(static_cast<std::uint64_t>(num_chunks));
+    chunks_per_job.Record(num_chunks);
+  }
   if (num_chunks == 1 || num_threads_ == 1 || t_in_parallel_region) {
     for (std::int64_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
+
+  static const Gauge queue_depth = Gauge::Get("parallel.queue_depth_max");
+  queue_depth.Max(num_chunks);
 
   std::lock_guard<std::mutex> run_lock(run_mu_);
   {

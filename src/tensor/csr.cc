@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "parallel/parallel_for.h"
 #include "tensor/check.h"
 
@@ -72,11 +73,26 @@ namespace {
 // order is preserved (covers every unit-test-sized graph).
 constexpr std::int64_t kScatterRowFloor = 512;
 
+/// Telemetry for one sparse-dense product: call count and touched byte
+/// volume (nnz values + indices, gathered/scattered dense rows, output).
+void RecordSpmmMetrics(const CsrMatrix& a, std::int64_t n,
+                       std::int64_t out_rows) {
+  if (!ObsEnabled()) return;
+  static const Counter calls = Counter::Get("spmm.calls");
+  static const Counter bytes = Counter::Get("spmm.bytes");
+  calls.Increment();
+  const std::int64_t nnz = a.nnz();
+  bytes.Add(static_cast<std::uint64_t>(
+      nnz * static_cast<std::int64_t>(sizeof(float) + sizeof(std::int32_t)) +
+      (nnz + out_rows) * n * static_cast<std::int64_t>(sizeof(float))));
+}
+
 }  // namespace
 
 Matrix Spmm(const CsrMatrix& a, const Matrix& b) {
   E2GCL_CHECK_MSG(a.cols() == b.rows(), "spmm inner-dim mismatch");
   const std::int64_t n = b.cols();
+  RecordSpmmMetrics(a, n, a.rows());
   Matrix c(a.rows(), n);
   const auto& rp = a.row_ptr();
   const auto& ci = a.col_idx();
@@ -102,6 +118,7 @@ Matrix Spmm(const CsrMatrix& a, const Matrix& b) {
 Matrix SpmmTransposedA(const CsrMatrix& a, const Matrix& b) {
   E2GCL_CHECK_MSG(a.rows() == b.rows(), "spmm(A^T) inner-dim mismatch");
   const std::int64_t n = b.cols();
+  RecordSpmmMetrics(a, n, a.cols());
   Matrix c(a.cols(), n);
   const auto& rp = a.row_ptr();
   const auto& ci = a.col_idx();

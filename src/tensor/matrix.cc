@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "parallel/parallel_for.h"
 #include "tensor/check.h"
 
@@ -101,11 +102,26 @@ constexpr std::int64_t kFlatGrain = std::int64_t{1} << 15;
 // small inputs keep the exact serial summation order.
 constexpr std::int64_t kReduceRowFloor = 512;
 
+/// Telemetry for an (m x k) * (k x n) product: call count, fused
+/// multiply-add count, and the touched byte volume (a + b + c, float32).
+void RecordMatMulMetrics(std::int64_t m, std::int64_t k, std::int64_t n) {
+  if (!ObsEnabled()) return;
+  static const Counter calls = Counter::Get("matmul.calls");
+  static const Counter fmas = Counter::Get("matmul.fmas");
+  static const Counter bytes = Counter::Get("matmul.bytes");
+  calls.Increment();
+  fmas.Add(static_cast<std::uint64_t>(m * k * n));
+  bytes.Add(static_cast<std::uint64_t>((m * k + k * n + m * n) *
+                                       static_cast<std::int64_t>(
+                                           sizeof(float))));
+}
+
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   E2GCL_CHECK_MSG(a.cols() == b.rows(), "matmul inner-dim mismatch");
   const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  RecordMatMulMetrics(m, k, n);
   Matrix c(m, n);
   // i-k-j loop order: streams over b and c rows; good cache behaviour
   // without blocking for the sizes this library runs at. Each output row
@@ -130,6 +146,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
   E2GCL_CHECK_MSG(a.cols() == b.cols(), "matmul(B^T) inner-dim mismatch");
   const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  RecordMatMulMetrics(m, k, n);
   Matrix c(m, n);
   ParallelFor(0, m, GrainForCost(k * n), [&](std::int64_t rb, std::int64_t re) {
     for (std::int64_t i = rb; i < re; ++i) {
@@ -149,6 +166,7 @@ Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
   E2GCL_CHECK_MSG(a.rows() == b.rows(), "matmul(A^T) inner-dim mismatch");
   const std::int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  RecordMatMulMetrics(m, k, n);
   Matrix c(m, n);
   // The reduction runs over k (the shared row dimension), so output rows
   // cannot be assigned to single chunks. Instead k is cut into fixed

@@ -1,0 +1,232 @@
+// Tests for the bench_compare regression gate (obs/report_compare):
+// equal telemetry passes with exit code 0, timings past the threshold
+// regress with exit code 1, and missing/corrupt/mismatched files report
+// a clear error with exit code 2. Covers both supported formats —
+// run_report.json objects and BENCH_*.json micro-benchmark arrays.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/report_compare.h"
+#include "obs/run_report.h"
+
+namespace e2gcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BenchCompareTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("e2gcl_bench_compare_test_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string WriteFile(const std::string& name, const std::string& text) {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream out(path);
+    out << text;
+    return path;
+  }
+
+  /// Writes a run report whose timings are `scale`× the base values.
+  std::string WriteReport(const std::string& name, double scale,
+                          std::uint64_t counter_value = 100) {
+    RunReport r;
+    r.config_fingerprint = "0123456789abcdef";
+    r.seed = 1;
+    r.threads = 4;
+    r.status = "ok";
+    r.selection_seconds = 0.5 * scale;
+    r.total_seconds = 10.0 * scale;
+    for (int i = 0; i < 3; ++i) {
+      RunReport::Epoch e;
+      e.epoch = i;
+      e.loss = 0.5;
+      e.view_seconds = 0.1 * scale;
+      e.loss_seconds = 0.2 * scale;
+      e.step_seconds = 0.3 * scale;
+      e.checkpoint_seconds = 0.05 * scale;
+      e.counters = {{"matmul.calls", counter_value}};
+      r.epochs.push_back(e);
+    }
+    r.metrics.counters = {{"matmul.calls", counter_value}};
+    const std::string path = dir_ + "/" + name;
+    EXPECT_TRUE(SaveRunReport(path, r));
+    return path;
+  }
+
+  std::string WriteBench(const std::string& name, double ns_a, double ns_b) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "[\n"
+        "  {\"kernel\": \"matmul\", \"name\": \"matmul_256\", \"size\": 256,"
+        " \"threads\": 4, \"ns_per_iter\": %.17g},\n"
+        "  {\"kernel\": \"spmm\", \"name\": \"spmm_1k\", \"size\": 1000,"
+        " \"threads\": 4, \"ns_per_iter\": %.17g}\n"
+        "]\n",
+        ns_a, ns_b);
+    return WriteFile(name, buf);
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Run-report comparisons.
+// ---------------------------------------------------------------------------
+
+TEST_F(BenchCompareTest, IdenticalReportsPassWithExitZero) {
+  const std::string base = WriteReport("base.json", 1.0);
+  const std::string cand = WriteReport("cand.json", 1.0);
+  const CompareResult r = CompareReportFiles(base, cand, CompareOptions());
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.error.empty());
+  EXPECT_TRUE(r.regressions.empty());
+  EXPECT_EQ(CompareExitCode(r), 0);
+}
+
+TEST_F(BenchCompareTest, TwoTimesSlowdownIsFlagged) {
+  const std::string base = WriteReport("base.json", 1.0);
+  const std::string cand = WriteReport("cand.json", 2.0);
+  const CompareResult r = CompareReportFiles(base, cand, CompareOptions());
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.error.empty());
+  // Every timed dimension regressed: total, selection, and the four
+  // per-epoch stage sums.
+  EXPECT_EQ(r.regressions.size(), 6u);
+  EXPECT_EQ(CompareExitCode(r), 1);
+}
+
+TEST_F(BenchCompareTest, ThresholdIsConfigurable) {
+  const std::string base = WriteReport("base.json", 1.0);
+  const std::string cand = WriteReport("cand.json", 2.0);
+  CompareOptions lenient;
+  lenient.threshold = 3.0;  // 2x slower is tolerated
+  const CompareResult r = CompareReportFiles(base, cand, lenient);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(CompareExitCode(r), 0);
+}
+
+TEST_F(BenchCompareTest, ImprovementIsANoteNotARegression) {
+  const std::string base = WriteReport("base.json", 2.0);
+  const std::string cand = WriteReport("cand.json", 1.0);
+  const CompareResult r = CompareReportFiles(base, cand, CompareOptions());
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.regressions.empty());
+  EXPECT_FALSE(r.notes.empty());
+}
+
+TEST_F(BenchCompareTest, CounterMismatchRegressesOnlyWhenRequired) {
+  const std::string base = WriteReport("base.json", 1.0, 100);
+  const std::string cand = WriteReport("cand.json", 1.0, 101);
+  EXPECT_TRUE(CompareReportFiles(base, cand, CompareOptions()).ok);
+
+  CompareOptions strict;
+  strict.require_equal_counters = true;
+  const CompareResult r = CompareReportFiles(base, cand, strict);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_NE(r.regressions[0].find("matmul.calls"), std::string::npos);
+  EXPECT_EQ(CompareExitCode(r), 1);
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_*.json array comparisons.
+// ---------------------------------------------------------------------------
+
+TEST_F(BenchCompareTest, EqualBenchArraysPass) {
+  const std::string base = WriteBench("base.json", 1000.0, 2000.0);
+  const std::string cand = WriteBench("cand.json", 1000.0, 2000.0);
+  const CompareResult r = CompareReportFiles(base, cand, CompareOptions());
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(CompareExitCode(r), 0);
+}
+
+TEST_F(BenchCompareTest, SlowerBenchKernelIsFlagged) {
+  const std::string base = WriteBench("base.json", 1000.0, 2000.0);
+  const std::string cand = WriteBench("cand.json", 2000.0, 2000.0);
+  const CompareResult r = CompareReportFiles(base, cand, CompareOptions());
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_NE(r.regressions[0].find("matmul_256"), std::string::npos);
+  EXPECT_EQ(CompareExitCode(r), 1);
+}
+
+TEST_F(BenchCompareTest, MissingBenchRecordIsANote) {
+  const std::string base = WriteBench("base.json", 1000.0, 2000.0);
+  const std::string cand = WriteFile(
+      "cand.json",
+      "[{\"kernel\": \"matmul\", \"name\": \"matmul_256\", \"size\": 256,"
+      " \"threads\": 4, \"ns_per_iter\": 1000.0}]");
+  const CompareResult r = CompareReportFiles(base, cand, CompareOptions());
+  EXPECT_TRUE(r.ok);  // absence is informational, not a regression
+  ASSERT_EQ(r.notes.size(), 1u);
+  EXPECT_NE(r.notes[0].find("spmm_1k"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Error handling: missing, corrupt, and mismatched inputs.
+// ---------------------------------------------------------------------------
+
+TEST_F(BenchCompareTest, MissingFileIsAnError) {
+  const std::string base = WriteReport("base.json", 1.0);
+  const CompareResult r = CompareReportFiles(base, dir_ + "/nope.json",
+                                             CompareOptions());
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(CompareExitCode(r), 2);
+}
+
+TEST_F(BenchCompareTest, CorruptJsonIsAnError) {
+  const std::string base = WriteReport("base.json", 1.0);
+  const std::string corrupt = WriteFile("corrupt.json", "{\"schema\": ");
+  const CompareResult r =
+      CompareReportFiles(base, corrupt, CompareOptions());
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(CompareExitCode(r), 2);
+}
+
+TEST_F(BenchCompareTest, MismatchedFormatsAreAnError) {
+  const std::string report = WriteReport("report.json", 1.0);
+  const std::string bench = WriteBench("bench.json", 1000.0, 2000.0);
+  const CompareResult r =
+      CompareReportFiles(report, bench, CompareOptions());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("formats differ"), std::string::npos);
+  EXPECT_EQ(CompareExitCode(r), 2);
+}
+
+TEST_F(BenchCompareTest, UnrecognizedJsonShapeIsAnError) {
+  const std::string a = WriteFile("a.json", "{\"what\": 1}");
+  const std::string b = WriteFile("b.json", "{\"what\": 1}");
+  const CompareResult r = CompareReportFiles(a, b, CompareOptions());
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(CompareExitCode(r), 2);
+}
+
+TEST_F(BenchCompareTest, NonPositiveThresholdIsAnError) {
+  const std::string base = WriteReport("base.json", 1.0);
+  CompareOptions bad;
+  bad.threshold = 0.0;
+  const CompareResult r = CompareReportFiles(base, base, bad);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("threshold"), std::string::npos);
+  EXPECT_EQ(CompareExitCode(r), 2);
+}
+
+}  // namespace
+}  // namespace e2gcl

@@ -93,7 +93,12 @@ TEST_F(FaultToleranceTest, WritesEpochStampedCheckpointsAndPrunes) {
   cfg.checkpoint_dir = dir_;
   cfg.checkpoint_keep = 2;
   E2gclTrainer trainer(g, cfg);
-  ASSERT_TRUE(trainer.Train().ok());
+  TrainResult tr = trainer.Train();
+  ASSERT_TRUE(tr.ok());
+  // All four writes (epochs 1,3,5,7) are events even though pruning
+  // keeps only the last two files.
+  EXPECT_EQ(tr.CountEvents(TrainEvent::Kind::kCheckpointWrite), 4);
+  EXPECT_EQ(tr.CountEvents(TrainEvent::Kind::kCheckpointWriteFailure), 0);
 
   // checkpoint_every=2 over 8 epochs → epochs 1,3,5,7; keep-last-2 → 5,7.
   std::vector<std::string> files = ListCheckpointFiles(dir_);
@@ -129,6 +134,11 @@ TEST_F(FaultToleranceTest, KillAndResumeIsBitIdentical) {
     TrainResult r = trainer.Train();
     EXPECT_EQ(r.status, TrainStatus::kKilled);
     EXPECT_FALSE(r.message.empty());
+    // Structured events mirror the outcome: two checkpoint writes
+    // (epochs 1 and 3) and exactly one kill, no retries.
+    EXPECT_EQ(r.CountEvents(TrainEvent::Kind::kCheckpointWrite), 2);
+    EXPECT_EQ(r.CountEvents(TrainEvent::Kind::kKilled), 1);
+    EXPECT_EQ(r.CountEvents(TrainEvent::Kind::kRetry), 0);
   }
   ASSERT_FALSE(ListCheckpointFiles(dir_).empty());
 
@@ -141,6 +151,7 @@ TEST_F(FaultToleranceTest, KillAndResumeIsBitIdentical) {
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r.resumed);
   EXPECT_EQ(r.start_epoch, 4);
+  EXPECT_EQ(r.CountEvents(TrainEvent::Kind::kResume), 1);
   EXPECT_TRUE(trainer.encoder().Encode(g) == reference);
 }
 
@@ -263,6 +274,15 @@ TEST_F(FaultToleranceTest, InjectedNanLossRollsBackAndRecovers) {
   EXPECT_EQ(injections, 1);
   EXPECT_EQ(trainer.stats().epochs_run, cfg.epochs);
   EXPECT_TRUE(AllFinite(trainer.encoder().Encode(g)));
+  // The rollback is a structured event, not just a stderr line: exactly
+  // one retry at the injected epoch, carrying the rollback detail.
+  ASSERT_EQ(r.CountEvents(TrainEvent::Kind::kRetry), 1);
+  EXPECT_EQ(r.CountEvents(TrainEvent::Kind::kDiverged), 0);
+  for (const TrainEvent& e : r.events) {
+    if (e.kind != TrainEvent::Kind::kRetry) continue;
+    EXPECT_EQ(e.epoch, 5);
+    EXPECT_NE(e.detail.find("rolled back"), std::string::npos);
+  }
 }
 
 TEST_F(FaultToleranceTest, NanRecoveryWorksWithoutCheckpointDir) {
@@ -298,6 +318,9 @@ TEST_F(FaultToleranceTest, ExhaustedRetriesFailStructuredNotSilent) {
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.retries_used, 2);
   EXPECT_NE(r.message.find("non-finite"), std::string::npos);
+  // Exact event trail: one retry per budget use, then one divergence.
+  EXPECT_EQ(r.CountEvents(TrainEvent::Kind::kRetry), 2);
+  EXPECT_EQ(r.CountEvents(TrainEvent::Kind::kDiverged), 1);
   // The encoder was rolled back to the last finite state — no garbage
   // embeddings escape a failed run.
   EXPECT_TRUE(AllFinite(trainer.encoder().Encode(g)));
@@ -325,6 +348,7 @@ TEST_F(FaultToleranceTest, RetriesReseedRngAndBackOffLearningRate) {
   EXPECT_EQ(r.retries_used, 2);
   EXPECT_EQ(injections, 2);
   EXPECT_TRUE(AllFinite(trainer.encoder().Encode(g)));
+  EXPECT_EQ(r.CountEvents(TrainEvent::Kind::kRetry), 2);
 }
 
 TEST_F(FaultToleranceTest, GradientClippingKeepsTrainingFinite) {

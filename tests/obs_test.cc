@@ -1,0 +1,290 @@
+// Unit tests for the observability core (src/obs/): counter, gauge, and
+// histogram semantics; span nesting and aggregation; deterministic
+// shard-merge totals under 1/2/7 pool threads; and disabled-mode
+// behavior (no values recorded, no thread shard ever created).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace e2gcl {
+namespace {
+
+const HistogramSnapshot* FindHistogram(const MetricsSnapshot& snap,
+                                       const std::string& name) {
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const SpanSnapshot* FindSpan(const std::vector<SpanSnapshot>& spans,
+                             const std::string& path) {
+  for (const SpanSnapshot& s : spans) {
+    if (s.path == path) return &s;
+  }
+  return nullptr;
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetObsEnabled(true);
+    MetricsRegistry::Get().ResetValuesForTest();
+    TraceRegistry::Get().ResetValuesForTest();
+  }
+  void TearDown() override { SetObsEnabled(true); }
+};
+
+// ---------------------------------------------------------------------------
+// Counter / gauge / histogram semantics.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, CounterAddsAndIncrements) {
+  const Counter c = Counter::Get("test.counter_basic");
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(MetricsRegistry::Get().Snapshot().counter("test.counter_basic"),
+            6u);
+  EXPECT_EQ(MetricsRegistry::Get().Snapshot().counter("test.never_touched"),
+            0u);
+}
+
+TEST_F(ObsTest, CounterHandlesWithSameNameShareOneSlot) {
+  Counter::Get("test.counter_shared").Add(3);
+  Counter::Get("test.counter_shared").Add(4);
+  EXPECT_EQ(MetricsRegistry::Get().Snapshot().counter("test.counter_shared"),
+            7u);
+}
+
+TEST_F(ObsTest, GaugeSetAddMaxSemantics) {
+  const Gauge g = Gauge::Get("test.gauge_basic");
+  g.Set(10);
+  g.Add(-3);
+  g.Max(5);   // below current value: no effect
+  g.Max(42);  // raises
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  bool found = false;
+  for (const auto& kv : snap.gauges) {
+    if (kv.first == "test.gauge_basic") {
+      EXPECT_EQ(kv.second, 42);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  const Histogram h =
+      Histogram::Get("test.hist_basic", {10, 20, 30});
+  h.Record(5);    // bucket 0 (v <= 10)
+  h.Record(10);   // bucket 0 (boundary is inclusive)
+  h.Record(11);   // bucket 1
+  h.Record(30);   // bucket 2
+  h.Record(31);   // overflow bucket
+  h.Record(100);  // overflow bucket
+  const MetricsSnapshot full = MetricsRegistry::Get().Snapshot();
+  const HistogramSnapshot* snap = FindHistogram(full, "test.hist_basic");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->bounds, (std::vector<std::int64_t>{10, 20, 30}));
+  ASSERT_EQ(snap->counts.size(), 4u);
+  EXPECT_EQ(snap->counts[0], 2u);
+  EXPECT_EQ(snap->counts[1], 1u);
+  EXPECT_EQ(snap->counts[2], 1u);
+  EXPECT_EQ(snap->counts[3], 2u);
+  EXPECT_EQ(snap->total, 6u);
+}
+
+TEST_F(ObsTest, SnapshotIsSortedByName) {
+  Counter::Get("test.sorted_b").Increment();
+  Counter::Get("test.sorted_a").Increment();
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+  for (std::size_t i = 1; i < snap.gauges.size(); ++i) {
+    EXPECT_LT(snap.gauges[i - 1].first, snap.gauges[i].first);
+  }
+}
+
+TEST_F(ObsTest, DeltaFromSubtractsCountersOnly) {
+  Counter::Get("test.delta_old").Add(10);
+  const MetricsSnapshot baseline = MetricsRegistry::Get().Snapshot();
+  Counter::Get("test.delta_old").Add(7);
+  Counter::Get("test.delta_new").Add(3);  // absent from baseline
+  const MetricsSnapshot delta =
+      MetricsRegistry::Get().Snapshot().DeltaFrom(baseline);
+  EXPECT_EQ(delta.counter("test.delta_old"), 7u);
+  EXPECT_EQ(delta.counter("test.delta_new"), 3u);
+}
+
+TEST_F(ObsTest, ResetValuesPreservesDefinitions) {
+  Counter::Get("test.reset_me").Add(9);
+  Histogram::Get("test.reset_hist", {1, 2}).Record(1);
+  MetricsRegistry::Get().ResetValuesForTest();
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  EXPECT_EQ(snap.counter("test.reset_me"), 0u);
+  const HistogramSnapshot* h = FindHistogram(snap, "test.reset_hist");
+  ASSERT_NE(h, nullptr);  // definition survives
+  EXPECT_EQ(h->total, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic shard merge: the same parallel recording pattern must
+// produce identical merged totals at every pool size.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ShardMergeIsDeterministicAcrossThreadCounts) {
+  const int kThreadCounts[] = {1, 2, 7};
+  std::vector<std::pair<std::string, std::uint64_t>> reference_counters;
+  std::vector<std::uint64_t> reference_hist;
+  for (const int threads : kThreadCounts) {
+    SetNumThreads(threads);
+    MetricsRegistry::Get().ResetValuesForTest();
+    const Counter c = Counter::Get("test.merge_counter");
+    const Histogram h = Histogram::Get("test.merge_hist", {8, 16, 32});
+    ParallelFor(0, 1000, 64, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        c.Add(static_cast<std::uint64_t>(i + 1));
+        h.Record(i % 50);
+      }
+    });
+    const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+    EXPECT_EQ(snap.counter("test.merge_counter"), 500500u)
+        << "threads=" << threads;
+    const HistogramSnapshot* hist = FindHistogram(snap, "test.merge_hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->total, 1000u);
+    if (threads == kThreadCounts[0]) {
+      reference_counters = snap.counters;
+      reference_hist = hist->counts;
+    } else {
+      // Counters (including the pool's own size-based parallel.* ones)
+      // and histogram buckets are bit-identical; gauges are
+      // scheduling-dependent and deliberately not compared.
+      EXPECT_EQ(snap.counters, reference_counters) << "threads=" << threads;
+      EXPECT_EQ(hist->counts, reference_hist) << "threads=" << threads;
+    }
+  }
+  SetNumThreads(4);
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledModeRecordsNoValues) {
+  const Counter c = Counter::Get("test.disabled_counter");
+  const Gauge g = Gauge::Get("test.disabled_gauge");
+  const Histogram h = Histogram::Get("test.disabled_hist", {1, 2});
+  SetObsEnabled(false);
+  EXPECT_FALSE(ObsEnabled());
+  c.Add(100);
+  g.Set(100);
+  h.Record(1);
+  SetObsEnabled(true);
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  EXPECT_EQ(snap.counter("test.disabled_counter"), 0u);
+  const HistogramSnapshot* hist = FindHistogram(snap, "test.disabled_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->total, 0u);
+}
+
+TEST_F(ObsTest, DisabledModeNeverCreatesAThreadShard) {
+  const Counter c = Counter::Get("test.disabled_shard");
+  SetObsEnabled(false);
+  const std::int64_t shards_before = MetricsRegistry::Get().NumShardsForTest();
+  // A brand-new thread recording while disabled must not allocate a
+  // shard — the disabled path is a single relaxed load.
+  std::thread t([&] {
+    for (int i = 0; i < 100; ++i) c.Increment();
+  });
+  t.join();
+  EXPECT_EQ(MetricsRegistry::Get().NumShardsForTest(), shards_before);
+  SetObsEnabled(true);
+  // Enabled, the same pattern does create (and then retire) a shard; the
+  // recorded values survive thread exit.
+  std::thread t2([&] { c.Add(5); });
+  t2.join();
+  EXPECT_EQ(MetricsRegistry::Get().Snapshot().counter("test.disabled_shard"),
+            5u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, SpansNestAndAggregateByPath) {
+  {
+    TraceSpan outer("obs_test_outer");
+    {
+      TraceSpan inner("obs_test_inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    { TraceSpan inner("obs_test_inner"); }
+  }
+  { TraceSpan outer("obs_test_outer"); }
+  const std::vector<SpanSnapshot> spans = TraceRegistry::Get().Snapshot();
+  const SpanSnapshot* outer = FindSpan(spans, "obs_test_outer");
+  const SpanSnapshot* inner = FindSpan(spans, "obs_test_outer/obs_test_inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  EXPECT_EQ(inner->count, 2u);
+  EXPECT_GT(inner->seconds, 0.0);
+  // The outer span strictly contains the inner ones.
+  EXPECT_GE(outer->seconds, inner->seconds);
+  // The same name at top level is a different node than the nested one.
+  EXPECT_EQ(FindSpan(spans, "obs_test_inner"), nullptr);
+}
+
+TEST_F(ObsTest, SpanSnapshotIsPreOrderWithSiblingsInCreationOrder) {
+  {
+    TraceSpan parent("obs_test_order");
+    { TraceSpan a("obs_test_first"); }
+    { TraceSpan b("obs_test_second"); }
+  }
+  const std::vector<SpanSnapshot> spans = TraceRegistry::Get().Snapshot();
+  std::size_t parent_at = spans.size(), first_at = spans.size(),
+              second_at = spans.size();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].path == "obs_test_order") parent_at = i;
+    if (spans[i].path == "obs_test_order/obs_test_first") first_at = i;
+    if (spans[i].path == "obs_test_order/obs_test_second") second_at = i;
+  }
+  ASSERT_LT(parent_at, spans.size());
+  ASSERT_LT(first_at, spans.size());
+  ASSERT_LT(second_at, spans.size());
+  EXPECT_LT(parent_at, first_at);
+  EXPECT_LT(first_at, second_at);
+}
+
+TEST_F(ObsTest, SpanResetZeroesTotalsButKeepsTree) {
+  { TraceSpan s("obs_test_reset"); }
+  TraceRegistry::Get().ResetValuesForTest();
+  const std::vector<SpanSnapshot> spans = TraceRegistry::Get().Snapshot();
+  const SpanSnapshot* s = FindSpan(spans, "obs_test_reset");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 0u);
+  EXPECT_EQ(s->seconds, 0.0);
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  SetObsEnabled(false);
+  { TraceSpan s("obs_test_disabled_span"); }
+  SetObsEnabled(true);
+  const std::vector<SpanSnapshot> spans = TraceRegistry::Get().Snapshot();
+  EXPECT_EQ(FindSpan(spans, "obs_test_disabled_span"), nullptr);
+}
+
+}  // namespace
+}  // namespace e2gcl

@@ -1,0 +1,370 @@
+// Run-report schema tests: golden-schema round-trip through
+// SaveRunReport/LoadRunReport, rejection of unknown versions and corrupt
+// files, and the determinism contract — two identically seeded training
+// runs produce identical counter snapshots (timings excluded).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+
+namespace e2gcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+Graph ReportGraph(std::uint64_t seed = 1) {
+  SbmSpec spec;
+  spec.num_nodes = 100;
+  spec.num_classes = 3;
+  spec.feature_dim = 16;
+  spec.avg_degree = 6;
+  spec.informative_dims_per_class = 4;
+  return GenerateSbm(spec, seed);
+}
+
+E2gclConfig ReportConfig() {
+  E2gclConfig cfg;
+  cfg.epochs = 4;
+  cfg.hidden_dim = 12;
+  cfg.embed_dim = 8;
+  cfg.batch_size = 48;
+  cfg.selector.num_clusters = 6;
+  cfg.selector.sample_size = 24;
+  cfg.selector.auto_sample_size = false;
+  return cfg;
+}
+
+/// A report exercising every schema-v1 field with non-default values.
+RunReport GoldenReport() {
+  RunReport r;
+  r.config_fingerprint = "00ff00ff00ff00ff";
+  r.seed = 0xDEADBEEFULL;
+  r.threads = 7;
+  r.status = "diverged";
+  r.resumed = true;
+  r.start_epoch = 3;
+  r.retries_used = 2;
+  r.selection_seconds = 0.125;
+  r.total_seconds = 1.5;
+  RunReport::Epoch e;
+  e.epoch = 3;
+  e.loss = 0.6931471805599453;
+  e.view_seconds = 0.01;
+  e.loss_seconds = 0.02;
+  e.step_seconds = 0.03;
+  e.checkpoint_seconds = 0.04;
+  e.counters = {{"a.calls", 1}, {"b.calls", 2}};
+  r.epochs.push_back(e);
+  r.events.push_back({"retry", 3, "non-finite loss"});
+  r.metrics.counters = {{"a.calls", 1}, {"b.calls", 2}};
+  r.metrics.gauges = {{"queue.depth", -4}};
+  HistogramSnapshot h;
+  h.name = "chunks";
+  h.bounds = {1, 8, 64};
+  h.counts = {5, 0, 2, 1};
+  h.total = 8;
+  r.metrics.histograms.push_back(h);
+  r.spans.push_back({"epoch", 4, 0.9});
+  r.spans.push_back({"epoch/generate_view", 8, 0.2});
+  return r;
+}
+
+class RunReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetObsEnabled(true);
+    MetricsRegistry::Get().ResetValuesForTest();
+    TraceRegistry::Get().ResetValuesForTest();
+    dir_ = (fs::temp_directory_path() /
+            ("e2gcl_report_test_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string WriteFile(const std::string& name, const std::string& text) {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream out(path);
+    out << text;
+    return path;
+  }
+
+  std::string ReadFile(const std::string& path) {
+    std::ifstream in(path);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema round-trip and rejection.
+// ---------------------------------------------------------------------------
+
+TEST_F(RunReportTest, GoldenSchemaRoundTripIsExact) {
+  const RunReport golden = GoldenReport();
+  const std::string path = dir_ + "/golden.json";
+  ASSERT_TRUE(SaveRunReport(path, golden));
+
+  RunReport loaded;
+  std::string error;
+  ASSERT_TRUE(LoadRunReport(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.config_fingerprint, golden.config_fingerprint);
+  EXPECT_EQ(loaded.seed, golden.seed);
+  EXPECT_EQ(loaded.threads, golden.threads);
+  EXPECT_EQ(loaded.status, golden.status);
+  EXPECT_EQ(loaded.resumed, golden.resumed);
+  EXPECT_EQ(loaded.start_epoch, golden.start_epoch);
+  EXPECT_EQ(loaded.retries_used, golden.retries_used);
+  EXPECT_EQ(loaded.selection_seconds, golden.selection_seconds);
+  EXPECT_EQ(loaded.total_seconds, golden.total_seconds);
+  ASSERT_EQ(loaded.epochs.size(), 1u);
+  EXPECT_EQ(loaded.epochs[0].epoch, golden.epochs[0].epoch);
+  EXPECT_EQ(loaded.epochs[0].loss, golden.epochs[0].loss);  // %.17g exact
+  EXPECT_EQ(loaded.epochs[0].view_seconds, golden.epochs[0].view_seconds);
+  EXPECT_EQ(loaded.epochs[0].loss_seconds, golden.epochs[0].loss_seconds);
+  EXPECT_EQ(loaded.epochs[0].step_seconds, golden.epochs[0].step_seconds);
+  EXPECT_EQ(loaded.epochs[0].checkpoint_seconds,
+            golden.epochs[0].checkpoint_seconds);
+  EXPECT_EQ(loaded.epochs[0].counters, golden.epochs[0].counters);
+  ASSERT_EQ(loaded.events.size(), 1u);
+  EXPECT_EQ(loaded.events[0].kind, "retry");
+  EXPECT_EQ(loaded.events[0].epoch, 3);
+  EXPECT_EQ(loaded.events[0].detail, "non-finite loss");
+  EXPECT_EQ(loaded.metrics.counters, golden.metrics.counters);
+  EXPECT_EQ(loaded.metrics.gauges, golden.metrics.gauges);
+  ASSERT_EQ(loaded.metrics.histograms.size(), 1u);
+  EXPECT_EQ(loaded.metrics.histograms[0].name, "chunks");
+  EXPECT_EQ(loaded.metrics.histograms[0].bounds,
+            golden.metrics.histograms[0].bounds);
+  EXPECT_EQ(loaded.metrics.histograms[0].counts,
+            golden.metrics.histograms[0].counts);
+  EXPECT_EQ(loaded.metrics.histograms[0].total,
+            golden.metrics.histograms[0].total);
+  ASSERT_EQ(loaded.spans.size(), 2u);
+  EXPECT_EQ(loaded.spans[1].path, "epoch/generate_view");
+  EXPECT_EQ(loaded.spans[1].count, 8u);
+  EXPECT_EQ(loaded.spans[1].seconds, 0.2);
+
+  // A second save of the loaded report is byte-identical: the schema has
+  // no lossy fields.
+  const std::string path2 = dir_ + "/golden2.json";
+  ASSERT_TRUE(SaveRunReport(path2, loaded));
+  EXPECT_EQ(ReadFile(path), ReadFile(path2));
+}
+
+TEST_F(RunReportTest, RejectsUnknownVersion) {
+  const std::string path = dir_ + "/versioned.json";
+  ASSERT_TRUE(SaveRunReport(path, GoldenReport()));
+  std::string text = ReadFile(path);
+  const std::string::size_type at = text.find("\"version\": 1");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, std::strlen("\"version\": 1"), "\"version\": 99");
+  RunReport out;
+  std::string error;
+  EXPECT_FALSE(
+      LoadRunReport(WriteFile("v99.json", text), &out, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST_F(RunReportTest, RejectsWrongSchemaTag) {
+  RunReport out;
+  std::string error;
+  EXPECT_FALSE(LoadRunReport(
+      WriteFile("tag.json", "{\"schema\": \"other.thing\", \"version\": 1}"),
+      &out, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+}
+
+TEST_F(RunReportTest, RejectsCorruptAndMissingFiles) {
+  RunReport out;
+  std::string error;
+  EXPECT_FALSE(LoadRunReport(WriteFile("corrupt.json", "{ not json !"),
+                             &out, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(LoadRunReport(dir_ + "/does_not_exist.json", &out, &error));
+  EXPECT_FALSE(error.empty());
+  // Truncated mid-structure.
+  const std::string path = dir_ + "/trunc.json";
+  ASSERT_TRUE(SaveRunReport(path, GoldenReport()));
+  const std::string text = ReadFile(path);
+  EXPECT_FALSE(LoadRunReport(
+      WriteFile("trunc2.json", text.substr(0, text.size() / 2)), &out,
+      nullptr));
+}
+
+TEST_F(RunReportTest, RejectsMalformedHistogram) {
+  // counts must be exactly bounds.size() + 1.
+  EXPECT_FALSE(LoadRunReport(
+      WriteFile("hist.json",
+                "{\"schema\": \"e2gcl.run_report\", \"version\": 1,\n"
+                "\"config_fingerprint\": \"0000000000000000\", \"seed\": 1,\n"
+                "\"threads\": 1, \"status\": \"ok\", \"resumed\": false,\n"
+                "\"start_epoch\": 0, \"retries_used\": 0,\n"
+                "\"selection_seconds\": 0, \"total_seconds\": 0,\n"
+                "\"epochs\": [], \"events\": [], \"counters\": {},\n"
+                "\"gauges\": {},\n"
+                "\"histograms\": {\"h\": {\"bounds\": [1, 2],"
+                " \"counts\": [1, 2]}},\n"
+                "\"spans\": []}"),
+      nullptr, nullptr));
+}
+
+// ---------------------------------------------------------------------------
+// Reports emitted by real training runs.
+// ---------------------------------------------------------------------------
+
+TEST_F(RunReportTest, TrainEmitsValidReport) {
+  Graph g = ReportGraph();
+  E2gclConfig cfg = ReportConfig();
+  cfg.report_path = dir_ + "/run_report.json";
+  E2gclTrainer trainer(g, cfg);
+  ASSERT_TRUE(trainer.Train().ok());
+
+  RunReport report;
+  std::string error;
+  ASSERT_TRUE(LoadRunReport(cfg.report_path, &report, &error)) << error;
+  EXPECT_EQ(report.status, "ok");
+  EXPECT_EQ(report.seed, cfg.seed);
+  EXPECT_EQ(report.threads, GetNumThreads());
+  EXPECT_FALSE(report.resumed);
+  EXPECT_EQ(report.start_epoch, 0);
+  EXPECT_EQ(report.retries_used, 0);
+  ASSERT_EQ(report.config_fingerprint.size(), 16u);
+  for (const char ch : report.config_fingerprint) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(ch)));
+  }
+  EXPECT_GT(report.total_seconds, 0.0);
+
+  ASSERT_EQ(report.epochs.size(), static_cast<std::size_t>(cfg.epochs));
+  for (int i = 0; i < cfg.epochs; ++i) {
+    EXPECT_EQ(report.epochs[i].epoch, i);
+    EXPECT_TRUE(std::isfinite(report.epochs[i].loss));
+    EXPECT_FALSE(report.epochs[i].counters.empty());
+  }
+  // Per-epoch counters are cumulative deltas from Train() entry, so each
+  // named counter is monotone non-decreasing across epochs.
+  for (std::size_t i = 1; i < report.epochs.size(); ++i) {
+    const auto& prev = report.epochs[i - 1];
+    for (const auto& kv : prev.counters) {
+      std::uint64_t later = 0;
+      for (const auto& kv2 : report.epochs[i].counters) {
+        if (kv2.first == kv.first) later = kv2.second;
+      }
+      EXPECT_GE(later, kv.second) << kv.first;
+    }
+  }
+
+  // Whole-run counters cover every instrumented subsystem the run used.
+  EXPECT_EQ(report.metrics.counter("trainer.epochs"),
+            static_cast<std::uint64_t>(cfg.epochs));
+  EXPECT_GT(report.metrics.counter("viewgen.views"), 0u);
+  EXPECT_GT(report.metrics.counter("kmeans.iterations"), 0u);
+  EXPECT_GT(report.metrics.counter("selector.nodes_selected"), 0u);
+  EXPECT_GT(report.metrics.counter("matmul.calls"), 0u);
+  EXPECT_GT(report.metrics.counter("spmm.calls"), 0u);
+
+  // The span tree records one "epoch" span per epoch with nested views.
+  bool saw_epoch = false, saw_nested_view = false;
+  for (const SpanSnapshot& s : report.spans) {
+    if (s.path == "epoch") {
+      saw_epoch = true;
+      EXPECT_EQ(s.count, static_cast<std::uint64_t>(cfg.epochs));
+    }
+    if (s.path == "epoch/generate_view") saw_nested_view = true;
+  }
+  EXPECT_TRUE(saw_epoch);
+  EXPECT_TRUE(saw_nested_view);
+}
+
+TEST_F(RunReportTest, IdenticalSeededRunsHaveIdenticalCounters) {
+  Graph g = ReportGraph();
+  E2gclConfig cfg = ReportConfig();
+
+  cfg.report_path = dir_ + "/run1.json";
+  {
+    E2gclTrainer trainer(g, cfg);
+    ASSERT_TRUE(trainer.Train().ok());
+  }
+  cfg.report_path = dir_ + "/run2.json";
+  {
+    E2gclTrainer trainer(g, cfg);
+    ASSERT_TRUE(trainer.Train().ok());
+  }
+
+  RunReport r1, r2;
+  ASSERT_TRUE(LoadRunReport(dir_ + "/run1.json", &r1));
+  ASSERT_TRUE(LoadRunReport(dir_ + "/run2.json", &r2));
+
+  // Counter snapshots — whole-run and per-epoch — are bit-identical;
+  // losses too (the whole trajectory is deterministic). Timings, gauges,
+  // and spans are wall-clock/scheduling-dependent and excluded.
+  EXPECT_EQ(r1.metrics.counters, r2.metrics.counters);
+  ASSERT_EQ(r1.epochs.size(), r2.epochs.size());
+  for (std::size_t i = 0; i < r1.epochs.size(); ++i) {
+    EXPECT_EQ(r1.epochs[i].counters, r2.epochs[i].counters) << "epoch " << i;
+    EXPECT_EQ(r1.epochs[i].loss, r2.epochs[i].loss) << "epoch " << i;
+  }
+  EXPECT_EQ(r1.config_fingerprint, r2.config_fingerprint);
+}
+
+TEST_F(RunReportTest, ReportLandsNextToCheckpointsByDefault) {
+  Graph g = ReportGraph();
+  E2gclConfig cfg = ReportConfig();
+  cfg.checkpoint_dir = dir_ + "/ckpts";
+  cfg.checkpoint_every = 2;
+  E2gclTrainer trainer(g, cfg);
+  ASSERT_TRUE(trainer.Train().ok());
+
+  RunReport report;
+  std::string error;
+  ASSERT_TRUE(
+      LoadRunReport(cfg.checkpoint_dir + "/run_report.json", &report, &error))
+      << error;
+  EXPECT_EQ(report.status, "ok");
+  EXPECT_GT(report.metrics.counter("checkpoint.writes"), 0u);
+  EXPECT_GT(report.metrics.counter("checkpoint.bytes_written"), 0u);
+}
+
+TEST_F(RunReportTest, ObsOffStillWritesReportWithZeroCounters) {
+  Graph g = ReportGraph();
+  E2gclConfig cfg = ReportConfig();
+  cfg.report_path = dir_ + "/off.json";
+  SetObsEnabled(false);
+  E2gclTrainer trainer(g, cfg);
+  const bool ok = trainer.Train().ok();
+  SetObsEnabled(true);
+  ASSERT_TRUE(ok);
+
+  RunReport report;
+  ASSERT_TRUE(LoadRunReport(cfg.report_path, &report));
+  EXPECT_EQ(report.status, "ok");
+  EXPECT_GT(report.total_seconds, 0.0);  // timings still recorded
+  for (const auto& kv : report.metrics.counters) {
+    EXPECT_EQ(kv.second, 0u) << kv.first;
+  }
+  for (const SpanSnapshot& s : report.spans) {
+    EXPECT_EQ(s.count, 0u) << s.path;
+  }
+}
+
+}  // namespace
+}  // namespace e2gcl

@@ -1,0 +1,90 @@
+// Compares two telemetry files — run_report.json objects or
+// BENCH_*.json micro-benchmark arrays — and exits nonzero when the
+// candidate regressed past the threshold. Gives CI a perf gate:
+//
+//   bench_compare [--threshold 1.25] [--require-equal-counters]
+//                 baseline.json candidate.json
+//
+// Exit codes: 0 = within threshold, 1 = regression(s), 2 = usage or
+// file error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/report_compare.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--threshold X] [--require-equal-counters] "
+      "<baseline.json> <candidate.json>\n"
+      "  --threshold X             flag timings slower than baseline*X "
+      "(default 1.25; must be > 0)\n"
+      "  --require-equal-counters  run reports only: counter maps must "
+      "match exactly\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  e2gcl::CompareOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: --threshold needs a value\n");
+        Usage(argv[0]);
+        return 2;
+      }
+      char* end = nullptr;
+      options.threshold = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || !(options.threshold > 0.0)) {
+        std::fprintf(stderr, "bench_compare: bad threshold '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--require-equal-counters") {
+      options.require_equal_counters = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown flag '%s'\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  const e2gcl::CompareResult result =
+      e2gcl::CompareReportFiles(files[0], files[1], options);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "bench_compare: error: %s\n", result.error.c_str());
+    return e2gcl::CompareExitCode(result);
+  }
+  for (const std::string& note : result.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  for (const std::string& regression : result.regressions) {
+    std::printf("REGRESSION: %s\n", regression.c_str());
+  }
+  if (result.ok) {
+    std::printf("ok: no regressions past %.3gx threshold\n",
+                options.threshold);
+  } else {
+    std::printf("%zu regression(s) past %.3gx threshold\n",
+                result.regressions.size(), options.threshold);
+  }
+  return e2gcl::CompareExitCode(result);
+}

@@ -37,6 +37,9 @@ TARGETS=(
   io_robustness_test
   fault_tolerance_test
   failure_injection_test
+  obs_test
+  run_report_test
+  bench_compare_test
 )
 
 status=0

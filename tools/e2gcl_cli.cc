@@ -7,6 +7,7 @@
 //             [--save-embedding path.csv]
 //             [--checkpoint-dir dir] [--resume] [--max-retries 2]
 //             [--checkpoint-every 10]
+//             [--obs-report report.json] [--obs-off]
 //
 // Models: mlp gcn deepwalk node2vec gae vgae dgi bgrl afgrl mvgrl grace
 //         gca e2gcl.
@@ -26,6 +27,7 @@
 #include "eval/io.h"
 #include "eval/protocol.h"
 #include "graph/datasets.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -47,7 +49,11 @@ void Usage(const char* prog) {
       "(e2gcl only; forces --runs 1)\n"
       "  --resume                 resume from the newest valid checkpoint\n"
       "  --max-retries <int>      NaN-divergence retry budget (default 2)\n"
-      "  --checkpoint-every <int> epochs between checkpoints (default 10)\n",
+      "  --checkpoint-every <int> epochs between checkpoints (default 10)\n"
+      "  --obs-report <path>      write a versioned run_report.json for the "
+      "training run (e2gcl only; forces --runs 1)\n"
+      "  --obs-off                disable metric/span recording "
+      "(counters in any report read 0)\n",
       prog);
 }
 
@@ -92,7 +98,9 @@ int main(int argc, char** argv) {
   std::string model = "e2gcl";
   std::string save_embedding;
   std::string checkpoint_dir;
+  std::string obs_report;
   bool resume = false;
+  bool obs_off = false;
   long long epochs = 40;
   long long runs = 2;
   long long max_retries = 2;
@@ -148,6 +156,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(flag, "--checkpoint-every") == 0) {
       const char* v = value();
       if (!ParseInt(v, 1, 1000000, &checkpoint_every)) invalid(v);
+    } else if (std::strcmp(flag, "--obs-report") == 0) {
+      obs_report = value();
+      if (obs_report.empty()) invalid("");
+    } else if (std::strcmp(flag, "--obs-off") == 0) {
+      obs_off = true;
     } else if (std::strcmp(flag, "--help") == 0 ||
                std::strcmp(flag, "-h") == 0) {
       Usage(argv[0]);
@@ -180,6 +193,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: --resume requires --checkpoint-dir\n", argv[0]);
     return 2;
   }
+  if (!obs_report.empty()) {
+    if (kind != ModelKind::kE2gcl) {
+      std::fprintf(stderr,
+                   "%s: --obs-report is only supported for --model e2gcl\n",
+                   argv[0]);
+      return 2;
+    }
+    if (runs != 1) {
+      std::fprintf(stderr,
+                   "note: --obs-report forces --runs 1 (the report records a "
+                   "single training trajectory)\n");
+      runs = 1;
+    }
+  }
+  if (obs_off) SetObsEnabled(false);
 
   Graph g = LoadDatasetScaled(dataset, scale, 0x5eed);
   std::printf("dataset %s (scale %.2f): %lld nodes, %lld edges, %lld dims, "
@@ -197,6 +225,7 @@ int main(int argc, char** argv) {
   cfg.e2gcl.checkpoint_every = static_cast<int>(checkpoint_every);
   cfg.e2gcl.resume = resume;
   cfg.e2gcl.max_retries = static_cast<int>(max_retries);
+  cfg.e2gcl.report_path = obs_report;
 
   AggregateResult agg = RunRepeated(kind, g, cfg, static_cast<int>(runs));
   std::printf("%s: accuracy %.2f%% ± %.2f  (selection %.2fs, total %.2fs)\n",
