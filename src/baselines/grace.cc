@@ -90,8 +90,8 @@ Graph GraceTrainer::SampleView(float drop_edge, float mask_feature,
   }
   // EA upgrade: random 2-hop edge additions.
   if (config_.add_edge_ratio > 0.0f) {
-    const std::int64_t extra = static_cast<std::int64_t>(
-        config_.add_edge_ratio * static_cast<float>(edges_.size()));
+    const std::int64_t extra = static_cast<std::int64_t>(std::floor(
+        config_.add_edge_ratio * static_cast<float>(edges_.size())));
     for (std::int64_t i = 0; i < extra; ++i) {
       const std::int64_t u = rng.UniformInt(g.num_nodes);
       if (g.Degree(u) == 0) continue;

@@ -191,8 +191,12 @@ Graph ViewGenerator::GeneratePerNodeView(
   E2GCL_CHECK(hops >= 1);
 
   // Alg. 3 lines 3-12: expand frontier by frontier, sampling each
-  // frontier node's neighbors once.
+  // frontier node's neighbors once. `in_view`/`expanded` are
+  // membership checks only; discovered nodes are collected into
+  // `nodes` in insertion order so the (sorted) subgraph never depends
+  // on hash iteration order.
   std::unordered_set<std::int64_t> in_view{root};
+  std::vector<std::int64_t> nodes{root};
   std::vector<std::int64_t> frontier{root};
   std::vector<std::pair<std::int64_t, std::int64_t>> edges;
   std::unordered_set<std::int64_t> expanded;
@@ -202,14 +206,16 @@ Graph ViewGenerator::GeneratePerNodeView(
       if (!expanded.insert(u).second) continue;
       for (std::int64_t v : SampleNeighbors(u, config, rng)) {
         edges.emplace_back(u, v);
-        if (in_view.insert(v).second) next.push_back(v);
+        if (in_view.insert(v).second) {
+          nodes.push_back(v);
+          next.push_back(v);
+        }
       }
     }
     frontier = std::move(next);
   }
 
   // Remap to a compact subgraph.
-  std::vector<std::int64_t> nodes(in_view.begin(), in_view.end());
   std::sort(nodes.begin(), nodes.end());
   std::unordered_map<std::int64_t, std::int64_t> remap;
   for (std::size_t i = 0; i < nodes.size(); ++i) remap[nodes[i]] = i;

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <vector>
 
+#include "io/serialize.h"
+
 namespace e2gcl {
 
 namespace {
@@ -57,8 +59,9 @@ bool ParseInt64Token(const std::string& token, std::int64_t* out) {
 }  // namespace
 
 bool SaveMatrixCsv(const Matrix& m, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+  // Rendered in memory, then written atomically (tmp + fsync + rename)
+  // so a crash mid-save never leaves a torn CSV.
+  std::ostringstream out;
   for (std::int64_t r = 0; r < m.rows(); ++r) {
     const float* row = m.RowPtr(r);
     for (std::int64_t c = 0; c < m.cols(); ++c) {
@@ -67,7 +70,7 @@ bool SaveMatrixCsv(const Matrix& m, const std::string& path) {
     }
     out << '\n';
   }
-  return static_cast<bool>(out);
+  return WriteFileAtomic(path, out.str());
 }
 
 bool LoadMatrixCsv(const std::string& path, Matrix* out) {
@@ -97,8 +100,7 @@ bool LoadMatrixCsv(const std::string& path, Matrix* out) {
 }
 
 bool SaveGraphEdgeList(const Graph& g, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+  std::ostringstream out;
   out << g.num_nodes << ' ' << g.num_classes << '\n';
   for (const auto& [u, v] : UndirectedEdges(g)) {
     out << u << ' ' << v << '\n';
@@ -107,7 +109,7 @@ bool SaveGraphEdgeList(const Graph& g, const std::string& path) {
     out << "labels\n";
     for (std::int64_t y : g.labels) out << y << '\n';
   }
-  return static_cast<bool>(out);
+  return WriteFileAtomic(path, out.str());
 }
 
 bool LoadGraphEdgeList(const std::string& path, Graph* out) {

@@ -97,8 +97,8 @@ Graph GenerateSbm(const SbmSpec& spec, std::uint64_t seed) {
   }
 
   // --- Edge placement. ---------------------------------------------------
-  const std::int64_t target_edges =
-      static_cast<std::int64_t>(spec.avg_degree * static_cast<double>(n) / 2.0);
+  const std::int64_t target_edges = static_cast<std::int64_t>(
+      std::floor(spec.avg_degree * static_cast<double>(n) / 2.0));
   std::vector<std::pair<std::int64_t, std::int64_t>> edges;
   edges.reserve(target_edges);
   std::int64_t attempts = 0;
@@ -171,7 +171,8 @@ Graph GenerateErdosRenyi(std::int64_t num_nodes, double edge_prob,
   } else {
     const double total_pairs =
         0.5 * static_cast<double>(num_nodes) * (num_nodes - 1);
-    const std::int64_t m = static_cast<std::int64_t>(total_pairs * edge_prob);
+    const std::int64_t m =
+        static_cast<std::int64_t>(std::floor(total_pairs * edge_prob));
     for (std::int64_t i = 0; i < m; ++i) {
       const std::int64_t u = rng.UniformInt(num_nodes);
       const std::int64_t v = rng.UniformInt(num_nodes);

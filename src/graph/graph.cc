@@ -92,8 +92,12 @@ std::vector<std::int64_t> KHopNeighborhood(const Graph& g, std::int64_t root,
                                            int hops) {
   E2GCL_CHECK(root >= 0 && root < g.num_nodes);
   E2GCL_CHECK(hops >= 0);
+  // `dist` is membership/depth lookup only; the reached nodes are
+  // collected in BFS discovery order so no hash-ordered iteration ever
+  // feeds the (sorted) output.
   std::unordered_map<std::int64_t, int> dist;
   dist[root] = 0;
+  std::vector<std::int64_t> nodes{root};
   std::queue<std::int64_t> q;
   q.push(root);
   while (!q.empty()) {
@@ -102,12 +106,12 @@ std::vector<std::int64_t> KHopNeighborhood(const Graph& g, std::int64_t root,
     const int d = dist[v];
     if (d == hops) continue;
     for (std::int32_t u : g.Neighbors(v)) {
-      if (dist.emplace(u, d + 1).second) q.push(u);
+      if (dist.emplace(u, d + 1).second) {
+        nodes.push_back(u);
+        q.push(u);
+      }
     }
   }
-  std::vector<std::int64_t> nodes;
-  nodes.reserve(dist.size());
-  for (const auto& [v, d] : dist) nodes.push_back(v);
   std::sort(nodes.begin(), nodes.end());
   return nodes;
 }

@@ -45,7 +45,15 @@ std::vector<std::pair<std::int64_t, double>> PushPpr(const Graph& g,
     // Isolated source: all mass stays.
     if (g.Degree(u) == 0) p[u] += (1.0 - alpha) * ru;
   }
+  // Each node's mass accumulates in deterministic push order, so the
+  // values are hash-independent; only the map's iteration order is not.
+  // Draining into a node-id-sorted vector makes every downstream
+  // consumer (top-k selection, normalization sums, triplet emission)
+  // independent of the hash seed and insertion history.
+  // e2gcl-lint: allow(unordered-iteration): drained then sorted by node id below; output order is hash-independent
   std::vector<std::pair<std::int64_t, double>> out(p.begin(), p.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
@@ -58,11 +66,17 @@ CsrMatrix ApproximatePpr(const Graph& g, const PprOptions& opts) {
     auto mass = PushPpr(g, s, opts.alpha, opts.epsilon);
     if (opts.top_k > 0 &&
         static_cast<std::int64_t>(mass.size()) > opts.top_k) {
+      // Total order (mass desc, node id asc) so the kept set is unique
+      // even when masses tie; then restore node-id order so the
+      // normalization sum and emitted triplets are fully deterministic.
       std::nth_element(mass.begin(), mass.begin() + opts.top_k, mass.end(),
                        [](const auto& a, const auto& b) {
-                         return a.second > b.second;
+                         if (a.second != b.second) return a.second > b.second;
+                         return a.first < b.first;
                        });
       mass.resize(opts.top_k);
+      std::sort(mass.begin(), mass.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
     }
     double total = 0.0;
     for (const auto& [v, m] : mass) total += m;

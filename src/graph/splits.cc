@@ -1,6 +1,7 @@
 #include "graph/splits.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "tensor/check.h"
@@ -15,8 +16,9 @@ NodeSplit RandomNodeSplit(std::int64_t num_nodes, double train_frac,
   std::iota(perm.begin(), perm.end(), 0);
   rng.Shuffle(perm);
   const std::int64_t n_train =
-      static_cast<std::int64_t>(num_nodes * train_frac);
-  const std::int64_t n_val = static_cast<std::int64_t>(num_nodes * val_frac);
+      static_cast<std::int64_t>(std::floor(num_nodes * train_frac));
+  const std::int64_t n_val =
+      static_cast<std::int64_t>(std::floor(num_nodes * val_frac));
   NodeSplit s;
   s.train.assign(perm.begin(), perm.begin() + n_train);
   s.val.assign(perm.begin() + n_train, perm.begin() + n_train + n_val);
@@ -60,8 +62,10 @@ EdgeSplit RandomEdgeSplit(const Graph& g, double train_frac, double val_frac,
   rng.Shuffle(perm);
 
   const std::int64_t m = static_cast<std::int64_t>(edges.size());
-  const std::int64_t m_train = static_cast<std::int64_t>(m * train_frac);
-  const std::int64_t m_val = static_cast<std::int64_t>(m * val_frac);
+  const std::int64_t m_train =
+      static_cast<std::int64_t>(std::floor(m * train_frac));
+  const std::int64_t m_val =
+      static_cast<std::int64_t>(std::floor(m * val_frac));
 
   EdgeSplit split;
   std::vector<std::pair<std::int64_t, std::int64_t>> train_edges;

@@ -73,6 +73,7 @@ struct MetricsRegistry::Impl {
   }
 
   Shard* AdoptShard() {
+    // e2gcl-lint: allow(naked-new-delete): shard ownership transfers to the registry; RetireShard deletes it
     Shard* s = new Shard();
     std::lock_guard<std::mutex> lock(mu);
     shards.push_back(s);
@@ -88,6 +89,7 @@ struct MetricsRegistry::Impl {
       hist_retired[i] += s->hist[i].load(std::memory_order_relaxed);
     }
     shards.erase(std::remove(shards.begin(), shards.end(), s), shards.end());
+    // e2gcl-lint: allow(naked-new-delete): matching delete for AdoptShard's transfer of ownership
     delete s;
   }
 };
@@ -121,6 +123,7 @@ Shard* LocalShard() {
 MetricsRegistry::Impl* RegistryImpl() {
   // Leaked singleton: thread-exit retirement may run during static
   // destruction, so the registry must never be destroyed.
+  // e2gcl-lint: allow(naked-new-delete): intentionally leaked process-lifetime singleton (safe during static destruction)
   static MetricsRegistry::Impl* impl = new MetricsRegistry::Impl();
   return impl;
 }
@@ -138,6 +141,7 @@ void SetObsEnabled(bool enabled) {
 MetricsRegistry::MetricsRegistry() : impl_(RegistryImpl()) {}
 
 MetricsRegistry& MetricsRegistry::Get() {
+  // e2gcl-lint: allow(naked-new-delete): intentionally leaked process-lifetime singleton (safe during static destruction)
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }

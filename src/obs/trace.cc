@@ -36,7 +36,8 @@ struct TraceRegistry::Impl {
     for (Node* c : parent->children) {
       if (c->name == name) return c;
     }
-    Node* node = new Node();  // nodes live for the process lifetime
+    // e2gcl-lint: allow(naked-new-delete): trace nodes intentionally live for the process lifetime (leaked arena)
+    Node* node = new Node();
     node->name = name;
     node->parent = parent;
     parent->children.push_back(node);
@@ -71,6 +72,7 @@ namespace {
 
 TraceRegistry::Impl* TraceImpl() {
   // Leaked singleton: spans may complete during static destruction.
+  // e2gcl-lint: allow(naked-new-delete): intentionally leaked process-lifetime singleton (safe during static destruction)
   static TraceRegistry::Impl* impl = new TraceRegistry::Impl();
   return impl;
 }
@@ -82,6 +84,7 @@ thread_local TraceRegistry::Impl::Node* t_current_span = nullptr;
 TraceRegistry::TraceRegistry() : impl_(TraceImpl()) {}
 
 TraceRegistry& TraceRegistry::Get() {
+  // e2gcl-lint: allow(naked-new-delete): intentionally leaked process-lifetime singleton (safe during static destruction)
   static TraceRegistry* registry = new TraceRegistry();
   return *registry;
 }

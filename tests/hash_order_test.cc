@@ -1,0 +1,181 @@
+// Hash-order regression suite: PPR and view-generator outputs must be
+// identical no matter how std::unordered_{map,set} happens to order
+// its buckets (hash seed, insertion history, relabeled keys). The
+// library guarantees this by never letting hash iteration order feed
+// an accumulation or an ordered output (lint rule
+// `unordered-iteration`); these tests pin the behavior down:
+//
+//  - relabeling nodes permutes every unordered-container key (a proxy
+//    for changing the hash seed, which libstdc++ does not expose) and
+//    must permute the outputs exactly;
+//  - exact mass ties in top-k sparsification resolve by node id, not
+//    by bucket order;
+//  - repeated runs are bit-identical.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/view_generator.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/ppr.h"
+#include "test_util.h"
+
+namespace e2gcl {
+namespace {
+
+/// Relabels g's nodes via `perm` (new id = perm[old id]).
+Graph Relabel(const Graph& g, const std::vector<std::int64_t>& perm) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  for (const auto& [u, v] : UndirectedEdges(g)) {
+    edges.emplace_back(perm[u], perm[v]);
+  }
+  return BuildGraph(g.num_nodes, edges, Matrix(), {}, 0);
+}
+
+/// An id permutation that maximally scrambles unordered-container
+/// bucket placement relative to the identity labeling.
+std::vector<std::int64_t> ScramblePermutation(std::int64_t n) {
+  std::vector<std::int64_t> perm(n);
+  Rng rng(99);
+  for (std::int64_t i = 0; i < n; ++i) perm[i] = i;
+  rng.Shuffle(perm);
+  return perm;
+}
+
+Graph TestGraph(std::uint64_t seed) {
+  return GenerateErdosRenyi(/*num_nodes=*/60, /*edge_prob=*/0.08,
+                            /*feature_dim=*/0, seed);
+}
+
+// --- KHopNeighborhood: exact relabel equivariance. -------------------
+
+TEST(HashOrder, KHopNeighborhoodIsRelabelEquivariant) {
+  Graph g = TestGraph(7);
+  const auto perm = ScramblePermutation(g.num_nodes);
+  Graph h = Relabel(g, perm);
+  for (std::int64_t root : {0, 5, 17, 42}) {
+    std::vector<std::int64_t> a = KHopNeighborhood(g, root, 2);
+    for (std::int64_t& v : a) v = perm[v];
+    std::sort(a.begin(), a.end());
+    std::vector<std::int64_t> b = KHopNeighborhood(h, perm[root], 2);
+    EXPECT_EQ(a, b) << "root " << root;
+  }
+}
+
+// --- PPR: relabel equivariance of support and values. ----------------
+
+TEST(HashOrder, PprIsRelabelEquivariant) {
+  Graph g = TestGraph(11);
+  const auto perm = ScramblePermutation(g.num_nodes);
+  Graph h = Relabel(g, perm);
+  // Relabeling permutes CSR adjacency order, so the local-push visit
+  // sequence legitimately differs and values agree only to the
+  // residual threshold; a tight epsilon separates that approximation
+  // error from a genuine hash-order dependence (which would move mass
+  // by O(alpha), orders of magnitude above this tolerance).
+  PprOptions opts;
+  opts.epsilon = 1e-7;
+  opts.top_k = 0;
+  Matrix a = ApproximatePpr(g, opts).ToDense();
+  Matrix b = ApproximatePpr(h, opts).ToDense();
+  ASSERT_EQ(a.rows(), b.rows());
+  for (std::int64_t s = 0; s < g.num_nodes; ++s) {
+    for (std::int64_t v = 0; v < g.num_nodes; ++v) {
+      EXPECT_NEAR(a(s, v), b(perm[s], perm[v]), 1e-5f)
+          << "at (" << s << ", " << v << ")";
+    }
+  }
+}
+
+// --- PPR: exact ties resolve by node id, not bucket order. -----------
+
+TEST(HashOrder, PprTopKTieBreaksByNodeId) {
+  // Cycle graph: from any source the two distance-1 neighbors receive
+  // bitwise-identical mass by mirror symmetry, so top_k = 2 forces a
+  // tie the old hash-ordered nth_element resolved arbitrarily.
+  const std::int64_t n = 8;
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  for (std::int64_t v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  Graph g = BuildGraph(n, edges, Matrix(), {}, 0);
+  PprOptions opts;
+  opts.alpha = 0.2;
+  opts.top_k = 2;
+  Matrix p = ApproximatePpr(g, opts).ToDense();
+  for (std::int64_t s = 0; s < n; ++s) {
+    std::set<std::int64_t> support;
+    for (std::int64_t v = 0; v < n; ++v) {
+      if (p(s, v) != 0.0f) support.insert(v);
+    }
+    const std::int64_t lo = std::min((s + 1) % n, (s + n - 1) % n);
+    EXPECT_EQ(support, (std::set<std::int64_t>{s, lo})) << "source " << s;
+  }
+}
+
+// --- Bit-identical repetition (PPR + diffusion). ---------------------
+
+TEST(HashOrder, PprAndDiffusionAreBitIdenticalAcrossRuns) {
+  Graph g = TestGraph(13);
+  PprOptions opts;
+  opts.top_k = 6;
+  Matrix a = ApproximatePpr(g, opts).ToDense();
+  Matrix b = ApproximatePpr(g, opts).ToDense();
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      ASSERT_EQ(a(r, c), b(r, c));
+    }
+  }
+  Graph d1 = DiffusionGraph(g, opts);
+  Graph d2 = DiffusionGraph(g, opts);
+  EXPECT_EQ(d1.row_ptr, d2.row_ptr);
+  EXPECT_EQ(d1.col, d2.col);
+}
+
+// --- View generator: deterministic subgraphs. ------------------------
+
+TEST(HashOrder, PerNodeViewIsBitIdenticalAcrossRuns) {
+  Graph g = GenerateErdosRenyi(80, 0.07, 16, 21);
+  ViewGenerator gen(g, /*beta=*/0.7f);
+  ViewConfig config;
+  for (std::int64_t root : {0, 11, 37}) {
+    Rng rng1(5), rng2(5);
+    std::int64_t idx1 = -1, idx2 = -1;
+    std::vector<std::int64_t> nodes1, nodes2;
+    Graph v1 = gen.GeneratePerNodeView(root, 2, config, rng1, &idx1, &nodes1);
+    Graph v2 = gen.GeneratePerNodeView(root, 2, config, rng2, &idx2, &nodes2);
+    EXPECT_EQ(idx1, idx2);
+    EXPECT_EQ(nodes1, nodes2);
+    EXPECT_EQ(v1.row_ptr, v2.row_ptr);
+    EXPECT_EQ(v1.col, v2.col);
+    ASSERT_EQ(v1.features.rows(), v2.features.rows());
+    for (std::int64_t r = 0; r < v1.features.rows(); ++r) {
+      for (std::int64_t c = 0; c < v1.features.cols(); ++c) {
+        ASSERT_EQ(v1.features(r, c), v2.features(r, c));
+      }
+    }
+    // The subgraph's node list is strictly sorted: output order comes
+    // from node ids, never from unordered_set bucket order.
+    EXPECT_TRUE(std::is_sorted(nodes1.begin(), nodes1.end()));
+    for (std::size_t i = 1; i < nodes1.size(); ++i) {
+      EXPECT_LT(nodes1[i - 1], nodes1[i]);
+    }
+  }
+}
+
+TEST(HashOrder, GlobalViewIsBitIdenticalAcrossRuns) {
+  Graph g = GenerateErdosRenyi(60, 0.08, 8, 31);
+  ViewGenerator gen(g, 0.7f);
+  ViewConfig config;
+  Rng rng1(9), rng2(9);
+  Graph v1 = gen.GenerateGlobalView(config, rng1);
+  Graph v2 = gen.GenerateGlobalView(config, rng2);
+  EXPECT_EQ(v1.row_ptr, v2.row_ptr);
+  EXPECT_EQ(v1.col, v2.col);
+}
+
+}  // namespace
+}  // namespace e2gcl

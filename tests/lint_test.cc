@@ -1,0 +1,454 @@
+// Drives the e2gcl_lint engine against embedded good/bad fixtures for
+// every rule, the suppression contract (justification required,
+// rule-scoped), JSON output, exit codes — and finally self-checks that
+// the shipped tree is lint-clean.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/json.h"
+#include "tools/lint/lint.h"
+
+namespace e2gcl {
+namespace lint {
+namespace {
+
+// Counts unsuppressed findings for `rule` (the fixtures below must
+// trip exactly the rule under test).
+int Count(const std::vector<Finding>& fs, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : fs) {
+    if (!f.suppressed && f.rule == rule) ++n;
+  }
+  return n;
+}
+
+int CountSuppressed(const std::vector<Finding>& fs, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : fs) {
+    if (f.suppressed && f.rule == rule) ++n;
+  }
+  return n;
+}
+
+const char kLibPath[] = "src/core/fixture.cc";
+const char kTestPath[] = "tests/fixture_test.cc";
+
+// --- Rule: unordered-iteration ---------------------------------------
+
+TEST(LintRules, UnorderedIterationFlagsRangeForAndDrain) {
+  const std::string bad = R"(
+    #include <unordered_map>
+    double Sum(const std::unordered_map<int, double>& m) {
+      std::unordered_map<int, double> local = m;
+      double s = 0.0;
+      for (const auto& [k, v] : local) s += v;
+      std::vector<std::pair<int, double>> out(local.begin(), local.end());
+      return s;
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "unordered-iteration"), 2);
+}
+
+TEST(LintRules, UnorderedIterationIgnoresLookupsAndOrderedContainers) {
+  const std::string good = R"(
+    #include <map>
+    double Sum(const std::map<int, double>& m) {
+      std::unordered_map<int, double> lookup;
+      lookup[3] = 1.0;
+      if (lookup.count(3) != 0) return lookup.find(3)->second;
+      double s = 0.0;
+      for (const auto& [k, v] : m) s += v;
+      return s;
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, good), "unordered-iteration"), 0);
+}
+
+TEST(LintRules, UnorderedIterationOnlyAppliesToLibraryCode) {
+  const std::string bad = R"(
+    std::unordered_map<int, int> m;
+    void F() { for (const auto& [k, v] : m) Use(k, v); }
+  )";
+  EXPECT_EQ(Count(LintContent(kTestPath, bad), "unordered-iteration"), 0);
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "unordered-iteration"), 1);
+}
+
+// --- Rule: banned-random ---------------------------------------------
+
+TEST(LintRules, BannedRandomFlagsLibcAndRandomDevice) {
+  const std::string bad = R"(
+    int F() {
+      srand(42);
+      std::random_device rd;
+      return std::rand() + static_cast<int>(time(nullptr));
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "banned-random"), 3);
+}
+
+TEST(LintRules, BannedRandomAllowsRngModuleAndLookalikes) {
+  const std::string lookalikes = R"(
+    double WallTime() { return 0.0; }
+    double runtime(int x) { return WallTime() + x; }
+    int Strand(int brand) { return brand; }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, lookalikes), "banned-random"), 0);
+  const std::string rng_impl = "std::random_device rd;\n";
+  EXPECT_EQ(Count(LintContent("src/tensor/rng.cc", rng_impl), "banned-random"),
+            0);
+  EXPECT_EQ(Count(LintContent(kLibPath, rng_impl), "banned-random"), 1);
+}
+
+// --- Rule: atomic-float ----------------------------------------------
+
+TEST(LintRules, AtomicFloatFlagsFloatAndDouble) {
+  const std::string bad = R"(
+    std::atomic<float> sum{0.0f};
+    std::atomic< double > total{0.0};
+  )";
+  std::vector<Finding> fs = LintContent(kLibPath, bad);
+  EXPECT_EQ(Count(fs, "atomic-float"), 2);
+  const std::string good = "std::atomic<std::uint64_t> n{0};\n";
+  EXPECT_EQ(Count(LintContent(kLibPath, good), "atomic-float"), 0);
+}
+
+// --- Rule: raw-file-write --------------------------------------------
+
+TEST(LintRules, RawFileWriteFlagsOfstreamAndWriteModeFopen) {
+  const std::string bad = R"(
+    bool Save(const std::string& path) {
+      std::ofstream out(path);
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      return out.good() && f != nullptr;
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "raw-file-write"), 2);
+}
+
+TEST(LintRules, RawFileWriteAllowsReadsAndNonLibraryCode) {
+  const std::string reads = R"(
+    bool Load(const std::string& path) {
+      std::ifstream in(path);
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      return in.good() && f != nullptr;
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, reads), "raw-file-write"), 0);
+  const std::string write = "std::ofstream out(\"x\");\n";
+  EXPECT_EQ(Count(LintContent(kTestPath, write), "raw-file-write"), 0);
+}
+
+// --- Rule: naked-new-delete ------------------------------------------
+
+TEST(LintRules, NakedNewDeleteFlagsBoth) {
+  const std::string bad = R"(
+    void F() {
+      int* p = new int[3];
+      delete[] p;
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "naked-new-delete"), 2);
+}
+
+TEST(LintRules, NakedNewDeleteAllowsDeletedFunctionsAndSmartPointers) {
+  const std::string good = R"(
+    struct NoCopy {
+      NoCopy(const NoCopy&) = delete;
+      NoCopy& operator=(const NoCopy&) = delete;
+    };
+    auto p = std::make_unique<int>(3);
+    auto s = std::make_shared<int>(4);
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, good), "naked-new-delete"), 0);
+}
+
+// --- Rule: stdout-in-library -----------------------------------------
+
+TEST(LintRules, StdoutFlagsCoutAndPrintf) {
+  const std::string bad = R"(
+    void Report(int x) {
+      std::cout << x;
+      printf("%d", x);
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "stdout-in-library"), 2);
+}
+
+TEST(LintRules, StdoutAllowsStderrAndSnprintf) {
+  const std::string good = R"(
+    void Warn(const char* m) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s", m);
+      std::fprintf(stderr, "%s\n", buf);
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, good), "stdout-in-library"), 0);
+  EXPECT_EQ(Count(LintContent("tools/cli.cc", "printf(\"x\");"),
+                  "stdout-in-library"),
+            0);
+}
+
+// --- Rule: parallel-reduction ----------------------------------------
+
+TEST(LintRules, ParallelReductionFlagsCapturedAccumulator) {
+  const std::string bad = R"(
+    double Sum(const float* x, std::int64_t n) {
+      double sum = 0.0;
+      ParallelFor(0, n, 1 << 15, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) sum += x[i];
+      });
+      return sum;
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "parallel-reduction"), 1);
+}
+
+TEST(LintRules, ParallelReductionAllowsChunkPartialsAndLocals) {
+  const std::string good = R"(
+    double Sum(const float* x, std::int64_t n) {
+      std::vector<double> partial(NumChunks(n, kGrain), 0.0);
+      ParallelForChunks(0, n, kGrain,
+                        [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+        double acc = 0.0;
+        for (std::int64_t i = b; i < e; ++i) acc += x[i];
+        partial[c] += acc;
+      });
+      double sum = 0.0;
+      for (double p : partial) sum += p;
+      return sum;
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, good), "parallel-reduction"), 0);
+}
+
+// --- Rule: include-guard ---------------------------------------------
+
+TEST(LintRules, IncludeGuardMissingMismatchedAndGood) {
+  EXPECT_EQ(Count(LintContent("src/a.h", "struct A {};\n"), "include-guard"),
+            1);
+  const std::string mismatched =
+      "#ifndef A_H_\n#define B_H_\nstruct A {};\n#endif\n";
+  EXPECT_EQ(Count(LintContent("src/a.h", mismatched), "include-guard"), 1);
+  const std::string unclosed = "#ifndef A_H_\n#define A_H_\nstruct A {};\n";
+  EXPECT_EQ(Count(LintContent("src/a.h", unclosed), "include-guard"), 1);
+  const std::string good =
+      "#ifndef A_H_\n#define A_H_\nstruct A {};\n#endif  // A_H_\n";
+  EXPECT_EQ(Count(LintContent("src/a.h", good), "include-guard"), 0);
+  EXPECT_EQ(Count(LintContent("src/b.h", "#pragma once\nstruct B {};\n"),
+                  "include-guard"),
+            0);
+  // Not a header: never flagged.
+  EXPECT_EQ(Count(LintContent(kLibPath, "struct C {};\n"), "include-guard"),
+            0);
+}
+
+// --- Rule: float-index-cast ------------------------------------------
+
+TEST(LintRules, FloatIndexCastFlagsTruncationAndAllowsExplicitRounding) {
+  const std::string bad =
+      "const std::int64_t n = static_cast<std::int64_t>(total * frac);\n";
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "float-index-cast"), 1);
+  const std::string rounded =
+      "const std::int64_t n = "
+      "static_cast<std::int64_t>(std::floor(total * frac));\n";
+  EXPECT_EQ(Count(LintContent(kLibPath, rounded), "float-index-cast"), 0);
+  const std::string bytes =
+      "const std::int64_t b = static_cast<std::int64_t>(sizeof(float));\n";
+  EXPECT_EQ(Count(LintContent(kLibPath, bytes), "float-index-cast"), 0);
+  const std::string ints =
+      "const std::int64_t m = static_cast<std::int64_t>(rows * cols);\n";
+  EXPECT_EQ(Count(LintContent(kLibPath, ints), "float-index-cast"), 0);
+}
+
+// --- Rule: test-include-in-library -----------------------------------
+
+TEST(LintRules, TestIncludeFlagsTestsToolsAndRelativeIncludes) {
+  EXPECT_EQ(Count(LintContent(kLibPath, "#include \"tests/test_util.h\"\n"),
+                  "test-include-in-library"),
+            1);
+  EXPECT_EQ(Count(LintContent(kLibPath, "#include \"tools/lint/lint.h\"\n"),
+                  "test-include-in-library"),
+            1);
+  EXPECT_EQ(Count(LintContent(kLibPath, "#include \"../secret.h\"\n"),
+                  "test-include-in-library"),
+            1);
+  EXPECT_EQ(Count(LintContent(kLibPath, "#include \"graph/graph.h\"\n"),
+                  "test-include-in-library"),
+            0);
+  // Tests may include tool headers (this very test does).
+  EXPECT_EQ(Count(LintContent(kTestPath, "#include \"tools/lint/lint.h\"\n"),
+                  "test-include-in-library"),
+            0);
+}
+
+// --- Suppressions -----------------------------------------------------
+
+TEST(LintSuppressions, JustifiedSuppressionSilencesFinding) {
+  const std::string code =
+      "std::cout << 1;  // e2gcl-lint: allow(stdout-in-library): fixture\n";
+  std::vector<Finding> fs = LintContent(kLibPath, code);
+  EXPECT_EQ(Count(fs, "stdout-in-library"), 0);
+  EXPECT_EQ(CountSuppressed(fs, "stdout-in-library"), 1);
+  for (const Finding& f : fs) {
+    if (f.suppressed) {
+      EXPECT_EQ(f.justification, "fixture");
+    }
+  }
+  EXPECT_EQ(ExitCode(fs), 0);
+}
+
+TEST(LintSuppressions, SuppressionOnOwnLineCoversNextCodeLine) {
+  const std::string code =
+      "// e2gcl-lint: allow(stdout-in-library): fixture covers next line\n"
+      "std::cout << 1;\n";
+  std::vector<Finding> fs = LintContent(kLibPath, code);
+  EXPECT_EQ(Count(fs, "stdout-in-library"), 0);
+  EXPECT_EQ(CountSuppressed(fs, "stdout-in-library"), 1);
+}
+
+TEST(LintSuppressions, MissingJustificationIsItselfAFinding) {
+  const std::string code =
+      "std::cout << 1;  // e2gcl-lint: allow(stdout-in-library)\n";
+  std::vector<Finding> fs = LintContent(kLibPath, code);
+  // The bare allow() does not suppress, and is reported itself.
+  EXPECT_EQ(Count(fs, "stdout-in-library"), 1);
+  EXPECT_EQ(Count(fs, "suppression-justification"), 1);
+  EXPECT_EQ(ExitCode(fs), 1);
+  // Empty justification after the colon is just as invalid.
+  const std::string empty =
+      "std::cout << 1;  // e2gcl-lint: allow(stdout-in-library):   \n";
+  fs = LintContent(kLibPath, empty);
+  EXPECT_EQ(Count(fs, "stdout-in-library"), 1);
+  EXPECT_EQ(Count(fs, "suppression-justification"), 1);
+}
+
+TEST(LintSuppressions, UnknownRuleIsAFinding) {
+  const std::string code =
+      "int x = 0;  // e2gcl-lint: allow(no-such-rule): because\n";
+  std::vector<Finding> fs = LintContent(kLibPath, code);
+  EXPECT_EQ(Count(fs, "suppression-justification"), 1);
+}
+
+TEST(LintSuppressions, SuppressionsAreRuleScoped) {
+  // Two different violations on one line; only one is suppressed.
+  const std::string code =
+      "std::cout << std::rand();  "
+      "// e2gcl-lint: allow(stdout-in-library): fixture\n";
+  std::vector<Finding> fs = LintContent(kLibPath, code);
+  EXPECT_EQ(Count(fs, "stdout-in-library"), 0);
+  EXPECT_EQ(CountSuppressed(fs, "stdout-in-library"), 1);
+  EXPECT_EQ(Count(fs, "banned-random"), 1);  // NOT silenced
+  EXPECT_EQ(ExitCode(fs), 1);
+}
+
+TEST(LintSuppressions, SuppressionDoesNotLeakToOtherLines) {
+  const std::string code =
+      "std::cout << 1;  // e2gcl-lint: allow(stdout-in-library): fixture\n"
+      "std::cout << 2;\n";
+  std::vector<Finding> fs = LintContent(kLibPath, code);
+  EXPECT_EQ(Count(fs, "stdout-in-library"), 1);
+}
+
+// --- Comments and strings never trip rules ---------------------------
+
+TEST(LintLexer, CommentedAndQuotedCodeIsIgnored) {
+  const std::string code = R"(
+    // std::cout << std::rand();  (commented out)
+    /* std::atomic<float> old_code; */
+    const char* kDoc = "call srand(42) then std::cout";
+  )";
+  std::vector<Finding> fs = LintContent(kLibPath, code);
+  EXPECT_EQ(CountUnsuppressed(fs), 0);
+}
+
+// --- JSON output ------------------------------------------------------
+
+TEST(LintJson, ReportRoundTripsAndCounts) {
+  const std::string code =
+      "std::cout << 1;\n"
+      "std::atomic<float> f;  // e2gcl-lint: allow(atomic-float): fixture\n";
+  std::vector<Finding> fs = LintContent(kLibPath, code);
+  JsonValue report = FindingsToJson(fs);
+  const std::string text = DumpJson(report);
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(ParseJson(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.Find("version")->AsInt(), 1);
+  const JsonValue* counts = parsed.Find("counts");
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(counts->Find("error")->AsInt(), 1);
+  EXPECT_EQ(counts->Find("warning")->AsInt(), 0);
+  EXPECT_EQ(counts->Find("suppressed")->AsInt(), 1);
+  const JsonValue* findings = parsed.Find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->items().size(), 1u);
+  const JsonValue& f0 = findings->items()[0];
+  EXPECT_EQ(f0.Find("rule")->AsString(), "stdout-in-library");
+  EXPECT_EQ(f0.Find("severity")->AsString(), "error");
+  EXPECT_EQ(f0.Find("file")->AsString(), kLibPath);
+  EXPECT_EQ(f0.Find("line")->AsInt(), 1);
+  const JsonValue* suppressed = parsed.Find("suppressed");
+  ASSERT_NE(suppressed, nullptr);
+  ASSERT_EQ(suppressed->items().size(), 1u);
+  EXPECT_EQ(suppressed->items()[0].Find("justification")->AsString(),
+            "fixture");
+}
+
+// --- Exit codes -------------------------------------------------------
+
+TEST(LintExitCodes, CleanIsZeroFindingsAreOne) {
+  EXPECT_EQ(ExitCode({}), 0);
+  std::vector<Finding> fs =
+      LintContent(kLibPath, "std::cout << 1;\n");
+  EXPECT_EQ(ExitCode(fs), 1);
+  // Warnings gate too: zero unsuppressed findings means zero.
+  fs = LintContent(
+      kLibPath,
+      "const std::int64_t n = static_cast<std::int64_t>(total * frac);\n");
+  ASSERT_EQ(CountUnsuppressed(fs), 1);
+  EXPECT_EQ(fs[0].severity, Severity::kWarning);
+  EXPECT_EQ(ExitCode(fs), 1);
+}
+
+TEST(LintExitCodes, UnreadablePathReportsError) {
+  std::vector<Finding> fs;
+  std::string error;
+  EXPECT_FALSE(LintTree("/nonexistent-root", {}, &fs, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- Rule registry ----------------------------------------------------
+
+TEST(LintRegistry, AllRulesAreKnownAndDocumented) {
+  EXPECT_GE(Rules().size(), 10u);
+  for (const RuleInfo& r : Rules()) {
+    EXPECT_TRUE(IsKnownRule(r.name));
+    EXPECT_FALSE(r.summary.empty());
+  }
+  EXPECT_FALSE(IsKnownRule("no-such-rule"));
+}
+
+// --- Self-check: the shipped tree is lint-clean ----------------------
+
+TEST(LintSelfCheck, ShippedTreeHasZeroUnsuppressedFindings) {
+  std::vector<Finding> fs;
+  std::string error;
+  ASSERT_TRUE(LintTree(E2GCL_SOURCE_DIR, {}, &fs, &error)) << error;
+  for (const Finding& f : fs) {
+    EXPECT_TRUE(f.suppressed) << f.file << ":" << f.line << ": [" << f.rule
+                              << "] " << f.message;
+    if (f.suppressed) {
+      // Every shipped suppression carries its justification.
+      EXPECT_FALSE(f.justification.empty()) << f.file << ":" << f.line;
+    }
+  }
+  EXPECT_EQ(ExitCode(fs), 0);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace e2gcl

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Lint gate: builds e2gcl_lint (with -Werror on, so the gate also
+# proves the tree compiles warning-clean) and runs it over src/,
+# tools/ and tests/. Exits nonzero on any unsuppressed finding.
+#
+#   tools/check_lint.sh           # text diagnostics
+#   tools/check_lint.sh --json    # machine-readable report on stdout
+#
+# If clang-tidy is installed, the advisory .clang-tidy baseline is also
+# run over src/ (findings are reported but never fail the gate — see
+# DESIGN.md "Static analysis & invariants").
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-lint"
+
+cmake -B "$BUILD" -S "$ROOT" -DE2GCL_WERROR=ON \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target e2gcl_lint >/dev/null
+
+status=0
+"$BUILD/tools/e2gcl_lint" --root "$ROOT" "$@" || status=$?
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "--- clang-tidy (advisory) ---" >&2
+  # Advisory only: report, never gate.
+  find "$ROOT/src" -name '*.cc' -print0 |
+    xargs -0 -n 8 clang-tidy -p "$BUILD" --quiet 2>/dev/null || true
+fi
+
+exit $status

@@ -1,24 +1,38 @@
 #!/usr/bin/env bash
-# Builds the library under ThreadSanitizer and AddressSanitizer and runs
-# the suites that exercise the parallel kernels and the fault-tolerance
-# machinery (checkpoint I/O, kill/resume, death tests). Usage:
+# One command for the whole static + dynamic analysis gate: the
+# e2gcl_lint pass, then ThreadSanitizer, AddressSanitizer, and
+# UndefinedBehaviorSanitizer builds running the suites that exercise
+# the parallel kernels and the fault-tolerance machinery (checkpoint
+# I/O, kill/resume, death tests). Usage:
 #
-#   tools/check_sanitizers.sh            # both sanitizers (default)
+#   tools/check_sanitizers.sh             # lint + all three sanitizers
+#   tools/check_sanitizers.sh lint        # static analysis only
 #   tools/check_sanitizers.sh thread     # ThreadSanitizer only
 #   tools/check_sanitizers.sh address    # AddressSanitizer only
+#   tools/check_sanitizers.sh undefined  # UBSan only
 #
 # Each sanitized tree lives in build-<sanitizer>/ next to the regular
 # build/ so configurations never share object files.
 set -euo pipefail
 
-case "${1:-both}" in
-  thread)  SANITIZERS=(thread) ;;
-  address) SANITIZERS=(address) ;;
-  both)    SANITIZERS=(thread address) ;;
-  *) echo "usage: $0 [thread|address|both]" >&2; exit 2 ;;
+RUN_LINT=0
+case "${1:-all}" in
+  lint)      SANITIZERS=(); RUN_LINT=1 ;;
+  thread)    SANITIZERS=(thread) ;;
+  address)   SANITIZERS=(address) ;;
+  undefined) SANITIZERS=(undefined) ;;
+  both)      SANITIZERS=(thread address) ;;
+  all)       SANITIZERS=(thread address undefined); RUN_LINT=1 ;;
+  *) echo "usage: $0 [lint|thread|address|undefined|both|all]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+status=0
+if [ "$RUN_LINT" = 1 ]; then
+  echo "=== e2gcl_lint ==="
+  "$ROOT/tools/check_lint.sh" || status=1
+fi
 
 # The race-prone and fault-injection code paths live in these binaries;
 # running the full suite under sanitizers takes far longer without
@@ -40,9 +54,10 @@ TARGETS=(
   obs_test
   run_report_test
   bench_compare_test
+  hash_order_test
+  lint_test
 )
 
-status=0
 for SANITIZER in "${SANITIZERS[@]}"; do
   BUILD="$ROOT/build-$SANITIZER"
   cmake -B "$BUILD" -S "$ROOT" -DE2GCL_SANITIZE="$SANITIZER" \

@@ -1,0 +1,456 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tools/lint/rules.h"
+
+namespace e2gcl {
+namespace lint {
+
+const char* SeverityName(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+bool IsKnownRule(const std::string& name) {
+  for (const RuleInfo& r : Rules()) {
+    if (r.name == name) return true;
+  }
+  // The meta-rule is a valid allow() target too (a file may need to
+  // exempt a fixture that deliberately embeds a bad suppression).
+  return name == "suppression-justification";
+}
+
+// ---------------------------------------------------------------------
+// Lexer: one pass over the file tracking comment/string state, emitting
+// two parallel code views plus the comment texts (for suppressions).
+
+LexedFile Lex(const std::string& content) {
+  LexedFile out;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string code_line, strings_line, comment_text;
+  int line = 1;
+  int comment_start_line = 0;
+
+  auto flush_line = [&]() {
+    out.code.push_back(code_line);
+    out.code_with_strings.push_back(strings_line);
+    code_line.clear();
+    strings_line.clear();
+  };
+  auto flush_comment = [&]() {
+    if (!comment_text.empty() || comment_start_line != 0) {
+      out.comments.emplace_back(comment_start_line, comment_text);
+    }
+    comment_text.clear();
+    comment_start_line = 0;
+  };
+
+  const std::size_t n = content.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        flush_comment();
+        state = State::kCode;
+      }
+      flush_line();
+      ++line;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_start_line = line;
+          code_line += "  ";
+          strings_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_start_line = line;
+          code_line += "  ";
+          strings_line += "  ";
+          ++i;
+        } else if (c == '"' && i > 0 && content[i - 1] == 'R' &&
+                   (i < 2 || !(std::isalnum(static_cast<unsigned char>(
+                                   content[i - 2])) != 0 ||
+                               content[i - 2] == '_'))) {
+          // Raw string literal R"delim(...)delim": consume to its
+          // terminator so embedded quotes/comments can't derail the
+          // lexer (test fixtures embed whole snippets this way).
+          std::size_t open = content.find('(', i + 1);
+          if (open == std::string::npos) {
+            code_line += '"';
+            strings_line += '"';
+            continue;
+          }
+          const std::string delim = content.substr(i + 1, open - i - 1);
+          const std::string closer = ")" + delim + "\"";
+          std::size_t close = content.find(closer, open + 1);
+          if (close == std::string::npos) close = n;  // unterminated
+          code_line += '"';
+          strings_line += '"';
+          for (std::size_t j = i + 1;
+               j < std::min(n, close + closer.size()); ++j) {
+            if (content[j] == '\n') {
+              flush_line();
+              ++line;
+            } else {
+              code_line += ' ';
+              strings_line += content[j] == '"' ? ' ' : content[j];
+            }
+          }
+          i = std::min(n, close + closer.size()) - 1;
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += '"';
+          strings_line += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += '\'';
+          strings_line += '\'';
+        } else {
+          code_line += c;
+          strings_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_text += c;
+        code_line += ' ';
+        strings_line += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          flush_comment();
+          state = State::kCode;
+          code_line += "  ";
+          strings_line += "  ";
+          ++i;
+        } else {
+          comment_text += c;
+          code_line += ' ';
+          strings_line += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          code_line += "  ";
+          strings_line += "\\";
+          strings_line += next;
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line += '"';
+          strings_line += '"';
+        } else {
+          code_line += ' ';
+          strings_line += c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          code_line += "  ";
+          strings_line += "\\";
+          strings_line += next;
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line += '\'';
+          strings_line += '\'';
+        } else {
+          code_line += ' ';
+          strings_line += c;
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    flush_comment();
+  }
+  if (!code_line.empty() || !strings_line.empty()) flush_line();
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Suppressions.
+
+namespace {
+
+struct Suppression {
+  std::string rule;
+  std::string justification;  // may be empty (then invalid)
+  int comment_line = 0;       // where the allow() text sits
+  int target_line = 0;        // code line it covers
+  bool used = false;
+};
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool LineHasCode(const std::string& code_line) {
+  return code_line.find_first_not_of(" \t") != std::string::npos;
+}
+
+/// Parses every suppression marker — the `e2gcl-lint:` tag followed by
+/// an allow(rule) clause and optional `: justification` — out
+/// of the comment texts and resolves each to its target code line: the
+/// comment's own line when that line has code, otherwise the next line
+/// that has code. Malformed markers (missing/empty justification or an
+/// unknown rule) are reported via `findings`.
+std::vector<Suppression> CollectSuppressions(const LexedFile& lexed,
+                                             const std::string& path,
+                                             std::vector<Finding>* findings) {
+  std::vector<Suppression> sups;
+  const std::string kTag = "e2gcl-lint:";
+  for (const auto& [line, text] : lexed.comments) {
+    std::size_t pos = text.find(kTag);
+    while (pos != std::string::npos) {
+      std::size_t cursor = pos + kTag.size();
+      std::size_t allow = text.find("allow(", cursor);
+      if (allow == std::string::npos) break;
+      std::size_t close = text.find(')', allow);
+      if (close == std::string::npos) {
+        Finding f;
+        f.rule = "suppression-justification";
+        f.severity = Severity::kError;
+        f.file = path;
+        f.line = line;
+        f.message = "malformed suppression: missing ')' after allow(";
+        findings->push_back(std::move(f));
+        break;
+      }
+      Suppression s;
+      s.rule = Trim(text.substr(allow + 6, close - allow - 6));
+      s.comment_line = line;
+      // Justification: everything after a ':' following the ')'.
+      std::size_t colon = text.find(':', close);
+      if (colon != std::string::npos) {
+        s.justification = Trim(text.substr(colon + 1));
+      }
+      if (!IsKnownRule(s.rule)) {
+        Finding f;
+        f.rule = "suppression-justification";
+        f.severity = Severity::kError;
+        f.file = path;
+        f.line = line;
+        f.message = "suppression names unknown rule '" + s.rule + "'";
+        findings->push_back(std::move(f));
+      } else if (s.justification.empty()) {
+        Finding f;
+        f.rule = "suppression-justification";
+        f.severity = Severity::kError;
+        f.file = path;
+        f.line = line;
+        f.message = "suppression for '" + s.rule +
+                    "' lacks a justification (use `// e2gcl-lint: "
+                    "allow(" + s.rule + "): <why this is safe>`)";
+        findings->push_back(std::move(f));
+      } else {
+        sups.push_back(std::move(s));
+      }
+      pos = text.find(kTag, close);
+    }
+  }
+  // Resolve target lines. A comment on a line with code covers that
+  // line; a comment-only line covers the next line that has code
+  // (skipping further comment-only lines so suppressions can stack).
+  const int num_lines = static_cast<int>(lexed.code.size());
+  for (Suppression& s : sups) {
+    int target = s.comment_line;
+    const int idx = s.comment_line - 1;
+    if (idx >= 0 && idx < num_lines && !LineHasCode(lexed.code[idx])) {
+      target = 0;
+      for (int j = s.comment_line; j < num_lines; ++j) {
+        if (LineHasCode(lexed.code[j])) {
+          target = j + 1;  // 1-based
+          break;
+        }
+      }
+      if (target == 0) target = s.comment_line;  // dangling; covers itself
+    }
+    s.target_line = target;
+  }
+  return sups;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Orchestration.
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content) {
+  LexedFile lexed = Lex(content);
+  std::vector<Finding> findings;
+  RunAllRules(path, lexed, &findings);
+  std::vector<Suppression> sups = CollectSuppressions(lexed, path, &findings);
+  for (Finding& f : findings) {
+    if (f.rule == "suppression-justification") continue;  // meta findings
+    for (Suppression& s : sups) {
+      if (s.rule == f.rule && s.target_line == f.line) {
+        f.suppressed = true;
+        f.justification = s.justification;
+        s.used = true;
+        break;
+      }
+    }
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return findings;
+}
+
+bool LintFile(const std::string& root, const std::string& rel_path,
+              std::vector<Finding>* out, std::string* error) {
+  const std::string full = root.empty() ? rel_path : root + "/" + rel_path;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read " + full;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::vector<Finding> f = LintContent(rel_path, ss.str());
+  out->insert(out->end(), f.begin(), f.end());
+  return true;
+}
+
+namespace {
+
+bool HasLintableExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+bool IsSkippedDir(const std::string& name) {
+  return name.rfind("build", 0) == 0 || name == ".git";
+}
+
+}  // namespace
+
+bool LintTree(const std::string& root, const std::vector<std::string>& paths,
+              std::vector<Finding>* out, std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    if (error != nullptr) *error = "no such directory: " + root;
+    return false;
+  }
+  std::vector<std::string> roots = paths;
+  const bool defaulted = roots.empty();
+  if (defaulted) roots = {"src", "tools", "tests"};
+  std::vector<std::string> files;
+  for (const std::string& rel : roots) {
+    const fs::path base = fs::path(root) / rel;
+    if (fs::is_regular_file(base, ec)) {
+      files.push_back(rel);
+      continue;
+    }
+    if (!fs::is_directory(base, ec)) {
+      // A tree may legitimately lack one of the default subtrees; an
+      // explicitly requested path must exist.
+      if (defaulted) continue;
+      if (error != nullptr) {
+        *error = "no such file or directory: " + base.string();
+      }
+      return false;
+    }
+    fs::recursive_directory_iterator it(base, ec), end;
+    if (ec) {
+      if (error != nullptr) *error = "cannot walk " + base.string();
+      return false;
+    }
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() && IsSkippedDir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && HasLintableExtension(it->path())) {
+        files.push_back(
+            fs::relative(it->path(), fs::path(root)).generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  for (const std::string& f : files) {
+    if (!LintFile(root, f, out, error)) return false;
+  }
+  return true;
+}
+
+int CountUnsuppressed(const std::vector<Finding>& findings) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++n;
+  }
+  return n;
+}
+
+int ExitCode(const std::vector<Finding>& findings) {
+  return CountUnsuppressed(findings) == 0 ? 0 : 1;
+}
+
+JsonValue FindingsToJson(const std::vector<Finding>& findings) {
+  JsonValue root = JsonValue::Object();
+  root.Set("version", JsonValue::Int(1));
+  std::int64_t errors = 0, warnings = 0, suppressed = 0;
+  JsonValue active = JsonValue::Array();
+  JsonValue silenced = JsonValue::Array();
+  for (const Finding& f : findings) {
+    JsonValue j = JsonValue::Object();
+    j.Set("rule", JsonValue::Str(f.rule));
+    j.Set("severity", JsonValue::Str(SeverityName(f.severity)));
+    j.Set("file", JsonValue::Str(f.file));
+    j.Set("line", JsonValue::Int(f.line));
+    j.Set("message", JsonValue::Str(f.message));
+    if (f.suppressed) {
+      ++suppressed;
+      j.Set("justification", JsonValue::Str(f.justification));
+      silenced.Append(std::move(j));
+    } else {
+      if (f.severity == Severity::kError) ++errors;
+      else ++warnings;
+      active.Append(std::move(j));
+    }
+  }
+  JsonValue counts = JsonValue::Object();
+  counts.Set("error", JsonValue::Int(errors));
+  counts.Set("warning", JsonValue::Int(warnings));
+  counts.Set("suppressed", JsonValue::Int(suppressed));
+  root.Set("counts", std::move(counts));
+  root.Set("findings", std::move(active));
+  root.Set("suppressed", std::move(silenced));
+  return root;
+}
+
+std::string FindingsToText(const std::vector<Finding>& findings) {
+  std::ostringstream ss;
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    ss << f.file << ':' << f.line << ": " << SeverityName(f.severity)
+       << ": [" << f.rule << "] " << f.message << '\n';
+  }
+  const int n = CountUnsuppressed(findings);
+  const int s = static_cast<int>(findings.size()) - n;
+  ss << n << " finding(s), " << s << " suppressed\n";
+  return ss.str();
+}
+
+}  // namespace lint
+}  // namespace e2gcl

@@ -1,0 +1,115 @@
+#ifndef E2GCL_TOOLS_LINT_LINT_H_
+#define E2GCL_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+
+namespace e2gcl {
+namespace lint {
+
+/// e2gcl_lint — project-invariant static analysis.
+///
+/// The linter enforces the determinism and safety contracts the library
+/// documents in DESIGN.md ("Threading model", "Static analysis &
+/// invariants") as named, per-line rules over `src/`, `tools/` and
+/// `tests/`. It is heuristic and line-oriented by design: rules match a
+/// lexed "code view" of each file (comments and, for most rules, string
+/// literals blanked out), so it cannot be fooled by commented-out code,
+/// and genuine false positives are silenced in place with a justified
+/// suppression comment — the `e2gcl-lint:` tag followed by an
+/// `allow(rule-name)` clause, a colon, and a non-empty justification,
+/// for example:
+///
+///   // e2gcl-lint: allow(unordered-iteration): drained then sorted
+///
+/// A suppression-only line applies to the next code line; a trailing
+/// comment applies to its own line. Suppressions are rule-scoped — they
+/// never silence any other rule on the same line — and a suppression
+/// whose justification is empty (or that names an unknown rule) is
+/// itself a finding, so the suppression ledger stays auditable.
+
+enum class Severity { kWarning, kError };
+
+const char* SeverityName(Severity s);
+
+struct Finding {
+  std::string rule;      // stable kebab-case rule name
+  Severity severity = Severity::kError;
+  std::string file;      // repo-relative path as passed to the linter
+  int line = 0;          // 1-based
+  std::string message;
+  bool suppressed = false;        // matched by a justified allow()
+  std::string justification;      // non-empty iff suppressed
+};
+
+/// One rule's identity, as reported by --list-rules and used to
+/// validate allow() targets.
+struct RuleInfo {
+  std::string name;
+  Severity severity;
+  std::string summary;
+};
+
+/// All rules the engine knows about, in reporting order.
+const std::vector<RuleInfo>& Rules();
+
+/// True when `name` names a known rule (suppression targets must).
+bool IsKnownRule(const std::string& name);
+
+/// Lints one file's contents. `path` is the repo-relative path
+/// ("src/graph/ppr.cc"); rules use it to decide applicability (library
+/// rules fire only under src/, the rng exemption keys on
+/// src/tensor/rng, ...). Returns every finding, suppressed ones
+/// included (marked).
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content);
+
+/// Reads and lints one file from disk. Returns false (and fills
+/// `error`) when the file cannot be read.
+bool LintFile(const std::string& root, const std::string& rel_path,
+              std::vector<Finding>* out, std::string* error);
+
+/// Walks `root`/{src,tools,tests} (or the given relative paths; a path
+/// may also name a single file) and lints every .h/.cc file found,
+/// skipping build*/ directories. Paths in findings are repo-relative
+/// with forward slashes, sorted for stable output. Returns false (and
+/// fills `error`) on an unreadable root or path.
+bool LintTree(const std::string& root, const std::vector<std::string>& paths,
+              std::vector<Finding>* out, std::string* error);
+
+/// Number of findings that are not suppressed.
+int CountUnsuppressed(const std::vector<Finding>& findings);
+
+/// JSON report: {"version":1, "counts":{...}, "findings":[...],
+/// "suppressed":[...]}. Reuses the strict io/json layer so reports are
+/// stable and diffable.
+JsonValue FindingsToJson(const std::vector<Finding>& findings);
+
+/// Human-readable "file:line: severity: [rule] message" lines.
+std::string FindingsToText(const std::vector<Finding>& findings);
+
+/// 0 = no unsuppressed findings, 1 = at least one (2 is reserved for
+/// usage/IO errors, reported by the callers themselves) — the same
+/// contract as bench_compare.
+int ExitCode(const std::vector<Finding>& findings);
+
+/// --- exposed for tests ---------------------------------------------
+
+/// Lexed view of a file: `code` has comments and string/char literals
+/// blanked (spaces, newlines kept), `code_with_strings` keeps literal
+/// contents (for rules that inspect e.g. fopen modes), `comments`
+/// holds each comment's text keyed by its starting line.
+struct LexedFile {
+  std::vector<std::string> code;               // per line, literals blanked
+  std::vector<std::string> code_with_strings;  // per line, comments blanked
+  std::vector<std::pair<int, std::string>> comments;  // (1-based line, text)
+};
+
+LexedFile Lex(const std::string& content);
+
+}  // namespace lint
+}  // namespace e2gcl
+
+#endif  // E2GCL_TOOLS_LINT_LINT_H_

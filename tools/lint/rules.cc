@@ -1,0 +1,489 @@
+#include "tools/lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace e2gcl {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared helpers.
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool InLibrary(const std::string& path) { return StartsWith(path, "src/"); }
+
+bool IsHeader(const std::string& path) { return EndsWith(path, ".h"); }
+
+void Add(std::vector<Finding>* out, const std::string& rule, Severity sev,
+         const std::string& path, int line, std::string message) {
+  Finding f;
+  f.rule = rule;
+  f.severity = sev;
+  f.file = path;
+  f.line = line;
+  f.message = std::move(message);
+  out->push_back(std::move(f));
+}
+
+/// Joins per-line views back into one string (offsets -> line numbers
+/// via LineStarts/LineOf) for rules that need multi-line extents.
+std::string Join(const std::vector<std::string>& lines) {
+  std::ostringstream ss;
+  for (const std::string& l : lines) ss << l << '\n';
+  return ss.str();
+}
+
+std::vector<std::size_t> LineStarts(const std::string& joined) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < joined.size(); ++i) {
+    if (joined[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+int LineOf(const std::vector<std::size_t>& starts, std::size_t offset) {
+  auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<int>(it - starts.begin());  // 1-based
+}
+
+/// Offset one past the matching ')' for the '(' at `open`, or npos when
+/// unbalanced.
+std::size_t BalancedParenEnd(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Finds whole-word occurrences of `word` in `line`, returning their
+/// start offsets.
+std::vector<std::size_t> FindWord(const std::string& line,
+                                  const std::string& word) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = line.find(word);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !IsWordChar(line[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = line.find(word, pos + 1);
+  }
+  return hits;
+}
+
+char PrevNonSpace(const std::string& line, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (line[pos] != ' ' && line[pos] != '\t') return line[pos];
+  }
+  return '\0';
+}
+
+// ---------------------------------------------------------------------
+// Rule: unordered-iteration
+//
+// Hash-container iteration order depends on the implementation's hash
+// seed, bucket count, and insertion history; feeding it into a
+// float accumulation or an ordered output silently breaks the
+// bit-identical-results contract (DESIGN.md "Threading model"). The
+// rule flags every range-for over — and every .begin() drain of — a
+// std::unordered_{map,set} declared in the same file. Order-safe
+// drains (sorted immediately after) carry a justified suppression.
+
+void RuleUnorderedIteration(const std::string& path, const LexedFile& lexed,
+                            std::vector<Finding>* out) {
+  if (!InLibrary(path)) return;
+  static const std::regex kDecl(
+      R"(unordered_(?:map|set)\s*<[^;{]*>\s+(\w+))");
+  static const std::regex kRangeFor(R"(for\s*\([^;)]*?:\s*(\w+)\s*\))");
+  std::set<std::string> unordered_vars;
+  for (const std::string& line : lexed.code) {
+    for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
+         it != end; ++it) {
+      unordered_vars.insert((*it)[1].str());
+    }
+  }
+  if (unordered_vars.empty()) return;
+  for (std::size_t i = 0; i < lexed.code.size(); ++i) {
+    const std::string& line = lexed.code[i];
+    for (std::sregex_iterator it(line.begin(), line.end(), kRangeFor), end;
+         it != end; ++it) {
+      const std::string var = (*it)[1].str();
+      if (unordered_vars.count(var) != 0) {
+        Add(out, "unordered-iteration", Severity::kError, path,
+            static_cast<int>(i + 1),
+            "range-for over std::unordered container '" + var +
+                "' is hash-order-dependent; iterate a sorted drain instead");
+      }
+    }
+    const std::size_t dot = line.find(".begin()");
+    if (dot != std::string::npos && dot > 0) {
+      std::size_t b = dot;
+      while (b > 0 && IsWordChar(line[b - 1])) --b;
+      const std::string var = line.substr(b, dot - b);
+      if (unordered_vars.count(var) != 0) {
+        Add(out, "unordered-iteration", Severity::kError, path,
+            static_cast<int>(i + 1),
+            "draining std::unordered container '" + var +
+                "' via .begin() yields hash order; sort the result or "
+                "justify why order does not matter");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: banned-random
+//
+// All randomness must flow through tensor/rng (seeded SplitMix64/
+// xoshiro) so runs are reproducible from a single seed. libc rand/
+// srand, wall-clock seeding, and std::random_device are all
+// nondeterministic across runs or platforms.
+
+void RuleBannedRandom(const std::string& path, const LexedFile& lexed,
+                      std::vector<Finding>* out) {
+  if (StartsWith(path, "src/tensor/rng")) return;  // the one sanctioned home
+  static const std::regex kBanned(
+      R"((^|[^\w.])((?:std::)?(?:rand|srand|time))\s*\(|(random_device))");
+  for (std::size_t i = 0; i < lexed.code.size(); ++i) {
+    const std::string& line = lexed.code[i];
+    std::smatch m;
+    if (std::regex_search(line, m, kBanned)) {
+      const std::string api = m[2].matched ? m[2].str() : m[3].str();
+      Add(out, "banned-random", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "nondeterminism API '" + api +
+              "' is banned; use tensor/rng so runs replay from one seed");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: atomic-float
+//
+// Atomic float/double accumulation commits results in scheduling
+// order, which breaks bit-identical reductions at different thread
+// counts; reductions must use chunk-ordered partials instead.
+
+void RuleAtomicFloat(const std::string& path, const LexedFile& lexed,
+                     std::vector<Finding>* out) {
+  static const std::regex kAtomic(R"(atomic\s*<\s*(float|double)\s*>)");
+  for (std::size_t i = 0; i < lexed.code.size(); ++i) {
+    std::smatch m;
+    const std::string& line = lexed.code[i];
+    if (std::regex_search(line, m, kAtomic)) {
+      Add(out, "atomic-float", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "std::atomic<" + m[1].str() +
+              "> commits in scheduling order; reduce via chunk-ordered "
+              "partials (see parallel/parallel_for.h)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: raw-file-write
+//
+// Library writes must be atomic (tmp + fsync + rename) so a crash
+// never leaves a torn file; WriteFileAtomic / WriteStateFile /
+// WriteJsonFile are the only sanctioned sinks. Flags std::ofstream and
+// write-mode fopen in src/ (reads are fine).
+
+void RuleRawFileWrite(const std::string& path, const LexedFile& lexed,
+                      std::vector<Finding>* out) {
+  if (!InLibrary(path)) return;
+  static const std::regex kFopenWrite(R"(fopen\s*\([^;]*"[wa][^"]*")");
+  for (std::size_t i = 0; i < lexed.code_with_strings.size(); ++i) {
+    const std::string& line = lexed.code_with_strings[i];
+    if (!FindWord(line, "ofstream").empty()) {
+      Add(out, "raw-file-write", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "std::ofstream bypasses atomic-write discipline; route writes "
+          "through WriteFileAtomic (io/serialize.h)");
+    }
+    if (std::regex_search(line, kFopenWrite)) {
+      Add(out, "raw-file-write", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "write-mode fopen bypasses atomic-write discipline; route "
+          "writes through WriteFileAtomic (io/serialize.h)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: naked-new-delete
+//
+// Library code owns memory via containers and smart pointers; a naked
+// new/delete is either a leak, a double-free waiting to happen, or an
+// intentionally leaked process-lifetime singleton — the latter gets a
+// justified suppression so the intent is recorded.
+
+void RuleNakedNewDelete(const std::string& path, const LexedFile& lexed,
+                        std::vector<Finding>* out) {
+  if (!InLibrary(path)) return;
+  for (std::size_t i = 0; i < lexed.code.size(); ++i) {
+    const std::string& line = lexed.code[i];
+    for (std::size_t pos : FindWord(line, "new")) {
+      // `= delete`-style defaulted declarations don't apply to new;
+      // skip `operator new` and placement forms conservatively.
+      std::size_t after = pos + 3;
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (after >= line.size() || !(IsWordChar(line[after]))) continue;
+      Add(out, "naked-new-delete", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "naked 'new' in library code; use containers/smart pointers "
+          "or justify an intentional process-lifetime leak");
+    }
+    for (std::size_t pos : FindWord(line, "delete")) {
+      if (PrevNonSpace(line, pos) == '=') continue;  // = delete;
+      Add(out, "naked-new-delete", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "naked 'delete' in library code; prefer owning containers or "
+          "smart pointers");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: stdout-in-library
+//
+// The library reports through return values, TrainResult events, and
+// obs metrics; stdout belongs to the CLIs. (fprintf(stderr, ...) for
+// non-fatal warnings and snprintf formatting are allowed.)
+
+void RuleStdoutInLibrary(const std::string& path, const LexedFile& lexed,
+                         std::vector<Finding>* out) {
+  if (!InLibrary(path)) return;
+  static const std::regex kStdout(R"(fprintf\s*\(\s*stdout|\bputs\s*\()");
+  for (std::size_t i = 0; i < lexed.code.size(); ++i) {
+    const std::string& line = lexed.code[i];
+    const bool hit = !FindWord(line, "cout").empty() ||
+                     !FindWord(line, "printf").empty() ||
+                     std::regex_search(line, kStdout);
+    if (hit) {
+      Add(out, "stdout-in-library", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "library code must not write to stdout; report via return "
+          "values, events, or obs metrics");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: parallel-reduction
+//
+// A `acc += ...` on a variable captured from outside a ParallelFor
+// body is a cross-chunk data race and, even if atomic, commits in
+// scheduling order. Reductions must write per-chunk partials
+// (ParallelForChunks + chunk-indexed slots) and reduce in chunk order
+// on the calling thread. Heuristic: compound assignment to a plain
+// identifier not declared inside the parallel body.
+
+void RuleParallelReduction(const std::string& path, const LexedFile& lexed,
+                           std::vector<Finding>* out) {
+  if (!InLibrary(path)) return;
+  const std::string joined = Join(lexed.code);
+  const std::vector<std::size_t> starts = LineStarts(joined);
+  static const std::regex kCall(R"(ParallelFor(?:Chunks)?\s*\()");
+  static const std::regex kCompound(R"((^|[^\w.\]>)])(\w+)\s*([-+*])=[^=])");
+  for (std::sregex_iterator it(joined.begin(), joined.end(), kCall), end;
+       it != end; ++it) {
+    const std::size_t open = it->position() + it->length() - 1;
+    const std::size_t close = BalancedParenEnd(joined, open);
+    if (close == std::string::npos) continue;
+    const std::string body = joined.substr(open, close - open);
+    for (std::sregex_iterator bit(body.begin(), body.end(), kCompound), bend;
+         bit != bend; ++bit) {
+      const std::string var = (*bit)[2].str();
+      // Locally-declared accumulators (per-row/per-chunk scalars) are
+      // fine; look for a type-ish token immediately before `var` within
+      // the body.
+      const std::regex decl("(float|double|auto|int|long|std::\\w+)[&\\s]+" +
+                            var + "\\b");
+      if (std::regex_search(body, decl)) continue;
+      Add(out, "parallel-reduction", Severity::kWarning, path,
+          LineOf(starts, open + static_cast<std::size_t>(bit->position(2))),
+          "compound assignment to captured '" + var +
+              "' inside a parallel body; use chunk-indexed partials "
+              "reduced in chunk order");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: include-guard
+//
+// Every header needs #pragma once or a matched #ifndef/#define guard;
+// a missing or mismatched guard breaks one-definition hygiene
+// silently.
+
+void RuleIncludeGuard(const std::string& path, const LexedFile& lexed,
+                      std::vector<Finding>* out) {
+  if (!IsHeader(path)) return;
+  const std::string joined = Join(lexed.code);
+  if (joined.find("#pragma once") != std::string::npos) return;
+  static const std::regex kIfndef(R"(#ifndef\s+(\w+))");
+  static const std::regex kDefine(R"(#define\s+(\w+))");
+  std::smatch mi, md;
+  const bool has_ifndef = std::regex_search(joined, mi, kIfndef);
+  const bool has_define = std::regex_search(joined, md, kDefine);
+  if (!has_ifndef || !has_define) {
+    Add(out, "include-guard", Severity::kError, path, 1,
+        "header lacks an include guard (#pragma once or "
+        "#ifndef/#define pair)");
+    return;
+  }
+  if (mi[1].str() != md[1].str()) {
+    const std::vector<std::size_t> starts = LineStarts(joined);
+    Add(out, "include-guard", Severity::kError, path,
+        LineOf(starts, static_cast<std::size_t>(md.position(0))),
+        "include guard mismatch: #ifndef " + mi[1].str() +
+            " vs #define " + md[1].str());
+    return;
+  }
+  if (joined.find("#endif") == std::string::npos) {
+    Add(out, "include-guard", Severity::kError, path, 1,
+        "include guard is never closed with #endif");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: float-index-cast
+//
+// Truncating a float-valued expression straight into an index or count
+// hides the rounding decision (and on ties makes it platform-
+// dependent). Rounding must be explicit: std::llround, std::floor,
+// std::ceil, or std::trunc before the cast.
+
+bool IsIndexType(const std::string& t) {
+  static const std::set<std::string> kTypes = {
+      "int",           "long",          "unsigned",      "size_t",
+      "std::size_t",   "ptrdiff_t",     "std::ptrdiff_t", "int32_t",
+      "int64_t",       "uint32_t",      "uint64_t",      "std::int32_t",
+      "std::int64_t",  "std::uint32_t", "std::uint64_t"};
+  return kTypes.count(t) != 0;
+}
+
+void RuleFloatIndexCast(const std::string& path, const LexedFile& lexed,
+                        std::vector<Finding>* out) {
+  if (!InLibrary(path)) return;
+  const std::string joined = Join(lexed.code);
+  const std::vector<std::size_t> starts = LineStarts(joined);
+  static const std::regex kCast(R"(static_cast<\s*([\w:]+)\s*>\s*\()");
+  static const std::regex kFloaty(
+      R"(\b\d+\.\d*f?|\bfloat\b|\bdouble\b|\w*frac\w*|\w*prob\w*|\w*ratio\w*)");
+  static const std::regex kRounded(R"(round|floor|ceil|trunc)");
+  for (std::sregex_iterator it(joined.begin(), joined.end(), kCast), end;
+       it != end; ++it) {
+    if (!IsIndexType((*it)[1].str())) continue;
+    const std::size_t open = it->position() + it->length() - 1;
+    const std::size_t close = BalancedParenEnd(joined, open);
+    if (close == std::string::npos) continue;
+    std::string arg = joined.substr(open + 1, close - open - 2);
+    // sizeof(float) et al. are byte counts, not float values.
+    static const std::regex kSizeof(R"(sizeof\s*\([^)]*\))");
+    arg = std::regex_replace(arg, kSizeof, "");
+    if (std::regex_search(arg, kFloaty) && !std::regex_search(arg, kRounded)) {
+      Add(out, "float-index-cast", Severity::kWarning, path,
+          LineOf(starts, static_cast<std::size_t>(it->position())),
+          "float-valued expression cast to " + (*it)[1].str() +
+              " without explicit rounding; wrap in std::llround/"
+              "std::floor (or justify)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: test-include-in-library
+//
+// src/ must stay layerable: library translation units cannot reach
+// into tests/ or tools/, and rooted includes keep the build graph
+// acyclic.
+
+void RuleTestIncludeInLibrary(const std::string& path, const LexedFile& lexed,
+                              std::vector<Finding>* out) {
+  if (!InLibrary(path)) return;
+  static const std::regex kBadInclude(
+      R"(#include\s*"(tests/|tools/|\.\./))");
+  for (std::size_t i = 0; i < lexed.code_with_strings.size(); ++i) {
+    std::smatch m;
+    const std::string& line = lexed.code_with_strings[i];
+    if (std::regex_search(line, m, kBadInclude)) {
+      Add(out, "test-include-in-library", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "library code must not include '" + m[1].str() +
+              "' headers; dependencies flow src -> tools/tests only");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"unordered-iteration", Severity::kError,
+       "no hash-order-dependent iteration over std::unordered_{map,set} "
+       "in library code"},
+      {"banned-random", Severity::kError,
+       "rand/srand/time()/random_device banned outside src/tensor/rng"},
+      {"atomic-float", Severity::kError,
+       "no std::atomic<float|double>; reductions use chunk-ordered "
+       "partials"},
+      {"raw-file-write", Severity::kError,
+       "library file writes go through WriteFileAtomic"},
+      {"naked-new-delete", Severity::kError,
+       "no naked new/delete in library code"},
+      {"stdout-in-library", Severity::kError,
+       "no printf/std::cout in library code"},
+      {"parallel-reduction", Severity::kWarning,
+       "ParallelFor bodies must not compound-assign captured scalars"},
+      {"include-guard", Severity::kError,
+       "headers carry a matched include guard or #pragma once"},
+      {"float-index-cast", Severity::kWarning,
+       "float->index casts make rounding explicit"},
+      {"test-include-in-library", Severity::kError,
+       "src/ headers never include tests/ or tools/"},
+      {"suppression-justification", Severity::kError,
+       "every suppression names a known rule and carries a "
+       "justification"},
+  };
+  return kRules;
+}
+
+void RunAllRules(const std::string& path, const LexedFile& lexed,
+                 std::vector<Finding>* out) {
+  RuleUnorderedIteration(path, lexed, out);
+  RuleBannedRandom(path, lexed, out);
+  RuleAtomicFloat(path, lexed, out);
+  RuleRawFileWrite(path, lexed, out);
+  RuleNakedNewDelete(path, lexed, out);
+  RuleStdoutInLibrary(path, lexed, out);
+  RuleParallelReduction(path, lexed, out);
+  RuleIncludeGuard(path, lexed, out);
+  RuleFloatIndexCast(path, lexed, out);
+  RuleTestIncludeInLibrary(path, lexed, out);
+}
+
+}  // namespace lint
+}  // namespace e2gcl
