@@ -376,7 +376,19 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
       }
     }
     const double grad_norm = std::sqrt(grad_sq);
-    if (!std::isfinite(loss_value) || !std::isfinite(grad_norm)) {
+    // The loss/gradient scalars alone can miss corruption: the zero-skip
+    // fast path in MatMul/MatMulTransposedA evaluates 0 * NaN as 0, so a
+    // non-finite weight multiplied only by zero activations produces a
+    // finite loss AND a zero gradient. Check the parameters directly.
+    bool params_finite = true;
+    for (const Var& p : params) {
+      if (!AllFinite(p.value())) {
+        params_finite = false;
+        break;
+      }
+    }
+    if (!std::isfinite(loss_value) || !std::isfinite(grad_norm) ||
+        !params_finite) {
       if (retries >= config_.max_retries) {
         // Leave the encoder at the last finite state, not garbage.
         RestoreState(rollback, adam);
@@ -384,8 +396,8 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
         result.retries_used = static_cast<int>(retries);
         char msg[160];
         std::snprintf(msg, sizeof(msg),
-                      "non-finite loss/gradient at epoch %d after %lld "
-                      "retries (lr scale %.4g)",
+                      "non-finite loss/gradient/parameters at epoch %d after "
+                      "%lld retries (lr scale %.4g)",
                       epoch, static_cast<long long>(retries), lr_scale);
         result.message = msg;
         result.events.push_back(
@@ -412,14 +424,15 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
                  (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(retries)));
       char detail[160];
       std::snprintf(detail, sizeof(detail),
-                    "non-finite loss/gradient; rolled back to epoch %lld, "
-                    "lr scale %.4g (retry %lld/%d)",
+                    "non-finite loss/gradient/parameters; rolled back to "
+                    "epoch %lld, lr scale %.4g (retry %lld/%d)",
                     static_cast<long long>(rollback.epoch), lr_scale,
                     static_cast<long long>(retries), config_.max_retries);
       result.events.push_back({TrainEvent::Kind::kRetry, epoch, detail});
       std::fprintf(stderr,
-                   "[e2gcl] warning: non-finite loss/gradient at epoch %d; "
-                   "rolled back to epoch %lld, lr scale %.4g (retry %lld/%d)\n",
+                   "[e2gcl] warning: non-finite loss/gradient/parameters at "
+                   "epoch %d; rolled back to epoch %lld, lr scale %.4g "
+                   "(retry %lld/%d)\n",
                    epoch, static_cast<long long>(rollback.epoch), lr_scale,
                    static_cast<long long>(retries), config_.max_retries);
       // Drop per-epoch records from the abandoned trajectory.
@@ -445,6 +458,9 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
       }
     }
     adam.Step();
+    if (config_.fault_injector.corrupt_params) {
+      config_.fault_injector.corrupt_params(epoch, params);
+    }
     record.step_seconds = SecondsSince(ts);
     stats_.epochs_run = epoch + 1;
     epochs_counter.Increment();

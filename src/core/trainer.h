@@ -28,6 +28,12 @@ struct FaultInjector {
   /// Return true to abandon training immediately, simulating a crash;
   /// Train() then returns TrainStatus::kKilled.
   std::function<bool(int epoch)> kill_after_epoch;
+  /// Called right after the optimizer step with the full parameter list
+  /// (encoder then projector); may mutate values in place to plant
+  /// non-finite entries. Exercises the guard that checks parameter
+  /// finiteness directly — the MatMul zero-skip can mask 0 * NaN into a
+  /// finite loss, so a corrupted weight never shows up in the loss scalar.
+  std::function<void(int epoch, std::vector<Var>& params)> corrupt_params;
 };
 
 /// Full configuration of the E2GCL pre-training pipeline (Alg. 1 lines

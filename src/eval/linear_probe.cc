@@ -105,6 +105,19 @@ double LinkProbeAuc(
     const std::vector<std::pair<std::int64_t, std::int64_t>>& test_neg,
     const LinearProbeConfig& config) {
   E2GCL_CHECK(!train_pos.empty() && !test_pos.empty());
+  E2GCL_CHECK_MSG(!train_neg.empty(),
+                  "LinkProbeAuc requires non-empty train_neg pairs");
+  E2GCL_CHECK_MSG(!test_neg.empty(),
+                  "LinkProbeAuc requires non-empty test_neg pairs");
+  E2GCL_CHECK_MSG(val_pos.empty() == val_neg.empty(),
+                  "LinkProbeAuc validation pairs must be both empty or both "
+                  "non-empty");
+  // With no validation split there is nothing to select on: train for the
+  // full budget and evaluate the FINAL model exactly once. (Previously an
+  // empty split scored val = 1.0, so `val >= best_val` re-snapshotted
+  // best_test at every probe epoch — silent last-epoch selection that also
+  // burned an extra test-AUC evaluation per probe epoch.)
+  const bool has_val = !val_pos.empty();
   Rng rng(config.seed);
   const Matrix z = config.normalize ? NormalizeRowsL2(embeddings)
                                     : embeddings;
@@ -145,19 +158,21 @@ double LinkProbeAuc(
     adam.ZeroGrad();
     loss.Backward();
     adam.Step();
-    if (epoch % 5 == 4 || epoch + 1 == config.epochs) {
+    if (has_val && (epoch % 5 == 4 || epoch + 1 == config.epochs)) {
       const float bias = b.value()(0, 0);
-      double val = 1.0;
-      if (!val_pos.empty() && !val_neg.empty()) {
-        val = RocAuc(ScorePairs(feats_val_pos, w.value(), bias),
-                     ScorePairs(feats_val_neg, w.value(), bias));
-      }
+      const double val = RocAuc(ScorePairs(feats_val_pos, w.value(), bias),
+                                ScorePairs(feats_val_neg, w.value(), bias));
       if (val >= best_val) {
         best_val = val;
         best_test = RocAuc(ScorePairs(feats_test_pos, w.value(), bias),
                            ScorePairs(feats_test_neg, w.value(), bias));
       }
     }
+  }
+  if (!has_val) {
+    const float bias = b.value()(0, 0);
+    best_test = RocAuc(ScorePairs(feats_test_pos, w.value(), bias),
+                       ScorePairs(feats_test_neg, w.value(), bias));
   }
   return best_test;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -34,6 +35,13 @@ std::vector<std::int64_t> ArgmaxRows(const Matrix& scores) {
 double RocAuc(const std::vector<float>& pos_scores,
               const std::vector<float>& neg_scores) {
   E2GCL_CHECK(!pos_scores.empty() && !neg_scores.empty());
+  if (ObsEnabled()) {
+    // Call count lets tests pin down exactly how many AUC evaluations a
+    // probe performs (e.g. the final-model-only contract of LinkProbeAuc
+    // without a validation split).
+    static const Counter calls = Counter::Get("eval.rocauc.calls");
+    calls.Increment();
+  }
   // Rank-based computation: AUC = (sum of pos ranks - n_p(n_p+1)/2) /
   // (n_p * n_n), with average ranks for ties.
   struct Entry {

@@ -244,4 +244,45 @@ void PruneCheckpoints(const std::string& dir, int keep) {
   }
 }
 
+namespace {
+
+/// Tries to parse `p` as an encoder parameter chain with or without
+/// per-layer biases; fills `dims` on success.
+bool TryEncoderLayout(const std::vector<Matrix>& p, bool bias,
+                      std::vector<std::int64_t>* dims) {
+  const std::size_t stride = bias ? 2 : 1;
+  if (p.empty() || p.size() % stride != 0) return false;
+  std::vector<std::int64_t> d;
+  d.push_back(p[0].rows());
+  for (std::size_t i = 0; i < p.size(); i += stride) {
+    const Matrix& w = p[i];
+    if (w.rows() <= 0 || w.cols() <= 0 || w.rows() != d.back()) return false;
+    if (bias) {
+      const Matrix& b = p[i + 1];
+      if (b.rows() != 1 || b.cols() != w.cols()) return false;
+    }
+    d.push_back(w.cols());
+  }
+  *dims = std::move(d);
+  return true;
+}
+
+}  // namespace
+
+bool InferEncoderLayout(const std::vector<Matrix>& encoder_params,
+                        std::vector<std::int64_t>* dims, bool* bias) {
+  std::vector<std::int64_t> d;
+  if (TryEncoderLayout(encoder_params, /*bias=*/true, &d)) {
+    *dims = std::move(d);
+    *bias = true;
+    return true;
+  }
+  if (TryEncoderLayout(encoder_params, /*bias=*/false, &d)) {
+    *dims = std::move(d);
+    *bias = false;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace e2gcl

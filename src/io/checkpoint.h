@@ -67,6 +67,15 @@ bool FindNewestValidCheckpoint(const std::string& dir,
 /// Deletes all but the `keep` newest checkpoint files in `dir`.
 void PruneCheckpoints(const std::string& dir, int keep);
 
+/// Infers the encoder layer widths and bias flag from checkpointed
+/// parameter shapes (ParamSet order: W_0 [, b_0], W_1 [, b_1], ... with
+/// W_l of shape dims[l] x dims[l+1] and b_l of shape 1 x dims[l+1]).
+/// When both layouts parse, the bias layout wins (the trainer default).
+/// Returns false when the shapes form no consistent layer chain;
+/// `dims`/`bias` are untouched on failure.
+bool InferEncoderLayout(const std::vector<Matrix>& encoder_params,
+                        std::vector<std::int64_t>* dims, bool* bias);
+
 }  // namespace e2gcl
 
 #endif  // E2GCL_IO_CHECKPOINT_H_

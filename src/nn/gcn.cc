@@ -1,5 +1,8 @@
 #include "nn/gcn.h"
 
+#include <algorithm>
+
+#include "parallel/parallel_for.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -44,6 +47,114 @@ Matrix GcnEncoder::Encode(const Graph& g) const {
   Var x = Var::Constant(g.features);
   Var h = Forward(adj, x, rng, /*training=*/false);
   return h.value();
+}
+
+Matrix GcnEncoder::EncodeRows(const CsrMatrix& adj, const Matrix& x,
+                              const std::vector<std::int64_t>& nodes) const {
+  E2GCL_CHECK_MSG(adj.rows() == adj.cols() && adj.rows() == x.rows(),
+                  "EncodeRows: adjacency/feature shape mismatch");
+  const int layers = num_layers();
+  E2GCL_CHECK(x.cols() == config_.dims.front());
+
+  // Frontier walk, output layer backwards to the input: frontier[L] is
+  // the sorted-unique request set, frontier[l] the union of frontier
+  // [l + 1] with all its propagation-matrix neighbours. Each frontier is
+  // a superset of the next (A_n carries self-loops), so every row needed
+  // at layer l + 1 can be gathered from the layer-l frontier.
+  std::vector<std::vector<std::int64_t>> frontier(layers + 1);
+  frontier[layers] = nodes;
+  std::sort(frontier[layers].begin(), frontier[layers].end());
+  frontier[layers].erase(
+      std::unique(frontier[layers].begin(), frontier[layers].end()),
+      frontier[layers].end());
+  E2GCL_CHECK(!frontier[layers].empty());
+  E2GCL_CHECK_MSG(frontier[layers].front() >= 0 &&
+                      frontier[layers].back() < adj.rows(),
+                  "EncodeRows: node id out of range");
+  const auto& rp = adj.row_ptr();
+  const auto& ci = adj.col_idx();
+  const auto& vs = adj.values();
+  for (int l = layers; l > 0; --l) {
+    std::vector<std::int64_t> next = frontier[l];
+    for (std::int64_t g : frontier[l]) {
+      for (std::int64_t k = rp[g]; k < rp[g + 1]; ++k) {
+        next.push_back(ci[k]);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier[l - 1] = std::move(next);
+  }
+
+  // Forward pass over the shrinking frontiers. Each kernel below repeats
+  // the full-graph per-row arithmetic exactly: MatMul is the shared
+  // kernel (row i depends only on row i of its input), the subset SpMM
+  // accumulates `crow += v * brow` in ascending k over the SAME csr row
+  // the full kernel reads, and bias/activation are elementwise. Floats
+  // see identical operations in identical order, hence bit-identical
+  // rows.
+  Matrix h = GatherRows(x, frontier[0]);
+  for (int l = 0; l < layers; ++l) {
+    // Inference mode: Dropout is the identity.
+    const Matrix hw = MatMul(h, weights_[l].value());
+    const std::vector<std::int64_t>& src = frontier[l];
+    const std::vector<std::int64_t>& dst = frontier[l + 1];
+    const std::int64_t out_rows = static_cast<std::int64_t>(dst.size());
+    const std::int64_t n = hw.cols();
+    Matrix out(out_rows, n);
+    const std::int64_t avg_nnz =
+        adj.rows() > 0 ? std::max<std::int64_t>(1, adj.nnz() / adj.rows()) : 1;
+    ParallelFor(0, out_rows, GrainForCost(avg_nnz * n),
+                [&](std::int64_t rb, std::int64_t re) {
+                  for (std::int64_t i = rb; i < re; ++i) {
+                    const std::int64_t g = dst[i];
+                    float* crow = out.RowPtr(i);
+                    for (std::int64_t k = rp[g]; k < rp[g + 1]; ++k) {
+                      const float v = vs[k];
+                      const auto it = std::lower_bound(src.begin(), src.end(),
+                                                       std::int64_t{ci[k]});
+                      E2GCL_CHECK(it != src.end() && *it == ci[k]);
+                      const float* brow = hw.RowPtr(it - src.begin());
+                      for (std::int64_t j = 0; j < n; ++j) {
+                        crow[j] += v * brow[j];
+                      }
+                    }
+                  }
+                });
+    if (config_.bias) {
+      const float* bias = biases_[l].value().RowPtr(0);
+      for (std::int64_t r = 0; r < out_rows; ++r) {
+        float* row = out.RowPtr(r);
+        for (std::int64_t c = 0; c < n; ++c) row[c] += bias[c];
+      }
+    }
+    const bool last = (l == layers - 1);
+    if (!last || config_.final_activation) {
+      if (config_.prelu) {
+        const float s = prelu_slope_.value()(0, 0);
+        for (std::int64_t i = 0; i < out.size(); ++i) {
+          if (out.data()[i] < 0.0f) out.data()[i] *= s;
+        }
+      } else {
+        for (std::int64_t i = 0; i < out.size(); ++i) {
+          out.data()[i] = std::max(0.0f, out.data()[i]);
+        }
+      }
+    }
+    h = std::move(out);
+  }
+
+  // Scatter back to the caller's (possibly repeated, unsorted) order.
+  const std::vector<std::int64_t>& sorted = frontier[layers];
+  Matrix result(static_cast<std::int64_t>(nodes.size()), h.cols());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto it =
+        std::lower_bound(sorted.begin(), sorted.end(), nodes[i]);
+    const float* srow = h.RowPtr(it - sorted.begin());
+    std::copy(srow, srow + h.cols(),
+              result.RowPtr(static_cast<std::int64_t>(i)));
+  }
+  return result;
 }
 
 }  // namespace e2gcl

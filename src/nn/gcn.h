@@ -46,6 +46,19 @@ class GcnEncoder {
   /// gradient tracking and returns the embedding matrix.
   Matrix Encode(const Graph& g) const;
 
+  /// Encodes ONLY the requested nodes (inference mode, no dropout) and
+  /// returns a |nodes| x out_dim matrix whose row i is the embedding of
+  /// nodes[i]. Internally walks the L-hop frontier backwards (per-node
+  /// embeddings depend only on the L-hop neighborhood), then replays the
+  /// exact per-row arithmetic of the full-graph kernels — same MatMul
+  /// row loop, same ascending-k SpMM accumulation — so every returned
+  /// row is bit-identical to the corresponding row of Encode(). `adj`
+  /// must be the same propagation matrix Encode would build
+  /// (NormalizedAdjacency; its self-loops make each frontier a superset
+  /// of the next). Indices may repeat and appear in any order.
+  Matrix EncodeRows(const CsrMatrix& adj, const Matrix& x,
+                    const std::vector<std::int64_t>& nodes) const;
+
   ParamSet& params() { return params_; }
   const ParamSet& params() const { return params_; }
 

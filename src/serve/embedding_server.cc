@@ -1,0 +1,383 @@
+#include "serve/embedding_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/parallel_for.h"
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+namespace {
+
+/// Serial dot product — a fixed accumulation order, so link scores are
+/// deterministic and independent of batching/threads by construction.
+float Dot(const float* a, const float* b, std::int64_t n) {
+  float acc = 0.0f;
+  for (std::int64_t j = 0; j < n; ++j) acc += a[j] * b[j];
+  return acc;
+}
+
+bool ShapesMatch(const std::vector<Var>& params,
+                 const std::vector<Matrix>& values) {
+  if (params.size() != values.size()) return false;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].value().rows() != values[i].rows() ||
+        params[i].value().cols() != values[i].cols()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RecordRequestMetrics(std::int64_t latency_us) {
+  if (!ObsEnabled()) return;
+  static const Counter requests = Counter::Get("serve.requests");
+  static const Histogram latency = Histogram::Get(
+      "serve.latency_us",
+      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000, 200000});
+  requests.Increment();
+  latency.Record(latency_us);
+}
+
+void RecordBatchMetrics(std::int64_t size) {
+  if (!ObsEnabled()) return;
+  static const Counter batches = Counter::Get("serve.batches");
+  static const Histogram batch_size =
+      Histogram::Get("serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+  batches.Increment();
+  batch_size.Record(size);
+}
+
+void RecordCacheMetrics(std::int64_t hits, std::int64_t misses) {
+  if (!ObsEnabled()) return;
+  static const Counter hit_counter = Counter::Get("serve.cache.hits");
+  static const Counter miss_counter = Counter::Get("serve.cache.misses");
+  if (hits > 0) hit_counter.Add(static_cast<std::uint64_t>(hits));
+  if (misses > 0) miss_counter.Add(static_cast<std::uint64_t>(misses));
+}
+
+void RecordRowsComputed(std::int64_t rows) {
+  if (!ObsEnabled()) return;
+  static const Counter computed = Counter::Get("serve.rows_computed");
+  computed.Add(static_cast<std::uint64_t>(rows));
+}
+
+void UpdateQueueGauge(std::int64_t depth) {
+  if (!ObsEnabled()) return;
+  static const Gauge gauge = Gauge::Get("serve.queue_depth");
+  gauge.Set(depth);
+}
+
+}  // namespace
+
+struct EmbeddingServer::Request {
+  enum class Kind { kEmbedding, kScore, kTopK };
+  Kind kind = Kind::kEmbedding;
+  /// kEmbedding/kTopK: the query node. kScore: u.
+  std::int64_t a = 0;
+  /// kScore: v. kTopK: k.
+  std::int64_t b = 0;
+  std::vector<float> row;
+  float score = 0.0f;
+  TopKResult topk;
+  /// Written by the flusher under mu_ after the results above; readers
+  /// observe the results through the same lock (release/acquire on mu_).
+  bool done = false;
+  std::chrono::steady_clock::time_point enqueue;
+};
+
+std::unique_ptr<EmbeddingServer> EmbeddingServer::Load(
+    const Graph& graph, const std::string& path, const ServeOptions& options,
+    std::string* error) {
+  TrainerCheckpoint ckpt;
+  if (!LoadTrainerCheckpoint(path, &ckpt)) {
+    if (error != nullptr) {
+      *error = "checkpoint " + path +
+               " failed validation (bad magic/version/CRC or truncated)";
+    }
+    return nullptr;
+  }
+  return FromCheckpoint(graph, ckpt, options, error);
+}
+
+std::unique_ptr<EmbeddingServer> EmbeddingServer::FromCheckpoint(
+    const Graph& graph, const TrainerCheckpoint& ckpt,
+    const ServeOptions& options, std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::unique_ptr<EmbeddingServer>();
+  };
+  if (graph.num_nodes <= 0 || graph.features.empty()) {
+    return fail("serving requires a non-empty graph with node features");
+  }
+  if (options.expected_fingerprint != 0 &&
+      ckpt.config_fingerprint != options.expected_fingerprint) {
+    return fail("checkpoint config fingerprint does not match the expected "
+                "fingerprint");
+  }
+  GcnConfig config = options.encoder;
+  if (config.dims.empty()) {
+    if (!InferEncoderLayout(ckpt.encoder_params, &config.dims,
+                            &config.bias)) {
+      return fail("checkpoint encoder parameters form no consistent GCN "
+                  "layer chain");
+    }
+  }
+  // Serving is inference-only; dropout would be ignored anyway.
+  config.dropout = 0.0f;
+  if (config.dims.front() != graph.feature_dim()) {
+    return fail("checkpoint encoder input width does not match the graph's "
+                "feature dimension");
+  }
+  Rng rng(0);  // Initial weights are immediately overwritten.
+  auto encoder = std::make_unique<GcnEncoder>(config, rng);
+  if (!ShapesMatch(encoder->params().params(), ckpt.encoder_params)) {
+    return fail("checkpoint encoder parameter shapes do not match the "
+                "encoder configuration");
+  }
+  encoder->params().LoadValues(ckpt.encoder_params);
+  return std::make_unique<EmbeddingServer>(graph, std::move(encoder),
+                                           options);
+}
+
+EmbeddingServer::EmbeddingServer(const Graph& graph,
+                                 std::unique_ptr<GcnEncoder> encoder,
+                                 const ServeOptions& options)
+    : graph_(&graph),
+      adj_(NormalizedAdjacency(graph)),
+      encoder_(std::move(encoder)),
+      options_(options) {
+  E2GCL_CHECK(options_.max_batch >= 1);
+  E2GCL_CHECK(options_.batch_deadline_us >= 0);
+  if (options_.precompute) {
+    full_ = encoder_->Encode(*graph_);
+  } else {
+    cache_ = std::make_unique<ShardedRowCache>(options_.cache_capacity,
+                                               options_.cache_shards);
+  }
+  // Started last: everything above happens-before the flusher's first
+  // instruction via the thread launch.
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+EmbeddingServer::~EmbeddingServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+std::vector<float> EmbeddingServer::GetEmbedding(std::int64_t node) {
+  E2GCL_CHECK_MSG(node >= 0 && node < graph_->num_nodes,
+                  "GetEmbedding: node %lld out of range",
+                  static_cast<long long>(node));
+  auto req = std::make_shared<Request>();
+  req->kind = Request::Kind::kEmbedding;
+  req->a = node;
+  Submit(req);
+  return std::move(req->row);
+}
+
+float EmbeddingServer::ScoreLink(std::int64_t u, std::int64_t v) {
+  E2GCL_CHECK_MSG(u >= 0 && u < graph_->num_nodes && v >= 0 &&
+                      v < graph_->num_nodes,
+                  "ScoreLink: node pair (%lld, %lld) out of range",
+                  static_cast<long long>(u), static_cast<long long>(v));
+  auto req = std::make_shared<Request>();
+  req->kind = Request::Kind::kScore;
+  req->a = u;
+  req->b = v;
+  Submit(req);
+  return req->score;
+}
+
+TopKResult EmbeddingServer::TopKSimilar(std::int64_t node, std::int64_t k) {
+  E2GCL_CHECK_MSG(node >= 0 && node < graph_->num_nodes,
+                  "TopKSimilar: node %lld out of range",
+                  static_cast<long long>(node));
+  E2GCL_CHECK(k >= 0);
+  auto req = std::make_shared<Request>();
+  req->kind = Request::Kind::kTopK;
+  req->a = node;
+  req->b = k;
+  Submit(req);
+  return std::move(req->topk);
+}
+
+void EmbeddingServer::Submit(const std::shared_ptr<Request>& req) {
+  TraceSpan span("serve_request");
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    E2GCL_CHECK_MSG(!shutdown_, "EmbeddingServer: query during shutdown");
+    req->enqueue = t0;
+    queue_.push_back(req);
+    UpdateQueueGauge(static_cast<std::int64_t>(queue_.size()));
+    queue_cv_.notify_one();
+    done_cv_.wait(lock, [&] { return req->done; });
+  }
+  RecordRequestMetrics(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+}
+
+void EmbeddingServer::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    // Micro-batching: keep collecting until the batch is full, but never
+    // hold the oldest request past its deadline. A shutdown flushes
+    // whatever is queued immediately.
+    const auto deadline =
+        queue_.front()->enqueue +
+        std::chrono::microseconds(options_.batch_deadline_us);
+    while (!shutdown_ &&
+           static_cast<std::int64_t>(queue_.size()) < options_.max_batch &&
+           queue_cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
+    std::vector<std::shared_ptr<Request>> batch;
+    const std::int64_t take = std::min<std::int64_t>(
+        static_cast<std::int64_t>(queue_.size()), options_.max_batch);
+    batch.reserve(static_cast<std::size_t>(take));
+    for (std::int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    UpdateQueueGauge(static_cast<std::int64_t>(queue_.size()));
+    lock.unlock();
+    ProcessBatch(batch);
+    lock.lock();
+    for (const auto& r : batch) r->done = true;
+    done_cv_.notify_all();
+  }
+}
+
+void EmbeddingServer::ProcessBatch(
+    const std::vector<std::shared_ptr<Request>>& batch) {
+  TraceSpan span("serve_batch");
+  RecordBatchMetrics(static_cast<std::int64_t>(batch.size()));
+  // One frontier-batched row fetch covers every node the batch touches.
+  std::vector<std::int64_t> needed;
+  needed.reserve(batch.size() * 2);
+  for (const auto& r : batch) {
+    needed.push_back(r->a);
+    if (r->kind == Request::Kind::kScore) needed.push_back(r->b);
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  const std::vector<std::vector<float>> rows = FetchRows(needed);
+  const auto row_of = [&](std::int64_t node) -> const std::vector<float>& {
+    const auto it = std::lower_bound(needed.begin(), needed.end(), node);
+    return rows[static_cast<std::size_t>(it - needed.begin())];
+  };
+  for (const auto& r : batch) {
+    switch (r->kind) {
+      case Request::Kind::kEmbedding:
+        r->row = row_of(r->a);
+        break;
+      case Request::Kind::kScore: {
+        const std::vector<float>& u = row_of(r->a);
+        const std::vector<float>& v = row_of(r->b);
+        r->score = Dot(u.data(), v.data(),
+                       static_cast<std::int64_t>(u.size()));
+        break;
+      }
+      case Request::Kind::kTopK: {
+        const Matrix& z = FullEmbeddings();
+        const std::vector<float>& q = row_of(r->a);
+        const std::int64_t n = z.rows();
+        // One owned slot per node: deterministic at any thread count.
+        std::vector<float> scores(static_cast<std::size_t>(n));
+        ParallelFor(0, n, GrainForCost(z.cols()),
+                    [&](std::int64_t rb, std::int64_t re) {
+                      for (std::int64_t i = rb; i < re; ++i) {
+                        scores[static_cast<std::size_t>(i)] =
+                            Dot(q.data(), z.RowPtr(i), z.cols());
+                      }
+                    });
+        std::vector<std::int64_t> order;
+        order.reserve(static_cast<std::size_t>(n));
+        for (std::int64_t i = 0; i < n; ++i) {
+          if (i != r->a) order.push_back(i);
+        }
+        const std::int64_t k = std::min<std::int64_t>(
+            r->b, static_cast<std::int64_t>(order.size()));
+        // Total order (score desc, node id asc): ties cannot depend on
+        // scheduling.
+        std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                          [&](std::int64_t x, std::int64_t y) {
+                            const float sx = scores[static_cast<std::size_t>(
+                                x)];
+                            const float sy = scores[static_cast<std::size_t>(
+                                y)];
+                            if (sx != sy) return sx > sy;
+                            return x < y;
+                          });
+        r->topk.nodes.assign(order.begin(), order.begin() + k);
+        r->topk.scores.reserve(static_cast<std::size_t>(k));
+        for (std::int64_t i = 0; i < k; ++i) {
+          r->topk.scores.push_back(
+              scores[static_cast<std::size_t>(r->topk.nodes[i])]);
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::vector<float>> EmbeddingServer::FetchRows(
+    const std::vector<std::int64_t>& nodes) {
+  std::vector<std::vector<float>> rows(nodes.size());
+  if (options_.precompute) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const float* r = full_.RowPtr(nodes[i]);
+      rows[i].assign(r, r + full_.cols());
+    }
+    return rows;
+  }
+  std::vector<std::int64_t> missing;
+  std::vector<std::size_t> missing_slot;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!cache_->Get(nodes[i], &rows[i])) {
+      missing.push_back(nodes[i]);
+      missing_slot.push_back(i);
+    }
+  }
+  RecordCacheMetrics(
+      static_cast<std::int64_t>(nodes.size() - missing.size()),
+      static_cast<std::int64_t>(missing.size()));
+  if (!missing.empty()) {
+    // `missing` is sorted (nodes is), so one EncodeRows call computes all
+    // cold rows over a single shared frontier.
+    const Matrix computed =
+        encoder_->EncodeRows(adj_, graph_->features, missing);
+    RecordRowsComputed(static_cast<std::int64_t>(missing.size()));
+    for (std::size_t j = 0; j < missing.size(); ++j) {
+      const float* r = computed.RowPtr(static_cast<std::int64_t>(j));
+      rows[missing_slot[j]].assign(r, r + computed.cols());
+      cache_->Put(missing[j], rows[missing_slot[j]]);
+    }
+  }
+  return rows;
+}
+
+const Matrix& EmbeddingServer::FullEmbeddings() {
+  // Precomputed at construction, or materialized by the flusher on the
+  // first TopK; only the flusher thread reaches this path afterwards, so
+  // no lock is needed.
+  if (full_.rows() == 0) {
+    full_ = encoder_->Encode(*graph_);
+  }
+  return full_;
+}
+
+}  // namespace e2gcl

@@ -1,0 +1,152 @@
+#ifndef E2GCL_SERVE_EMBEDDING_SERVER_H_
+#define E2GCL_SERVE_EMBEDDING_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.h"
+#include "io/checkpoint.h"
+#include "nn/gcn.h"
+#include "serve/lru_cache.h"
+#include "tensor/csr.h"
+#include "tensor/matrix.h"
+
+namespace e2gcl {
+
+/// Configuration of an EmbeddingServer instance.
+struct ServeOptions {
+  /// Precompute every node's embedding at load time (O(1) reads, |V| x d
+  /// resident memory) instead of computing L-hop frontiers lazily behind
+  /// the row cache. Both modes return bit-identical rows.
+  bool precompute = false;
+  /// Total row budget of the lazy-mode cache and its shard count (the
+  /// budget is split evenly across shards; see ShardedRowCache).
+  std::int64_t cache_capacity = 4096;
+  int cache_shards = 8;
+  /// Micro-batching: a batch is flushed as soon as `max_batch` requests
+  /// are queued OR the oldest queued request has waited
+  /// `batch_deadline_us` microseconds, whichever comes first.
+  /// max_batch = 1 disables batching (every request served solo).
+  std::int64_t max_batch = 32;
+  std::int64_t batch_deadline_us = 200;
+  /// When nonzero, loading refuses a checkpoint whose config fingerprint
+  /// differs (same contract as trainer resume).
+  std::uint64_t expected_fingerprint = 0;
+  /// Encoder architecture. When `encoder.dims` is empty (the serving
+  /// default — note GcnConfig's own default dims are non-empty) the
+  /// widths and bias flag are inferred from the checkpoint parameter
+  /// shapes (InferEncoderLayout) and the remaining knobs keep the
+  /// trainer defaults (ReLU, linear final layer, no PReLU).
+  GcnConfig encoder = {.dims = {}};
+};
+
+/// Result of a TopKSimilar query: up to k nodes ordered by descending
+/// dot-product score (node id ascending on ties), query node excluded.
+struct TopKResult {
+  std::vector<std::int64_t> nodes;
+  std::vector<float> scores;
+};
+
+/// Serves frozen-encoder embedding queries over one graph + checkpoint.
+///
+/// Three APIs — GetEmbedding, ScoreLink (dot score of the two rows, the
+/// deployable analogue of the Hadamard link probe), TopKSimilar — all
+/// funnel through a micro-batching queue drained by a single flusher
+/// thread; the flusher computes missing rows in one frontier-batched
+/// GcnEncoder::EncodeRows call per batch (riding the global thread
+/// pool) and fills per-request results. Callers block until their
+/// request is served; any number of threads may query concurrently.
+///
+/// Determinism contract: a row is bit-identical whether it is served
+/// cold, from the cache, solo, or inside any batch composition, at any
+/// E2GCL_NUM_THREADS — see DESIGN.md "Serving architecture".
+class EmbeddingServer {
+ public:
+  /// Loads + validates an on-disk checkpoint (magic/version/per-section
+  /// CRC32 via LoadTrainerCheckpoint, then fingerprint and shape checks)
+  /// and builds a server. Returns nullptr with `*error` set on failure.
+  static std::unique_ptr<EmbeddingServer> Load(const Graph& graph,
+                                               const std::string& path,
+                                               const ServeOptions& options,
+                                               std::string* error);
+
+  /// Same, from an in-memory checkpoint (e.g. freshly trained).
+  static std::unique_ptr<EmbeddingServer> FromCheckpoint(
+      const Graph& graph, const TrainerCheckpoint& ckpt,
+      const ServeOptions& options, std::string* error);
+
+  /// Prefer the factories: this constructor trusts that `encoder`
+  /// already holds validated weights for `graph`.
+  EmbeddingServer(const Graph& graph, std::unique_ptr<GcnEncoder> encoder,
+                  const ServeOptions& options);
+
+  /// Drains the queue (every in-flight request completes) and joins the
+  /// flusher thread.
+  ~EmbeddingServer();
+
+  EmbeddingServer(const EmbeddingServer&) = delete;
+  EmbeddingServer& operator=(const EmbeddingServer&) = delete;
+
+  /// The embedding row of `node` (blocking).
+  std::vector<float> GetEmbedding(std::int64_t node);
+
+  /// Dot-product link score <z_u, z_v> (blocking).
+  float ScoreLink(std::int64_t u, std::int64_t v);
+
+  /// The k most similar nodes to `node` by dot-product score (blocking).
+  TopKResult TopKSimilar(std::int64_t node, std::int64_t k);
+
+  std::int64_t num_nodes() const { return graph_->num_nodes; }
+  std::int64_t embed_dim() const {
+    return encoder_->config().dims.back();
+  }
+  const GcnEncoder& encoder() const { return *encoder_; }
+  /// Lazy-mode row cache (nullptr in precompute mode).
+  const ShardedRowCache* cache() const { return cache_.get(); }
+
+ private:
+  struct Request;
+
+  /// Enqueues and blocks until the flusher marks the request done.
+  void Submit(const std::shared_ptr<Request>& req);
+  /// Single-threaded flusher: batches by size/deadline, serves, signals.
+  void FlusherLoop();
+  /// Serves one popped batch (runs on the flusher thread, outside mu_).
+  void ProcessBatch(const std::vector<std::shared_ptr<Request>>& batch);
+  /// Rows for sorted-unique `nodes`, aligned with `nodes` — cache/lazy
+  /// or precomputed, depending on the mode.
+  std::vector<std::vector<float>> FetchRows(
+      const std::vector<std::int64_t>& nodes);
+  /// The full |V| x d embedding matrix (precomputed, or materialized on
+  /// first TopK in lazy mode).
+  const Matrix& FullEmbeddings();
+
+  const Graph* graph_;
+  CsrMatrix adj_;
+  std::unique_ptr<GcnEncoder> encoder_;
+  ServeOptions options_;
+  std::unique_ptr<ShardedRowCache> cache_;  // lazy mode only
+
+  /// Full embedding matrix; rows() == 0 until materialized. Only the
+  /// constructor (precompute mode) and the flusher thread (first TopK)
+  /// write it.
+  Matrix full_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;  // wakes the flusher
+  std::condition_variable done_cv_;   // wakes blocked callers
+  std::deque<std::shared_ptr<Request>> queue_;
+  bool shutdown_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_SERVE_EMBEDDING_SERVER_H_

@@ -1,0 +1,125 @@
+#ifndef E2GCL_SERVE_LRU_CACHE_H_
+#define E2GCL_SERVE_LRU_CACHE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+/// Sharded LRU cache for lazily-computed embedding rows, keyed by node
+/// id. A row's shard is `node % num_shards`, so a given key always maps
+/// to the same shard and hit/miss behaviour is independent of which
+/// thread asks. Each shard holds an intrusive recency list plus an
+/// unordered index into it and is protected by its own mutex; lookups
+/// for different shards never contend. The cache stores *values*
+/// (copies in, copies out) — callers never see references into the
+/// cache, so eviction can never invalidate a served row.
+///
+/// Capacity is a total row budget split evenly across shards (each
+/// shard gets at least one slot). Eviction is strictly
+/// least-recently-used within a shard.
+class ShardedRowCache {
+ public:
+  ShardedRowCache(std::int64_t capacity, int num_shards)
+      : shards_(static_cast<std::size_t>(num_shards)) {
+    E2GCL_CHECK(capacity >= 1 && num_shards >= 1);
+    per_shard_capacity_ =
+        std::max<std::int64_t>(1, capacity / num_shards);
+  }
+
+  ShardedRowCache(const ShardedRowCache&) = delete;
+  ShardedRowCache& operator=(const ShardedRowCache&) = delete;
+
+  /// Copies the cached row for `node` into `*out` and marks it most
+  /// recently used. Returns false (leaving `*out` untouched) on a miss.
+  bool Get(std::int64_t node, std::vector<float>* out) {
+    Shard& shard = ShardFor(node);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(node);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    *out = it->second->second;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Inserts (or refreshes) the row for `node`, evicting the shard's
+  /// least-recently-used entry when the shard is full.
+  void Put(std::int64_t node, std::vector<float> row) {
+    Shard& shard = ShardFor(node);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(node);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      it->second->second = std::move(row);
+      return;
+    }
+    shard.lru.emplace_front(node, std::move(row));
+    shard.index.emplace(node, shard.lru.begin());
+    if (static_cast<std::int64_t>(shard.lru.size()) > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+    }
+  }
+
+  /// True iff `node` is currently cached (no recency update; test/debug).
+  bool Contains(std::int64_t node) const {
+    const Shard& shard = ShardFor(node);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.index.find(node) != shard.index.end();
+  }
+
+  /// Total rows currently cached, summed over shards in shard order.
+  std::int64_t Size() const {
+    std::int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += static_cast<std::int64_t>(shard.lru.size());
+    }
+    return total;
+  }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::int64_t per_shard_capacity() const { return per_shard_capacity_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used. The index maps node id -> list node.
+    std::list<std::pair<std::int64_t, std::vector<float>>> lru;
+    std::unordered_map<std::int64_t, decltype(lru)::iterator> index;
+  };
+
+  Shard& ShardFor(std::int64_t node) {
+    return shards_[static_cast<std::size_t>(
+        node % static_cast<std::int64_t>(shards_.size()))];
+  }
+  const Shard& ShardFor(std::int64_t node) const {
+    return shards_[static_cast<std::size_t>(
+        node % static_cast<std::int64_t>(shards_.size()))];
+  }
+
+  std::vector<Shard> shards_;
+  std::int64_t per_shard_capacity_ = 1;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_SERVE_LRU_CACHE_H_

@@ -1,6 +1,7 @@
 #include "tensor/csr.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -13,6 +14,12 @@ CsrMatrix CsrMatrix::FromCoo(
     std::int64_t rows, std::int64_t cols,
     std::vector<std::tuple<std::int64_t, std::int64_t, float>> triplets) {
   E2GCL_CHECK(rows >= 0 && cols >= 0);
+  // Column ids are stored as int32; a bare narrowing cast below would
+  // silently corrupt indices for billion-column inputs.
+  E2GCL_CHECK_MSG(
+      cols <= std::numeric_limits<std::int32_t>::max(),
+      "CsrMatrix column count %lld exceeds the int32 column-index range",
+      static_cast<long long>(cols));
   std::sort(triplets.begin(), triplets.end(),
             [](const auto& a, const auto& b) {
               if (std::get<0>(a) != std::get<0>(b)) {

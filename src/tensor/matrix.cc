@@ -430,6 +430,29 @@ Matrix SoftmaxRows(const Matrix& a) {
   return out;
 }
 
+bool AllFinite(const Matrix& a) {
+  // A logical AND over entries is order-insensitive, so per-chunk partial
+  // results need no ordered reduce; they are still combined in chunk order
+  // for uniformity with the other reductions.
+  const std::int64_t chunks = NumChunks(a.size(), kFlatGrain * 2);
+  std::vector<char> partial(std::max<std::int64_t>(1, chunks), 1);
+  ParallelForChunks(0, a.size(), kFlatGrain * 2,
+                    [&](std::int64_t chunk, std::int64_t ib, std::int64_t ie) {
+                      char ok = 1;
+                      for (std::int64_t i = ib; i < ie; ++i) {
+                        if (!std::isfinite(a.data()[i])) {
+                          ok = 0;
+                          break;
+                        }
+                      }
+                      partial[chunk] = ok;
+                    });
+  for (char p : partial) {
+    if (!p) return false;
+  }
+  return true;
+}
+
 float MaxAbsDiff(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
   // Max is order-insensitive, so per-chunk maxima need no ordered reduce,

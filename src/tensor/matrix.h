@@ -155,6 +155,14 @@ Matrix SoftmaxRows(const Matrix& a);
 /// Max absolute difference between same-shaped matrices.
 float MaxAbsDiff(const Matrix& a, const Matrix& b);
 
+/// True iff every entry is finite (no NaN/Inf). Bit-identical at any
+/// thread count. Note the zero-skip fast path in MatMul/MatMulTransposedA
+/// evaluates 0 * NaN as 0, so a non-finite parameter can produce finite
+/// activations, losses and gradients — callers guarding against divergence
+/// must check the parameters themselves with this function, not just the
+/// loss scalar.
+bool AllFinite(const Matrix& a);
+
 }  // namespace e2gcl
 
 #endif  // E2GCL_TENSOR_MATRIX_H_

@@ -18,7 +18,6 @@
 namespace e2gcl {
 namespace {
 
-using testing_util::AllFinite;
 
 Graph TestGraph(std::uint64_t seed = 1) {
   SbmSpec spec;

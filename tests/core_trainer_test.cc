@@ -10,7 +10,6 @@
 namespace e2gcl {
 namespace {
 
-using testing_util::AllFinite;
 
 Graph TrainerGraph(std::uint64_t seed = 1) {
   SbmSpec spec;

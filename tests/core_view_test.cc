@@ -12,7 +12,6 @@
 namespace e2gcl {
 namespace {
 
-using testing_util::AllFinite;
 using testing_util::SmallGraph;
 
 Graph MediumGraph(std::uint64_t seed = 1) {

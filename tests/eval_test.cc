@@ -1,10 +1,13 @@
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "eval/linear_probe.h"
 #include "eval/metrics.h"
 #include "eval/protocol.h"
+#include "obs/metrics.h"
 #include "graph/generators.h"
 #include "test_util.h"
 
@@ -178,6 +181,54 @@ TEST(Protocol, RunRepeatedAggregates) {
   EXPECT_GT(agg.accuracy.mean, 0.0);
   EXPECT_LE(agg.accuracy.mean, 100.0);
   EXPECT_GE(agg.accuracy.std, 0.0);
+}
+
+
+// Satellite regression: with an empty validation split the probe used to
+// score val = 1.0, silently re-selecting the LAST epoch's model and
+// burning one test-AUC evaluation per probe epoch. Now it trains for the
+// full budget and evaluates the final model exactly once — pinned down
+// via the eval.rocauc.calls counter.
+TEST(LinkProbe, EmptyValidationEvaluatesFinalModelExactlyOnce) {
+  Rng rng(9);
+  const std::int64_t n = 40;
+  Matrix emb = Matrix::RandomNormal(n, 6, 0, 1, rng);
+  auto pairs = [&](int count) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> out;
+    while (static_cast<int>(out.size()) < count) {
+      std::int64_t u = rng.UniformInt(n), v = rng.UniformInt(n);
+      if (u != v) out.emplace_back(u, v);
+    }
+    return out;
+  };
+  LinearProbeConfig cfg;
+  cfg.epochs = 12;  // probe epochs 4, 9, 11 would each call RocAuc twice
+  SetObsEnabled(true);
+  MetricsRegistry::Get().ResetValuesForTest();
+  const double auc = LinkProbeAuc(emb, pairs(30), pairs(30), {}, {},
+                                  pairs(20), pairs(20), cfg);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  EXPECT_EQ(snap.counter("eval.rocauc.calls"), 1u);
+}
+
+TEST(LinkProbeDeathTest, RejectsEmptyNegativesAndLopsidedValidation) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Rng rng(9);
+  Matrix emb = Matrix::RandomNormal(10, 4, 0, 1, rng);
+  const std::vector<std::pair<std::int64_t, std::int64_t>> some = {
+      {0, 1}, {2, 3}};
+  const std::vector<std::pair<std::int64_t, std::int64_t>> none;
+  // Empty negative sets used to slip straight into RocAuc (or worse,
+  // train a probe on positives only); now they fail loudly up front.
+  EXPECT_DEATH(LinkProbeAuc(emb, some, none, some, some, some, some),
+               "train_neg");
+  EXPECT_DEATH(LinkProbeAuc(emb, some, some, some, some, some, none),
+               "test_neg");
+  // A half-empty validation split is a caller bug, not "no validation".
+  EXPECT_DEATH(LinkProbeAuc(emb, some, some, some, none, some, some),
+               "both empty or both");
 }
 
 }  // namespace

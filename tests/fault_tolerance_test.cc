@@ -21,7 +21,6 @@ namespace e2gcl {
 namespace {
 
 namespace fs = std::filesystem;
-using testing_util::AllFinite;
 
 Graph FaultGraph(std::uint64_t seed = 1) {
   SbmSpec spec;
@@ -302,6 +301,48 @@ TEST_F(FaultToleranceTest, NanRecoveryWorksWithoutCheckpointDir) {
   TrainResult r = trainer.Train();
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.retries_used, 1);
+  EXPECT_TRUE(AllFinite(trainer.encoder().Encode(g)));
+}
+
+// Regression for the masked-NaN escape: MatMul's zero-skip fast path
+// evaluates 0 * NaN as 0, so a NaN planted in a weight row whose input
+// column is all zero produces a perfectly finite loss AND zero gradient
+// for that row. A guard that only watches the loss/grad scalars lets the
+// corrupted parameters sail through to the final model; the guard must
+// check parameter finiteness directly (AllFinite over the param list).
+TEST_F(FaultToleranceTest, MaskedNanParameterTriggersRollback) {
+  Graph g = FaultGraph();
+  const std::int64_t dead_col = g.feature_dim() - 1;
+  // Zero the last feature column so the NaN below is arithmetically
+  // invisible downstream (feature masking in the views multiplies by
+  // 0/1, so the column stays zero in every view).
+  for (std::int64_t v = 0; v < g.num_nodes; ++v) {
+    g.features(v, dead_col) = 0.0f;
+  }
+  E2gclConfig cfg = FaultConfig();
+  cfg.max_retries = 1;
+  bool corrupted = false;
+  cfg.fault_injector.corrupt_params = [&](int epoch,
+                                          std::vector<Var>& params) {
+    if (epoch == 2 && !corrupted) {
+      corrupted = true;
+      // params[0] is the first encoder weight W0 (feature_dim x hidden);
+      // row `dead_col` only ever multiplies zeros.
+      params[0].mutable_value()(dead_col, 0) =
+          std::numeric_limits<float>::quiet_NaN();
+    }
+  };
+  // No checkpoint_dir: rollback target is the in-memory initial state.
+  E2gclTrainer trainer(g, cfg);
+  TrainResult r = trainer.Train();
+  // Pre-fix behaviour: the run "succeeds" with zero retries and a NaN
+  // baked into the shipped weights. Post-fix: one rollback + retry, and
+  // every parameter of the final model is finite.
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(r.CountEvents(TrainEvent::Kind::kRetry), 1);
+  for (const Var& p : trainer.encoder().params().params()) {
+    EXPECT_TRUE(AllFinite(p.value()));
+  }
   EXPECT_TRUE(AllFinite(trainer.encoder().Encode(g)));
 }
 

@@ -13,7 +13,6 @@
 namespace e2gcl {
 namespace {
 
-using testing_util::AllFinite;
 using testing_util::CheckGradients;
 using testing_util::SmallGraph;
 

@@ -12,7 +12,6 @@
 namespace e2gcl {
 namespace {
 
-using testing_util::AllFinite;
 
 Graph SweepGraph() {
   SbmSpec spec;

@@ -1,0 +1,553 @@
+// Embedding-serving layer: bit-identity across {cold, cached} x {solo,
+// batched} x thread counts, LRU cache semantics, deadline/size batch
+// flushing, checkpoint validation, and concurrent-client correctness
+// (the latter is the TSAN target registered in check_sanitizers.sh).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "io/checkpoint.h"
+#include "nn/gcn.h"
+#include "obs/metrics.h"
+#include "parallel/thread_pool.h"
+#include "serve/embedding_server.h"
+#include "serve/lru_cache.h"
+
+namespace e2gcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kThreadCounts[] = {1, 2, 7};
+
+Graph ServeGraph(std::uint64_t seed = 7) {
+  SbmSpec spec;
+  spec.num_nodes = 120;
+  spec.num_classes = 3;
+  spec.feature_dim = 16;
+  spec.avg_degree = 6;
+  spec.informative_dims_per_class = 4;
+  return GenerateSbm(spec, seed);
+}
+
+GcnConfig ServeEncoderConfig(const Graph& g) {
+  GcnConfig cfg;
+  cfg.dims = {g.feature_dim(), 12, 8};
+  return cfg;
+}
+
+/// A checkpoint holding a freshly initialized (deterministic) encoder.
+TrainerCheckpoint MakeCheckpoint(const Graph& g, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  GcnEncoder encoder(ServeEncoderConfig(g), rng);
+  TrainerCheckpoint ckpt;
+  ckpt.epoch = 0;
+  ckpt.config_fingerprint = 0xfeedULL;
+  ckpt.encoder_params = encoder.params().CloneValues();
+  return ckpt;
+}
+
+/// Reference embeddings computed by the offline full-graph path.
+Matrix ReferenceEmbeddings(const Graph& g, const TrainerCheckpoint& ckpt) {
+  Rng rng(0);
+  GcnEncoder encoder(ServeEncoderConfig(g), rng);
+  encoder.params().LoadValues(ckpt.encoder_params);
+  return encoder.Encode(g);
+}
+
+std::vector<float> RowOf(const Matrix& m, std::int64_t r) {
+  return std::vector<float>(m.RowPtr(r), m.RowPtr(r) + m.cols());
+}
+
+// --- EncodeRows (the lazy-serving primitive). ------------------------------
+
+TEST(EncodeRows, MatchesFullEncodeBitIdentically) {
+  Graph g = ServeGraph();
+  Rng rng(11);
+  GcnEncoder encoder(ServeEncoderConfig(g), rng);
+  const Matrix full = encoder.Encode(g);
+  const CsrMatrix adj = NormalizedAdjacency(g);
+
+  // Unsorted, repeated indices; every row must equal the full-encode row.
+  const std::vector<std::int64_t> nodes = {5, 0, 119, 5, 42, 7, 7, 64};
+  const Matrix rows = encoder.EncodeRows(adj, g.features, nodes);
+  ASSERT_EQ(rows.rows(), static_cast<std::int64_t>(nodes.size()));
+  ASSERT_EQ(rows.cols(), full.cols());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(RowOf(rows, static_cast<std::int64_t>(i)),
+              RowOf(full, nodes[i]))
+        << "node " << nodes[i];
+  }
+}
+
+TEST(EncodeRows, BitIdenticalAtAllThreadCounts) {
+  Graph g = ServeGraph();
+  Rng rng(11);
+  GcnEncoder encoder(ServeEncoderConfig(g), rng);
+  const CsrMatrix adj = NormalizedAdjacency(g);
+  const std::vector<std::int64_t> nodes = {3, 77, 41, 0, 118};
+
+  SetNumThreads(1);
+  const Matrix baseline = encoder.EncodeRows(adj, g.features, nodes);
+  for (int threads : kThreadCounts) {
+    SetNumThreads(threads);
+    EXPECT_TRUE(encoder.EncodeRows(adj, g.features, nodes) == baseline)
+        << "threads=" << threads;
+  }
+  SetNumThreads(1);
+}
+
+TEST(EncodeRows, CoversEveryNodeAtOnce) {
+  Graph g = ServeGraph();
+  Rng rng(11);
+  GcnEncoder encoder(ServeEncoderConfig(g), rng);
+  const CsrMatrix adj = NormalizedAdjacency(g);
+  std::vector<std::int64_t> all(g.num_nodes);
+  for (std::int64_t i = 0; i < g.num_nodes; ++i) all[i] = i;
+  EXPECT_TRUE(encoder.EncodeRows(adj, g.features, all) == encoder.Encode(g));
+}
+
+// --- ShardedRowCache. ------------------------------------------------------
+
+TEST(ShardedRowCache, EvictsLeastRecentlyUsedWithinShard) {
+  // One shard, two slots: deterministic LRU order.
+  ShardedRowCache cache(2, 1);
+  cache.Put(1, {1.0f});
+  cache.Put(2, {2.0f});
+  std::vector<float> row;
+  ASSERT_TRUE(cache.Get(1, &row));  // 1 is now most recent
+  EXPECT_EQ(row, std::vector<float>{1.0f});
+  cache.Put(3, {3.0f});  // evicts 2, the LRU entry
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.Size(), 2);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.Get(2, &row));
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ShardedRowCache, PutRefreshesExistingEntry) {
+  ShardedRowCache cache(2, 1);
+  cache.Put(1, {1.0f});
+  cache.Put(2, {2.0f});
+  cache.Put(1, {1.5f});  // refresh: 2 becomes LRU
+  cache.Put(3, {3.0f});
+  EXPECT_FALSE(cache.Contains(2));
+  std::vector<float> row;
+  ASSERT_TRUE(cache.Get(1, &row));
+  EXPECT_EQ(row, std::vector<float>{1.5f});
+}
+
+TEST(ShardedRowCache, ShardsAreIndependent) {
+  // Capacity 4 over 2 shards -> 2 slots per shard; even/odd keys map to
+  // different shards, so 3 even inserts evict only among even keys.
+  ShardedRowCache cache(4, 2);
+  EXPECT_EQ(cache.per_shard_capacity(), 2);
+  cache.Put(0, {0.0f});
+  cache.Put(2, {2.0f});
+  cache.Put(4, {4.0f});  // evicts 0
+  cache.Put(1, {1.0f});
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.Size(), 3);
+}
+
+// --- EmbeddingServer. ------------------------------------------------------
+
+TEST(EmbeddingServer, ColdCachedSoloAndBatchedRowsAreBitIdentical) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+
+  for (bool precompute : {false, true}) {
+    ServeOptions opt;
+    opt.precompute = precompute;
+    opt.max_batch = 1;  // solo
+    opt.batch_deadline_us = 0;
+    std::string error;
+    auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
+    ASSERT_NE(server, nullptr) << error;
+    for (std::int64_t node : {0, 17, 64, 119}) {
+      const std::vector<float> cold = server->GetEmbedding(node);
+      const std::vector<float> cached = server->GetEmbedding(node);
+      EXPECT_EQ(cold, RowOf(reference, node))
+          << "precompute=" << precompute << " node=" << node;
+      EXPECT_EQ(cold, cached);
+    }
+  }
+
+  // Batched: one client per node, large batch budget.
+  ServeOptions opt;
+  opt.max_batch = 64;
+  opt.batch_deadline_us = 2000;
+  std::string error;
+  auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
+  ASSERT_NE(server, nullptr) << error;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<float>> rows(static_cast<std::size_t>(g.num_nodes));
+  for (std::int64_t node = 0; node < g.num_nodes; ++node) {
+    clients.emplace_back(
+        [&, node] { rows[node] = server->GetEmbedding(node); });
+  }
+  for (std::thread& t : clients) t.join();
+  for (std::int64_t node = 0; node < g.num_nodes; ++node) {
+    EXPECT_EQ(rows[node], RowOf(reference, node)) << "node=" << node;
+  }
+}
+
+TEST(EmbeddingServer, BitIdenticalAtAllThreadCounts) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  SetNumThreads(1);
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+
+  for (int threads : kThreadCounts) {
+    SetNumThreads(threads);
+    for (bool precompute : {false, true}) {
+      ServeOptions opt;
+      opt.precompute = precompute;
+      opt.max_batch = 8;
+      opt.batch_deadline_us = 100;
+      std::string error;
+      auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
+      ASSERT_NE(server, nullptr) << error;
+      for (std::int64_t node : {2, 59, 113}) {
+        EXPECT_EQ(server->GetEmbedding(node), RowOf(reference, node))
+            << "threads=" << threads << " precompute=" << precompute;
+      }
+    }
+  }
+  SetNumThreads(1);
+}
+
+TEST(EmbeddingServer, ScoreLinkEqualsDotOfEmbeddingRows) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+  ServeOptions opt;
+  std::string error;
+  auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
+  ASSERT_NE(server, nullptr) << error;
+
+  const std::vector<std::pair<std::int64_t, std::int64_t>> pairs = {
+      {0, 1}, {5, 90}, {119, 119}};
+  for (const auto& [u, v] : pairs) {
+    float expected = 0.0f;
+    for (std::int64_t c = 0; c < reference.cols(); ++c) {
+      expected += reference(u, c) * reference(v, c);
+    }
+    EXPECT_EQ(server->ScoreLink(u, v), expected) << u << "," << v;
+  }
+}
+
+TEST(EmbeddingServer, TopKSimilarMatchesBruteForceAndExcludesSelf) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+  ServeOptions opt;
+  std::string error;
+  auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
+  ASSERT_NE(server, nullptr) << error;
+
+  const std::int64_t query = 31;
+  const std::int64_t k = 5;
+  TopKResult got = server->TopKSimilar(query, k);
+  ASSERT_EQ(got.nodes.size(), static_cast<std::size_t>(k));
+  ASSERT_EQ(got.scores.size(), static_cast<std::size_t>(k));
+
+  // Brute force with the same total order (score desc, id asc).
+  std::vector<std::pair<float, std::int64_t>> all;
+  for (std::int64_t i = 0; i < g.num_nodes; ++i) {
+    if (i == query) continue;
+    float s = 0.0f;
+    for (std::int64_t c = 0; c < reference.cols(); ++c) {
+      s += reference(query, c) * reference(i, c);
+    }
+    all.push_back({s, i});
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (std::int64_t i = 0; i < k; ++i) {
+    EXPECT_EQ(got.nodes[i], all[i].second) << "rank " << i;
+    EXPECT_EQ(got.scores[i], all[i].first) << "rank " << i;
+  }
+
+  // Lazy and precompute TopK agree bit-for-bit.
+  ServeOptions pre = opt;
+  pre.precompute = true;
+  auto server2 = EmbeddingServer::FromCheckpoint(g, ckpt, pre, &error);
+  ASSERT_NE(server2, nullptr) << error;
+  TopKResult got2 = server2->TopKSimilar(query, k);
+  EXPECT_EQ(got.nodes, got2.nodes);
+  EXPECT_EQ(got.scores, got2.scores);
+}
+
+TEST(EmbeddingServer, DeadlineFlushesPartialBatch) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  ServeOptions opt;
+  opt.max_batch = 1000;          // can never fill from one client
+  opt.batch_deadline_us = 2000;  // so the deadline must flush it
+  std::string error;
+  auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
+  ASSERT_NE(server, nullptr) << error;
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+  EXPECT_EQ(server->GetEmbedding(42), RowOf(reference, 42));
+}
+
+TEST(EmbeddingServer, FullBatchFlushesBeforeDeadline) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  ServeOptions opt;
+  opt.max_batch = 4;
+  opt.batch_deadline_us = 30'000'000;  // a deadline-only flush would stall
+  std::string error;
+  auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
+  ASSERT_NE(server, nullptr) << error;
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+  // 8 clients = two full batches; completing at all proves size-triggered
+  // flushing (the test would otherwise take 30 s per batch).
+  std::vector<std::thread> clients;
+  std::vector<std::vector<float>> rows(8);
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&, i] { rows[i] = server->GetEmbedding(i * 13); });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(rows[i], RowOf(reference, i * 13));
+  }
+}
+
+TEST(EmbeddingServer, LruCacheEvictsButServesCorrectRows) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+  ServeOptions opt;
+  opt.cache_capacity = 4;
+  opt.cache_shards = 2;
+  opt.max_batch = 1;
+  std::string error;
+  auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
+  ASSERT_NE(server, nullptr) << error;
+  ASSERT_NE(server->cache(), nullptr);
+  // Sweep far more rows than the cache holds, twice; every row must stay
+  // correct through evictions and recomputation.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::int64_t node = 0; node < 32; ++node) {
+      EXPECT_EQ(server->GetEmbedding(node), RowOf(reference, node))
+          << "pass=" << pass << " node=" << node;
+    }
+  }
+  EXPECT_LE(server->cache()->Size(), 4);
+  EXPECT_GT(server->cache()->misses(), 0u);
+}
+
+TEST(EmbeddingServer, ConcurrentMixedClientsSeeConsistentResults) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+  ServeOptions opt;
+  opt.cache_capacity = 64;  // force eviction churn under load
+  opt.max_batch = 16;
+  opt.batch_deadline_us = 500;
+  std::string error;
+  auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
+  ASSERT_NE(server, nullptr) << error;
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 40;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + static_cast<std::uint64_t>(c));
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const std::int64_t node = rng.UniformInt(g.num_nodes);
+        const std::int64_t other = rng.UniformInt(g.num_nodes);
+        switch (q % 3) {
+          case 0: {
+            if (server->GetEmbedding(node) != RowOf(reference, node)) {
+              ++failures[c];
+            }
+            break;
+          }
+          case 1: {
+            float expected = 0.0f;
+            for (std::int64_t j = 0; j < reference.cols(); ++j) {
+              expected += reference(node, j) * reference(other, j);
+            }
+            if (server->ScoreLink(node, other) != expected) ++failures[c];
+            break;
+          }
+          default: {
+            TopKResult r = server->TopKSimilar(node, 3);
+            if (r.nodes.size() != 3u) ++failures[c];
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+}
+
+TEST(EmbeddingServer, RecordsCacheAndBatchMetrics) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  SetObsEnabled(true);
+  MetricsRegistry::Get().ResetValuesForTest();
+  {
+    ServeOptions opt;
+    opt.max_batch = 1;
+    std::string error;
+    auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
+    ASSERT_NE(server, nullptr) << error;
+    server->GetEmbedding(1);  // cold: miss + compute
+    server->GetEmbedding(1);  // hot: hit
+  }
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  EXPECT_EQ(snap.counter("serve.requests"), 2u);
+  EXPECT_EQ(snap.counter("serve.batches"), 2u);
+  EXPECT_EQ(snap.counter("serve.cache.misses"), 1u);
+  EXPECT_EQ(snap.counter("serve.cache.hits"), 1u);
+  EXPECT_EQ(snap.counter("serve.rows_computed"), 1u);
+}
+
+// --- Checkpoint loading & validation. --------------------------------------
+
+class ServeLoadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("e2gcl_serve_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()) +
+             "_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ServeLoadTest, LoadsValidCheckpointAndServes) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  const std::string path = dir_ + "/ckpt.e2gcl";
+  ASSERT_TRUE(SaveTrainerCheckpoint(path, ckpt));
+
+  ServeOptions opt;
+  std::string error;
+  auto server = EmbeddingServer::Load(g, path, opt, &error);
+  ASSERT_NE(server, nullptr) << error;
+  EXPECT_EQ(server->num_nodes(), g.num_nodes);
+  EXPECT_EQ(server->embed_dim(), 8);
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+  EXPECT_EQ(server->GetEmbedding(9), RowOf(reference, 9));
+}
+
+TEST_F(ServeLoadTest, RejectsCorruptedCheckpoint) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  const std::string path = dir_ + "/ckpt.e2gcl";
+  ASSERT_TRUE(SaveTrainerCheckpoint(path, ckpt));
+  // Flip one payload byte: the per-section CRC must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(64);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(64);
+    f.write(&byte, 1);
+  }
+  ServeOptions opt;
+  std::string error;
+  EXPECT_EQ(EmbeddingServer::Load(g, path, opt, &error), nullptr);
+  EXPECT_NE(error.find("validation"), std::string::npos) << error;
+}
+
+TEST_F(ServeLoadTest, RejectsFingerprintMismatch) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  ServeOptions opt;
+  opt.expected_fingerprint = ckpt.config_fingerprint + 1;
+  std::string error;
+  EXPECT_EQ(EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error), nullptr);
+  EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+
+  opt.expected_fingerprint = ckpt.config_fingerprint;
+  EXPECT_NE(EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error), nullptr)
+      << error;
+}
+
+TEST_F(ServeLoadTest, RejectsGraphWithWrongFeatureDim) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  SbmSpec spec;
+  spec.num_nodes = 40;
+  spec.num_classes = 2;
+  spec.feature_dim = 10;  // != the checkpoint's input width 16
+  spec.informative_dims_per_class = 3;
+  Graph other = GenerateSbm(spec, 5);
+  ServeOptions opt;
+  std::string error;
+  EXPECT_EQ(EmbeddingServer::FromCheckpoint(other, ckpt, opt, &error),
+            nullptr);
+  EXPECT_NE(error.find("feature"), std::string::npos) << error;
+}
+
+TEST(InferEncoderLayout, RecognizesBiasAndWeightOnlyChains) {
+  // Bias layout: W0 (16x12), b0 (1x12), W1 (12x8), b1 (1x8).
+  std::vector<Matrix> with_bias;
+  with_bias.emplace_back(16, 12);
+  with_bias.emplace_back(1, 12);
+  with_bias.emplace_back(12, 8);
+  with_bias.emplace_back(1, 8);
+  std::vector<std::int64_t> dims;
+  bool bias = false;
+  ASSERT_TRUE(InferEncoderLayout(with_bias, &dims, &bias));
+  EXPECT_TRUE(bias);
+  EXPECT_EQ(dims, (std::vector<std::int64_t>{16, 12, 8}));
+
+  std::vector<Matrix> no_bias;
+  no_bias.emplace_back(16, 12);
+  no_bias.emplace_back(12, 8);
+  ASSERT_TRUE(InferEncoderLayout(no_bias, &dims, &bias));
+  EXPECT_FALSE(bias);
+  EXPECT_EQ(dims, (std::vector<std::int64_t>{16, 12, 8}));
+
+  // A broken chain (inner dims disagree) parses as neither layout.
+  std::vector<Matrix> broken;
+  broken.emplace_back(16, 12);
+  broken.emplace_back(10, 8);
+  EXPECT_FALSE(InferEncoderLayout(broken, &dims, &bias));
+  EXPECT_FALSE(InferEncoderLayout({}, &dims, &bias));
+}
+
+}  // namespace
+}  // namespace e2gcl

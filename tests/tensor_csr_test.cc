@@ -114,5 +114,14 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{10, 3, 25}, std::tuple{3, 10, 25},
                       std::tuple{20, 20, 100}));
 
+
+TEST(CsrMatrixDeathTest, FromCooRejectsColumnCountBeyondInt32) {
+  // Column ids are stored as int32; before the explicit guard, a bare
+  // static_cast silently wrapped ids >= 2^31 into negative indices.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(CsrMatrix::FromCoo(1, (std::int64_t{1} << 31), {}),
+               "int32");
+}
+
 }  // namespace
 }  // namespace e2gcl

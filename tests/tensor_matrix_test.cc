@@ -1,6 +1,7 @@
 #include "tensor/matrix.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -215,6 +216,35 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 5, 3},
                       std::tuple{4, 1, 4}, std::tuple{7, 3, 2},
                       std::tuple{5, 8, 5}, std::tuple{16, 16, 16}));
+
+
+TEST(AllFinite, DetectsNanAndInf) {
+  Matrix m(3, 4, 1.0f);
+  EXPECT_TRUE(AllFinite(m));
+  m(1, 2) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(AllFinite(m));
+  m(1, 2) = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(AllFinite(m));
+  m(1, 2) = -std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(AllFinite(m));
+  EXPECT_TRUE(AllFinite(Matrix()));
+}
+
+TEST(AllFinite, ZeroSkipMasksNanFromMatMulProducts) {
+  // The reason AllFinite exists: MatMul's zero-skip fast path evaluates
+  // 0 * NaN as 0, so a NaN weight whose input column is all zero yields
+  // a fully finite product (and, through MatMulTransposedA, an exactly
+  // zero gradient row). Finiteness of downstream activations therefore
+  // proves nothing about the parameters themselves.
+  Matrix x(2, 3);  // column 2 is all zero
+  x(0, 0) = 1.0f;
+  x(1, 1) = 2.0f;
+  Matrix w(3, 2, 1.0f);
+  w(2, 0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(AllFinite(MatMul(x, w)));  // NaN silently masked
+  EXPECT_TRUE(AllFinite(MatMulTransposedA(x, Matrix(2, 2, 1.0f))));
+  EXPECT_FALSE(AllFinite(w));  // only the direct check sees it
+}
 
 }  // namespace
 }  // namespace e2gcl

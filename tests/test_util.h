@@ -73,14 +73,6 @@ inline Graph SmallGraph() {
   return BuildGraph(6, edges, std::move(x), {0, 0, 0, 1, 1, 1}, 2);
 }
 
-/// True if every entry is finite.
-inline bool AllFinite(const Matrix& m) {
-  for (std::int64_t i = 0; i < m.size(); ++i) {
-    if (!std::isfinite(m.data()[i])) return false;
-  }
-  return true;
-}
-
 }  // namespace testing_util
 }  // namespace e2gcl
 

@@ -55,6 +55,7 @@ TARGETS=(
   run_report_test
   bench_compare_test
   hash_order_test
+  serve_test
   lint_test
 )
 

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Serving-latency perf gate: builds bench_serve + bench_compare, runs
+# the serving sweep, and compares the fresh numbers against the
+# committed baseline bench/BENCH_serve.json at bench_compare's default
+# 1.25x regression threshold.
+#
+#   tools/check_serve.sh                    # gate against the baseline
+#   tools/check_serve.sh --threshold 1.5    # looser gate
+#   tools/check_serve.sh --rebaseline       # rewrite the committed seed
+#
+# Exit codes follow bench_compare: 0 = within threshold,
+# 1 = regression(s), 2 = usage/file error.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build"
+BASELINE="$ROOT/bench/BENCH_serve.json"
+
+REBASELINE=0
+COMPARE_ARGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --rebaseline) REBASELINE=1 ;;
+    *) COMPARE_ARGS+=("$1") ;;
+  esac
+  shift
+done
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target bench_serve bench_compare \
+  >/dev/null
+
+if [ "$REBASELINE" = 1 ]; then
+  E2GCL_BENCH_JSON="$BASELINE" "$BUILD/bench/bench_serve"
+  echo "check_serve: baseline rewritten at $BASELINE"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "check_serve: missing baseline $BASELINE (run with --rebaseline)" >&2
+  exit 2
+fi
+
+CANDIDATE="$BUILD/BENCH_serve.json"
+E2GCL_BENCH_JSON="$CANDIDATE" "$BUILD/bench/bench_serve"
+"$BUILD/tools/bench_compare" "${COMPARE_ARGS[@]}" "$BASELINE" "$CANDIDATE"

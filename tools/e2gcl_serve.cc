@@ -1,0 +1,255 @@
+// Embedding-serving driver: load (or freshly pre-train) a checkpoint,
+// stand up an EmbeddingServer, and answer ad-hoc queries from the
+// command line.
+//
+// Usage:
+//   e2gcl_serve --checkpoint ckpt.e2gcl [--dataset cora] --embed 12
+//   e2gcl_serve --train --epochs 20 --topk 12,5 --score 3,77 --stats
+//
+// The server path is the same one the tests and bench_serve exercise:
+// queries flow through the micro-batching queue and (in lazy mode) the
+// sharded LRU row cache, and answers are bit-identical to the offline
+// Encode() rows.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "graph/datasets.h"
+#include "io/checkpoint.h"
+#include "obs/metrics.h"
+#include "serve/embedding_server.h"
+
+namespace {
+
+void Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "model source (exactly one):\n"
+      "  --checkpoint <path>      serve this trainer checkpoint "
+      "(validated: magic/version/CRC)\n"
+      "  --train                  pre-train a fresh E2GCL encoder first\n"
+      "graph:\n"
+      "  --dataset <name>         cora|citeseer|photo|computers|cs|arxiv|"
+      "products (default cora)\n"
+      "  --scale <float>          dataset size multiplier (default 1.0)\n"
+      "  --seed <uint64>          RNG seed (default 1)\n"
+      "  --epochs <int>           pre-training epochs with --train "
+      "(default 20)\n"
+      "serving:\n"
+      "  --precompute             materialize all embeddings at load time\n"
+      "  --cache-capacity <int>   lazy-mode row cache budget (default "
+      "4096)\n"
+      "  --cache-shards <int>     cache shard count (default 8)\n"
+      "  --max-batch <int>        micro-batch size bound (default 32)\n"
+      "  --deadline-us <int>      micro-batch flush deadline (default "
+      "200)\n"
+      "  --fingerprint <uint64>   refuse checkpoints with a different "
+      "config fingerprint\n"
+      "queries (repeatable, answered in order):\n"
+      "  --embed <node>           print the node's embedding row\n"
+      "  --score <u,v>            print the dot-product link score\n"
+      "  --topk <node,k>          print the k most similar nodes\n"
+      "  --stats                  print serve.* metrics before exit\n",
+      prog);
+}
+
+/// Strict whole-token integer parse; "", "12x", and out-of-range fail.
+bool ParseInt(const char* s, long long lo, long long hi, long long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  if (v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseU64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses "a,b" into two non-negative integers.
+bool ParsePair(const char* s, long long* a, long long* b) {
+  if (s == nullptr) return false;
+  const char* comma = std::strchr(s, ',');
+  if (comma == nullptr) return false;
+  const std::string first(s, comma);
+  return ParseInt(first.c_str(), 0, (1ll << 62), a) &&
+         ParseInt(comma + 1, 0, (1ll << 62), b);
+}
+
+struct Query {
+  enum class Kind { kEmbed, kScore, kTopK } kind;
+  long long a = 0;
+  long long b = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using e2gcl::EmbeddingServer;
+  std::string checkpoint_path;
+  bool train = false;
+  std::string dataset = "cora";
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  long long epochs = 20;
+  bool stats = false;
+  e2gcl::ServeOptions options;
+  std::vector<Query> queries;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    long long v = 0, w = 0;
+    if (arg == "--checkpoint" && (checkpoint_path = next() ? argv[i] : "",
+                                  !checkpoint_path.empty())) {
+    } else if (arg == "--train") {
+      train = true;
+    } else if (arg == "--dataset" &&
+               (dataset = next() ? argv[i] : "", !dataset.empty())) {
+    } else if (arg == "--scale" && ParseDouble(next(), &scale) &&
+               scale > 0) {
+    } else if (arg == "--seed" && ParseU64(next(), &seed)) {
+    } else if (arg == "--epochs" && ParseInt(next(), 1, 100000, &epochs)) {
+    } else if (arg == "--precompute") {
+      options.precompute = true;
+    } else if (arg == "--cache-capacity" &&
+               ParseInt(next(), 1, (1ll << 40), &v)) {
+      options.cache_capacity = v;
+    } else if (arg == "--cache-shards" && ParseInt(next(), 1, 4096, &v)) {
+      options.cache_shards = static_cast<int>(v);
+    } else if (arg == "--max-batch" && ParseInt(next(), 1, 100000, &v)) {
+      options.max_batch = v;
+    } else if (arg == "--deadline-us" &&
+               ParseInt(next(), 0, (1ll << 40), &v)) {
+      options.batch_deadline_us = v;
+    } else if (arg == "--fingerprint" &&
+               ParseU64(next(), &options.expected_fingerprint)) {
+    } else if (arg == "--embed" && ParseInt(next(), 0, (1ll << 62), &v)) {
+      queries.push_back({Query::Kind::kEmbed, v, 0});
+    } else if (arg == "--score" && ParsePair(next(), &v, &w)) {
+      queries.push_back({Query::Kind::kScore, v, w});
+    } else if (arg == "--topk" && ParsePair(next(), &v, &w)) {
+      queries.push_back({Query::Kind::kTopK, v, w});
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      std::fprintf(stderr, "bad or incomplete flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (train == !checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "exactly one of --train / --checkpoint is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+
+  const e2gcl::Graph graph =
+      e2gcl::LoadDatasetScaled(dataset, scale, seed);
+  std::fprintf(stderr, "loaded %s: %lld nodes, %lld features\n",
+               dataset.c_str(), static_cast<long long>(graph.num_nodes),
+               static_cast<long long>(graph.feature_dim()));
+
+  std::string error;
+  std::unique_ptr<EmbeddingServer> server;
+  if (train) {
+    e2gcl::E2gclConfig config;
+    config.epochs = static_cast<int>(epochs);
+    config.seed = seed;
+    e2gcl::E2gclTrainer trainer(graph, config);
+    const e2gcl::TrainResult result = trainer.Train();
+    if (!result.ok()) {
+      std::fprintf(stderr, "pre-training failed: %s\n",
+                   result.message.c_str());
+      return 1;
+    }
+    e2gcl::TrainerCheckpoint ckpt;
+    ckpt.epoch = config.epochs - 1;
+    ckpt.config_fingerprint = trainer.ConfigFingerprint();
+    ckpt.encoder_params = trainer.encoder().params().CloneValues();
+    server = EmbeddingServer::FromCheckpoint(graph, ckpt, options, &error);
+  } else {
+    server = EmbeddingServer::Load(graph, checkpoint_path, options, &error);
+  }
+  if (server == nullptr) {
+    std::fprintf(stderr, "failed to start server: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("serving %lld nodes, embed_dim=%lld, mode=%s\n",
+              static_cast<long long>(server->num_nodes()),
+              static_cast<long long>(server->embed_dim()),
+              options.precompute ? "precompute" : "lazy");
+
+  for (const Query& q : queries) {
+    if (q.a >= server->num_nodes() ||
+        (q.kind == Query::Kind::kScore && q.b >= server->num_nodes())) {
+      std::fprintf(stderr, "query node out of range (have %lld nodes)\n",
+                   static_cast<long long>(server->num_nodes()));
+      return 1;
+    }
+    switch (q.kind) {
+      case Query::Kind::kEmbed: {
+        const std::vector<float> row = server->GetEmbedding(q.a);
+        std::printf("embed %lld:", q.a);
+        for (float x : row) std::printf(" %.6g", static_cast<double>(x));
+        std::printf("\n");
+        break;
+      }
+      case Query::Kind::kScore:
+        std::printf("score %lld,%lld: %.6g\n", q.a, q.b,
+                    static_cast<double>(server->ScoreLink(q.a, q.b)));
+        break;
+      case Query::Kind::kTopK: {
+        const e2gcl::TopKResult r = server->TopKSimilar(q.a, q.b);
+        std::printf("topk %lld (k=%lld):", q.a, q.b);
+        for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+          std::printf(" %lld=%.6g", static_cast<long long>(r.nodes[i]),
+                      static_cast<double>(r.scores[i]));
+        }
+        std::printf("\n");
+        break;
+      }
+    }
+  }
+
+  if (stats) {
+    const e2gcl::MetricsSnapshot snap =
+        e2gcl::MetricsRegistry::Get().Snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind("serve.", 0) == 0) {
+        std::printf("%s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+    }
+  }
+  return 0;
+}
