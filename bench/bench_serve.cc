@@ -107,6 +107,52 @@ BenchRecord Summarize(const std::string& name, int threads,
   return rec;
 }
 
+/// TopKSimilar variant of DriveClients: each query asks for the 8
+/// nearest nodes, the answer set that the int8 path approximates and
+/// then rescores.
+std::vector<double> DriveTopKClients(EmbeddingServer& server,
+                                     std::int64_t num_nodes) {
+  std::vector<std::vector<double>> per_client(kClientThreads);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(200 + static_cast<std::uint64_t>(c));
+      per_client[c].reserve(kQueriesPerClient);
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const std::int64_t node = rng.UniformInt(num_nodes);
+        const auto t0 = std::chrono::steady_clock::now();
+        const TopKResult top = server.TopKSimilar(node, 8);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (top.nodes.empty()) std::abort();  // keep the call observable
+        per_client[c].push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  std::vector<double> all;
+  for (const auto& v : per_client) all.insert(all.end(), v.begin(), v.end());
+  return all;
+}
+
+BenchRecord RunTopKConfig(const Graph& g, const TrainerCheckpoint& ckpt,
+                          const std::string& name, int threads,
+                          const ServeOptions& options) {
+  SetNumThreads(threads);
+  std::string error;
+  auto server = EmbeddingServer::FromCheckpoint(g, ckpt, options, &error);
+  if (server == nullptr) {
+    std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+    std::exit(1);
+  }
+  DriveTopKClients(*server, g.num_nodes);  // warm-up pass
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<double> lat = DriveTopKClients(*server, g.num_nodes);
+  const auto t1 = std::chrono::steady_clock::now();
+  return Summarize(name, threads, options.max_batch, std::move(lat),
+                   std::chrono::duration<double>(t1 - t0).count());
+}
+
 BenchRecord RunConfig(const Graph& g, const TrainerCheckpoint& ckpt,
                       const std::string& name, int threads,
                       const ServeOptions& options, bool warm) {
@@ -183,7 +229,19 @@ int main() {
     pre.batch_deadline_us = 100;
     records.push_back(RunConfig(g, ckpt, "serve/precompute/b16", threads,
                                 pre, /*warm=*/false));
-    for (std::size_t i = records.size() - 7; i < records.size(); ++i) {
+
+    // Top-k similarity: exact fp32 scan vs the int8 path (approximate
+    // ScoreAll then exact rescore of an 8*4 candidate pool).
+    ServeOptions topk = pre;
+    records.push_back(
+        RunTopKConfig(g, ckpt, "serve/topk_fp32/b16", threads, topk));
+    topk.quantize_int8 = true;  // rescore_factor stays at the default 4
+    records.push_back(
+        RunTopKConfig(g, ckpt, "serve/topk_int8/b16", threads, topk));
+    topk.rescore_factor = 0;  // approximate-only ranking
+    records.push_back(
+        RunTopKConfig(g, ckpt, "serve/topk_int8_approx/b16", threads, topk));
+    for (std::size_t i = records.size() - 10; i < records.size(); ++i) {
       const BenchRecord& r = records[i];
       std::printf("%-28s %8d %6lld %12.0f %9.1f %9.1f %10.0f\n",
                   r.name.c_str(), r.threads,

@@ -4,6 +4,7 @@
 
 #include "parallel/parallel_for.h"
 #include "tensor/check.h"
+#include "tensor/simd/simd.h"
 
 namespace e2gcl {
 
@@ -89,10 +90,17 @@ Matrix GcnEncoder::EncodeRows(const CsrMatrix& adj, const Matrix& x,
   // Forward pass over the shrinking frontiers. Each kernel below repeats
   // the full-graph per-row arithmetic exactly: MatMul is the shared
   // kernel (row i depends only on row i of its input), the subset SpMM
-  // accumulates `crow += v * brow` in ascending k over the SAME csr row
-  // the full kernel reads, and bias/activation are elementwise. Floats
-  // see identical operations in identical order, hence bit-identical
-  // rows.
+  // replays one simd::Axpy per edge in ascending k over the SAME csr row
+  // the full simd::SpmmRows kernel reads (the two are per-element
+  // identical by the tensor/simd contract), and bias/activation are
+  // elementwise. Floats see identical operations in identical order,
+  // hence bit-identical rows.
+  //
+  // Global node id -> frontier position. A dense inverse map costs
+  // |V| int32s once per call but turns the per-edge source lookup into
+  // O(1) instead of a binary search over the frontier. Entries are
+  // rewritten per layer; ids outside the current frontier stay -1.
+  std::vector<std::int32_t> inv(adj.rows(), -1);
   Matrix h = GatherRows(x, frontier[0]);
   for (int l = 0; l < layers; ++l) {
     // Inference mode: Dropout is the identity.
@@ -102,6 +110,14 @@ Matrix GcnEncoder::EncodeRows(const CsrMatrix& adj, const Matrix& x,
     const std::int64_t out_rows = static_cast<std::int64_t>(dst.size());
     const std::int64_t n = hw.cols();
     Matrix out(out_rows, n);
+    if (l > 0) {
+      // Clear the previous layer's entries (frontiers shrink, so the
+      // previous frontier is a superset of everything ever set).
+      for (std::int64_t g : frontier[l - 1]) inv[g] = -1;
+    }
+    for (std::size_t s = 0; s < src.size(); ++s) {
+      inv[src[s]] = static_cast<std::int32_t>(s);
+    }
     const std::int64_t avg_nnz =
         adj.rows() > 0 ? std::max<std::int64_t>(1, adj.nnz() / adj.rows()) : 1;
     ParallelFor(0, out_rows, GrainForCost(avg_nnz * n),
@@ -110,14 +126,9 @@ Matrix GcnEncoder::EncodeRows(const CsrMatrix& adj, const Matrix& x,
                     const std::int64_t g = dst[i];
                     float* crow = out.RowPtr(i);
                     for (std::int64_t k = rp[g]; k < rp[g + 1]; ++k) {
-                      const float v = vs[k];
-                      const auto it = std::lower_bound(src.begin(), src.end(),
-                                                       std::int64_t{ci[k]});
-                      E2GCL_CHECK(it != src.end() && *it == ci[k]);
-                      const float* brow = hw.RowPtr(it - src.begin());
-                      for (std::int64_t j = 0; j < n; ++j) {
-                        crow[j] += v * brow[j];
-                      }
+                      const std::int32_t s = inv[ci[k]];
+                      E2GCL_CHECK(s >= 0);
+                      simd::Axpy(crow, vs[k], hw.RowPtr(s), n);
                     }
                   }
                 });

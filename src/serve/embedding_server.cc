@@ -7,18 +7,11 @@
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "tensor/check.h"
+#include "tensor/simd/simd.h"
 
 namespace e2gcl {
 
 namespace {
-
-/// Serial dot product — a fixed accumulation order, so link scores are
-/// deterministic and independent of batching/threads by construction.
-float Dot(const float* a, const float* b, std::int64_t n) {
-  float acc = 0.0f;
-  for (std::int64_t j = 0; j < n; ++j) acc += a[j] * b[j];
-  return acc;
-}
 
 bool ShapesMatch(const std::vector<Var>& params,
                  const std::vector<Matrix>& values) {
@@ -152,11 +145,23 @@ EmbeddingServer::EmbeddingServer(const Graph& graph,
       options_(options) {
   E2GCL_CHECK(options_.max_batch >= 1);
   E2GCL_CHECK(options_.batch_deadline_us >= 0);
+  E2GCL_CHECK(options_.batch_gap_us >= 0);
+  E2GCL_CHECK(options_.rescore_factor >= 0);
   if (options_.precompute) {
     full_ = encoder_->Encode(*graph_);
   } else {
     cache_ = std::make_unique<ShardedRowCache>(options_.cache_capacity,
                                                options_.cache_shards);
+  }
+  if (options_.quantize_int8) {
+    // Build the int8 table from a transient full encode; in lazy mode the
+    // fp32 matrix is dropped right after, leaving the 4x-smaller table as
+    // the only |V|-resident state (TopK never materializes full_).
+    if (options_.precompute) {
+      quantized_ = QuantizedEmbeddingTable::Build(full_);
+    } else {
+      quantized_ = QuantizedEmbeddingTable::Build(encoder_->Encode(*graph_));
+    }
   }
   // Started last: everything above happens-before the flusher's first
   // instruction via the thread launch.
@@ -235,14 +240,23 @@ void EmbeddingServer::FlusherLoop() {
       continue;
     }
     // Micro-batching: keep collecting until the batch is full, but never
-    // hold the oldest request past its deadline. A shutdown flushes
-    // whatever is queued immediately.
-    const auto deadline =
-        queue_.front()->enqueue +
-        std::chrono::microseconds(options_.batch_deadline_us);
-    while (!shutdown_ &&
-           static_cast<std::int64_t>(queue_.size()) < options_.max_batch &&
-           queue_cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    // hold the oldest request past its deadline. With the default greedy
+    // gap (batch_gap_us == 0) an idle flusher ships whatever is queued
+    // right away — batches still form under load because requests pile
+    // up while the previous batch is served. A positive gap lets the
+    // flusher linger that long for stragglers, deadline-capped. A
+    // shutdown flushes whatever is queued immediately.
+    if (options_.batch_gap_us > 0) {
+      const auto deadline =
+          queue_.front()->enqueue +
+          std::chrono::microseconds(options_.batch_deadline_us);
+      const auto linger = std::min(
+          deadline, std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(options_.batch_gap_us));
+      while (!shutdown_ &&
+             static_cast<std::int64_t>(queue_.size()) < options_.max_batch &&
+             queue_cv_.wait_until(lock, linger) != std::cv_status::timeout) {
+      }
     }
     std::vector<std::shared_ptr<Request>> batch;
     const std::int64_t take = std::min<std::int64_t>(
@@ -287,11 +301,15 @@ void EmbeddingServer::ProcessBatch(
       case Request::Kind::kScore: {
         const std::vector<float>& u = row_of(r->a);
         const std::vector<float>& v = row_of(r->b);
-        r->score = Dot(u.data(), v.data(),
-                       static_cast<std::int64_t>(u.size()));
+        r->score = simd::Dot(u.data(), v.data(),
+                             static_cast<std::int64_t>(u.size()));
         break;
       }
       case Request::Kind::kTopK: {
+        if (!quantized_.empty()) {
+          ServeTopKQuantized(r.get(), row_of(r->a));
+          break;
+        }
         const Matrix& z = FullEmbeddings();
         const std::vector<float>& q = row_of(r->a);
         const std::int64_t n = z.rows();
@@ -301,7 +319,7 @@ void EmbeddingServer::ProcessBatch(
                     [&](std::int64_t rb, std::int64_t re) {
                       for (std::int64_t i = rb; i < re; ++i) {
                         scores[static_cast<std::size_t>(i)] =
-                            Dot(q.data(), z.RowPtr(i), z.cols());
+                            simd::Dot(q.data(), z.RowPtr(i), z.cols());
                       }
                     });
         std::vector<std::int64_t> order;
@@ -331,6 +349,86 @@ void EmbeddingServer::ProcessBatch(
         break;
       }
     }
+  }
+}
+
+void EmbeddingServer::ServeTopKQuantized(Request* req,
+                                         const std::vector<float>& query) {
+  TraceSpan span("serve_topk_quantized");
+  const std::int64_t n = quantized_.rows();
+  // Approximate scan over the int8 table (exact integer dot + one float
+  // rescale per row — deterministic at any thread count and identical
+  // in every SIMD backend).
+  std::vector<std::int8_t> qcodes;
+  const float qscale = quantized_.QuantizeQuery(query.data(), &qcodes);
+  std::vector<float> approx;
+  quantized_.ScoreAll(qcodes.data(), qscale, &approx);
+  std::vector<std::int64_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i != req->a) order.push_back(i);
+  }
+  const std::int64_t k =
+      std::min<std::int64_t>(req->b, static_cast<std::int64_t>(order.size()));
+  // Candidate pool: k * rescore_factor by approximate score (total order:
+  // score desc, node id asc). rescore_factor == 0 disables the exact
+  // pass and returns the approximate top-k directly.
+  const std::int64_t pool =
+      options_.rescore_factor == 0
+          ? k
+          : std::min<std::int64_t>(k * options_.rescore_factor,
+                                   static_cast<std::int64_t>(order.size()));
+  auto by_approx = [&](std::int64_t x, std::int64_t y) {
+    const float sx = approx[static_cast<std::size_t>(x)];
+    const float sy = approx[static_cast<std::size_t>(y)];
+    if (sx != sy) return sx > sy;
+    return x < y;
+  };
+  std::partial_sort(order.begin(), order.begin() + pool, order.end(),
+                    by_approx);
+  order.resize(static_cast<std::size_t>(pool));
+  if (options_.rescore_factor == 0) {
+    req->topk.nodes.assign(order.begin(), order.begin() + k);
+    req->topk.scores.reserve(static_cast<std::size_t>(k));
+    for (std::int64_t i = 0; i < k; ++i) {
+      req->topk.scores.push_back(
+          approx[static_cast<std::size_t>(req->topk.nodes[i])]);
+    }
+    return;
+  }
+  // Exact fp32 rescore of the candidate pool: fetch the candidates' fp32
+  // rows through the normal cache/precompute path (one frontier-batched
+  // EncodeRows for the misses) and rank by exact dot score. As long as
+  // the true top-k survives into the pool, the result matches the fp32
+  // scan exactly — rows, scores, and tie-breaks.
+  std::vector<std::int64_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  const std::vector<std::vector<float>> rows = FetchRows(sorted);
+  std::vector<float> exact(static_cast<std::size_t>(pool));
+  for (std::int64_t i = 0; i < pool; ++i) {
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), order[i]);
+    const std::vector<float>& row =
+        rows[static_cast<std::size_t>(it - sorted.begin())];
+    exact[static_cast<std::size_t>(i)] =
+        simd::Dot(query.data(), row.data(),
+                  static_cast<std::int64_t>(row.size()));
+  }
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(pool));
+  for (std::int64_t i = 0; i < pool; ++i) idx[static_cast<std::size_t>(i)] = i;
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](std::int64_t x, std::int64_t y) {
+                      const float sx = exact[static_cast<std::size_t>(x)];
+                      const float sy = exact[static_cast<std::size_t>(y)];
+                      if (sx != sy) return sx > sy;
+                      return order[static_cast<std::size_t>(x)] <
+                             order[static_cast<std::size_t>(y)];
+                    });
+  req->topk.nodes.reserve(static_cast<std::size_t>(k));
+  req->topk.scores.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) {
+    const std::int64_t j = idx[static_cast<std::size_t>(i)];
+    req->topk.nodes.push_back(order[static_cast<std::size_t>(j)]);
+    req->topk.scores.push_back(exact[static_cast<std::size_t>(j)]);
   }
 }
 

@@ -15,6 +15,7 @@
 #include "io/checkpoint.h"
 #include "nn/gcn.h"
 #include "serve/lru_cache.h"
+#include "serve/quantized_table.h"
 #include "tensor/csr.h"
 #include "tensor/matrix.h"
 
@@ -36,6 +37,23 @@ struct ServeOptions {
   /// max_batch = 1 disables batching (every request served solo).
   std::int64_t max_batch = 32;
   std::int64_t batch_deadline_us = 200;
+  /// How long an idle flusher lingers for more requests before flushing
+  /// a partial batch. 0 (the default) is greedy: whatever is queued when
+  /// the flusher is free ships immediately — under load batches still
+  /// form naturally while the previous batch is being served, and a lone
+  /// request never waits out the deadline. A positive gap trades latency
+  /// for bigger batches; `batch_deadline_us` stays the hard cap either
+  /// way.
+  std::int64_t batch_gap_us = 0;
+  /// Serve TopKSimilar from a symmetric int8 per-row quantized copy of
+  /// the embedding table (built once at startup; ~4x smaller than the
+  /// fp32 matrix that lazy TopK would otherwise materialize). The
+  /// approximate scan picks k * rescore_factor candidates, which are
+  /// re-scored with exact fp32 rows before the final top-k cut;
+  /// rescore_factor = 0 skips the rescore and returns approximate
+  /// scores. GetEmbedding/ScoreLink always stay exact fp32.
+  bool quantize_int8 = false;
+  std::int64_t rescore_factor = 4;
   /// When nonzero, loading refuses a checkpoint whose config fingerprint
   /// differs (same contract as trainer resume).
   std::uint64_t expected_fingerprint = 0;
@@ -110,6 +128,8 @@ class EmbeddingServer {
   const GcnEncoder& encoder() const { return *encoder_; }
   /// Lazy-mode row cache (nullptr in precompute mode).
   const ShardedRowCache* cache() const { return cache_.get(); }
+  /// Int8 table (empty unless options.quantize_int8).
+  const QuantizedEmbeddingTable& quantized() const { return quantized_; }
 
  private:
   struct Request;
@@ -127,6 +147,8 @@ class EmbeddingServer {
   /// The full |V| x d embedding matrix (precomputed, or materialized on
   /// first TopK in lazy mode).
   const Matrix& FullEmbeddings();
+  /// Serves one TopK request from the int8 table (+ fp32 rescore).
+  void ServeTopKQuantized(Request* req, const std::vector<float>& query);
 
   const Graph* graph_;
   CsrMatrix adj_;
@@ -138,6 +160,9 @@ class EmbeddingServer {
   /// constructor (precompute mode) and the flusher thread (first TopK)
   /// write it.
   Matrix full_;
+  /// Int8 copy of the embedding table, built once at construction when
+  /// options.quantize_int8 is set; immutable afterwards.
+  QuantizedEmbeddingTable quantized_;
 
   std::mutex mu_;
   std::condition_variable queue_cv_;  // wakes the flusher

@@ -1,0 +1,49 @@
+#include "serve/quantized_table.h"
+
+#include "parallel/parallel_for.h"
+#include "tensor/check.h"
+#include "tensor/simd/simd.h"
+
+namespace e2gcl {
+
+QuantizedEmbeddingTable QuantizedEmbeddingTable::Build(const Matrix& z) {
+  QuantizedEmbeddingTable t;
+  t.rows_ = z.rows();
+  t.cols_ = z.cols();
+  t.codes_.resize(static_cast<std::size_t>(z.rows() * z.cols()));
+  t.scales_.resize(static_cast<std::size_t>(z.rows()));
+  // Row-parallel: each row's codes and scale are owned by one iteration,
+  // and QuantizeRowI8 is a shared scalar routine, so the table is
+  // bit-identical at any thread count and in every SIMD backend.
+  ParallelFor(0, z.rows(), GrainForCost(z.cols()),
+              [&](std::int64_t rb, std::int64_t re) {
+                for (std::int64_t r = rb; r < re; ++r) {
+                  t.scales_[static_cast<std::size_t>(r)] = simd::QuantizeRowI8(
+                      t.codes_.data() + r * z.cols(), z.RowPtr(r), z.cols());
+                }
+              });
+  return t;
+}
+
+float QuantizedEmbeddingTable::QuantizeQuery(
+    const float* row, std::vector<std::int8_t>* codes) const {
+  codes->resize(static_cast<std::size_t>(cols_));
+  return simd::QuantizeRowI8(codes->data(), row, cols_);
+}
+
+void QuantizedEmbeddingTable::ScoreAll(const std::int8_t* query,
+                                       float query_scale,
+                                       std::vector<float>* scores) const {
+  scores->resize(static_cast<std::size_t>(rows_));
+  ParallelFor(0, rows_, GrainForCost(cols_),
+              [&](std::int64_t rb, std::int64_t re) {
+                for (std::int64_t r = rb; r < re; ++r) {
+                  const std::int32_t acc = simd::DotI8(query, RowPtr(r), cols_);
+                  (*scores)[static_cast<std::size_t>(r)] =
+                      static_cast<float>(acc) *
+                      (query_scale * scales_[static_cast<std::size_t>(r)]);
+                }
+              });
+}
+
+}  // namespace e2gcl

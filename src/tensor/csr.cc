@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "parallel/parallel_for.h"
 #include "tensor/check.h"
+#include "tensor/simd/simd.h"
 
 namespace e2gcl {
 
@@ -106,18 +107,14 @@ Matrix Spmm(const CsrMatrix& a, const Matrix& b) {
   const auto& vs = a.values();
   // Row-parallel gather form: each output row is owned by one chunk, so
   // the result is bit-identical to the serial kernel at any thread count.
+  // The row kernel (register-blocked under AVX2, per-element identical to
+  // one Axpy per edge) lives in tensor/simd/.
   const std::int64_t avg_nnz =
       a.rows() > 0 ? std::max<std::int64_t>(1, a.nnz() / a.rows()) : 1;
   ParallelFor(0, a.rows(), GrainForCost(avg_nnz * n),
               [&](std::int64_t rb, std::int64_t re) {
-                for (std::int64_t r = rb; r < re; ++r) {
-                  float* crow = c.RowPtr(r);
-                  for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k) {
-                    const float v = vs[k];
-                    const float* brow = b.RowPtr(ci[k]);
-                    for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
-                  }
-                }
+                simd::SpmmRows(rp.data(), ci.data(), vs.data(), b.data(),
+                               c.data(), rb, re, n);
               });
   return c;
 }
@@ -145,9 +142,7 @@ Matrix SpmmTransposedA(const CsrMatrix& a, const Matrix& b) {
     for (std::int64_t r = rb; r < re; ++r) {
       const float* brow = b.RowPtr(r);
       for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k) {
-        const float v = vs[k];
-        float* crow = dst.RowPtr(ci[k]);
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+        simd::Axpy(dst.RowPtr(ci[k]), vs[k], brow, n);
       }
     }
   };

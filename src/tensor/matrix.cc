@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "parallel/parallel_for.h"
 #include "tensor/check.h"
+#include "tensor/simd/simd.h"
 
 namespace e2gcl {
 
@@ -123,22 +124,12 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
   RecordMatMulMetrics(m, k, n);
   Matrix c(m, n);
-  // i-k-j loop order: streams over b and c rows; good cache behaviour
-  // without blocking for the sizes this library runs at. Each output row
-  // is owned by exactly one chunk, so the parallel result is bit-identical
-  // to the serial one at any thread count.
-  const float* bdata = b.data();
+  // Row-chunked over the output: each output row is owned by exactly one
+  // chunk, so the parallel result is bit-identical to the serial one at
+  // any thread count. The kernel itself (i-k-j order with a register-
+  // resident C tile under AVX2) lives in tensor/simd/.
   ParallelFor(0, m, GrainForCost(k * n), [&](std::int64_t rb, std::int64_t re) {
-    for (std::int64_t i = rb; i < re; ++i) {
-      const float* arow = a.RowPtr(i);
-      float* crow = c.RowPtr(i);
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = bdata + p * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    simd::GemmRows(a.data(), b.data(), c.data(), rb, re, k, n);
   });
   return c;
 }
@@ -149,16 +140,7 @@ Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
   RecordMatMulMetrics(m, k, n);
   Matrix c(m, n);
   ParallelFor(0, m, GrainForCost(k * n), [&](std::int64_t rb, std::int64_t re) {
-    for (std::int64_t i = rb; i < re; ++i) {
-      const float* arow = a.RowPtr(i);
-      float* crow = c.RowPtr(i);
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* brow = b.RowPtr(j);
-        float acc = 0.0f;
-        for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] = acc;
-      }
-    }
+    simd::GemmTransBRows(a.data(), b.data(), c.data(), rb, re, k, n);
   });
   return c;
 }
@@ -184,8 +166,7 @@ Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
       for (std::int64_t i = 0; i < m; ++i) {
         const float av = arow[i];
         if (av == 0.0f) continue;
-        float* crow = dst.RowPtr(i);
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        simd::Axpy(dst.RowPtr(i), av, brow, n);
       }
     }
   };
@@ -229,7 +210,7 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
 Matrix Scale(const Matrix& a, float alpha) {
   Matrix c = a;
   ParallelFor(0, c.size(), kFlatGrain, [&](std::int64_t ib, std::int64_t ie) {
-    for (std::int64_t i = ib; i < ie; ++i) c.data()[i] *= alpha;
+    simd::Scale(c.data() + ib, alpha, ie - ib);
   });
   return c;
 }
@@ -237,14 +218,16 @@ Matrix Scale(const Matrix& a, float alpha) {
 void AxpyInPlace(Matrix& a, float alpha, const Matrix& b) {
   CheckSameShape(a, b);
   ParallelFor(0, a.size(), kFlatGrain, [&](std::int64_t ib, std::int64_t ie) {
-    for (std::int64_t i = ib; i < ie; ++i) a.data()[i] += alpha * b.data()[i];
+    simd::Axpy(a.data() + ib, alpha, b.data() + ib, ie - ib);
   });
 }
 
 void AddInPlace(Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
+  // alpha == 1.0f makes the Axpy FMA exact, so this matches plain
+  // element-wise addition bit for bit in every backend.
   ParallelFor(0, a.size(), kFlatGrain, [&](std::int64_t ib, std::int64_t ie) {
-    for (std::int64_t i = ib; i < ie; ++i) a.data()[i] += b.data()[i];
+    simd::Axpy(a.data() + ib, 1.0f, b.data() + ib, ie - ib);
   });
 }
 
@@ -266,9 +249,7 @@ float SumAll(const Matrix& a) {
   std::vector<double> partial(std::max<std::int64_t>(1, chunks), 0.0);
   ParallelForChunks(0, a.size(), kFlatGrain * 2,
                     [&](std::int64_t chunk, std::int64_t ib, std::int64_t ie) {
-                      double acc = 0.0;
-                      for (std::int64_t i = ib; i < ie; ++i) acc += a.data()[i];
-                      partial[chunk] = acc;
+                      partial[chunk] = simd::SumD(a.data() + ib, ie - ib);
                     });
   double acc = 0.0;
   for (double p : partial) acc += p;
@@ -285,11 +266,8 @@ float FrobeniusNorm(const Matrix& a) {
   std::vector<double> partial(std::max<std::int64_t>(1, chunks), 0.0);
   ParallelForChunks(0, a.size(), kFlatGrain * 2,
                     [&](std::int64_t chunk, std::int64_t ib, std::int64_t ie) {
-                      double acc = 0.0;
-                      for (std::int64_t i = ib; i < ie; ++i) {
-                        acc += static_cast<double>(a.data()[i]) * a.data()[i];
-                      }
-                      partial[chunk] = acc;
+                      partial[chunk] =
+                          simd::SquaredNormD(a.data() + ib, ie - ib);
                     });
   double acc = 0.0;
   for (double p : partial) acc += p;
@@ -301,10 +279,8 @@ Matrix RowSums(const Matrix& a) {
   ParallelFor(0, a.rows(), GrainForCost(a.cols()),
               [&](std::int64_t rb, std::int64_t re) {
                 for (std::int64_t r = rb; r < re; ++r) {
-                  double acc = 0.0;
-                  const float* row = a.RowPtr(r);
-                  for (std::int64_t c = 0; c < a.cols(); ++c) acc += row[c];
-                  s(r, 0) = static_cast<float>(acc);
+                  s(r, 0) =
+                      static_cast<float>(simd::SumD(a.RowPtr(r), a.cols()));
                 }
               });
   return s;
@@ -344,32 +320,22 @@ Matrix RowL2Norms(const Matrix& a) {
   ParallelFor(0, a.rows(), GrainForCost(a.cols()),
               [&](std::int64_t rb, std::int64_t re) {
                 for (std::int64_t r = rb; r < re; ++r) {
-                  double acc = 0.0;
-                  const float* row = a.RowPtr(r);
-                  for (std::int64_t c = 0; c < a.cols(); ++c) {
-                    acc += static_cast<double>(row[c]) * row[c];
-                  }
-                  s(r, 0) = static_cast<float>(std::sqrt(acc));
+                  s(r, 0) = static_cast<float>(
+                      std::sqrt(simd::SquaredNormD(a.RowPtr(r), a.cols())));
                 }
               });
   return s;
 }
 
 Matrix NormalizeRowsL2(const Matrix& a, float eps) {
-  Matrix out = a;
+  // Fused per-row kernel: norm (double accumulate) and the scale pass in
+  // one sweep over the row; rows with norm <= eps are copied unchanged.
+  Matrix out(a.rows(), a.cols());
   ParallelFor(0, a.rows(), GrainForCost(a.cols()),
               [&](std::int64_t rb, std::int64_t re) {
                 for (std::int64_t r = rb; r < re; ++r) {
-                  double acc = 0.0;
-                  const float* row = a.RowPtr(r);
-                  for (std::int64_t c = 0; c < a.cols(); ++c) {
-                    acc += static_cast<double>(row[c]) * row[c];
-                  }
-                  const float norm = static_cast<float>(std::sqrt(acc));
-                  if (norm <= eps) continue;
-                  float* orow = out.RowPtr(r);
-                  const float inv = 1.0f / norm;
-                  for (std::int64_t c = 0; c < a.cols(); ++c) orow[c] *= inv;
+                  simd::NormalizeRowL2(out.RowPtr(r), a.RowPtr(r), a.cols(),
+                                       eps);
                 }
               });
   return out;
@@ -378,14 +344,7 @@ Matrix NormalizeRowsL2(const Matrix& a, float eps) {
 float RowSquaredDistance(const Matrix& a, std::int64_t r, const Matrix& b,
                          std::int64_t s) {
   E2GCL_CHECK(a.cols() == b.cols());
-  const float* ar = a.RowPtr(r);
-  const float* br = b.RowPtr(s);
-  float acc = 0.0f;
-  for (std::int64_t c = 0; c < a.cols(); ++c) {
-    const float d = ar[c] - br[c];
-    acc += d * d;
-  }
-  return acc;
+  return simd::SquaredDistance(a.RowPtr(r), b.RowPtr(s), a.cols());
 }
 
 float RowDistance(const Matrix& a, std::int64_t r, const Matrix& b,

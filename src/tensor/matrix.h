@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/aligned.h"
 #include "tensor/rng.h"
 
 namespace e2gcl {
@@ -83,7 +84,9 @@ class Matrix {
  private:
   std::int64_t rows_;
   std::int64_t cols_;
-  std::vector<float> data_;
+  /// 64-byte-aligned backing store (see tensor/aligned.h): entry (0, 0)
+  /// always sits on a cache-line boundary for the SIMD kernels.
+  AlignedVector<float> data_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,314 @@
+// AVX2/FMA backend. Compiled only when the build selects
+// -DE2GCL_SIMD=avx2 (the CMake option adds -mavx2 -mfma for this file
+// alone, so the rest of the tree stays portable-ISA).
+//
+// Determinism notes:
+//  - every kernel uses fixed lane counts, fixed tile boundaries, and a
+//    fixed reduction order, so results are bit-identical across runs
+//    and thread counts for a given build;
+//  - Axpy and SpmmRows perform exactly one FMA per element in
+//    ascending-edge order with the same vector/scalar split (8-wide
+//    blocks, fmaf tail), so the subset SpMM replay in
+//    GcnEncoder::EncodeRows (per-edge Axpy) is bit-identical to the
+//    blocked full-graph SpmmRows — the serving contract depends on it;
+//  - integer kernels are exact and match the portable backend bit for
+//    bit.
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/simd/simd.h"
+
+namespace e2gcl {
+namespace simd {
+namespace avx2 {
+
+namespace {
+
+/// Scalar FMA used by every fp32 tail so scalar and vector elements see
+/// the same fused rounding regardless of compiler contraction choices.
+inline void ScalarFma(float* y, float a, float x) { *y = std::fmaf(a, x, *y); }
+
+/// Fixed-order horizontal sum: lane 0 + 1 + ... + 7.
+inline float HSum(__m256 v) {
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, v);
+  float acc = lanes[0];
+  for (int i = 1; i < 8; ++i) acc += lanes[i];
+  return acc;
+}
+
+inline double HSumD(__m256d v) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, v);
+  return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+}
+
+}  // namespace
+
+float Dot(const float* a, const float* b, std::int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+  }
+  float acc =
+      HSum(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+  for (; i < n; ++i) ScalarFma(&acc, a[i], b[i]);
+  return acc;
+}
+
+float SquaredDistance(const float* a, const float* b, std::int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float acc = HSum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    ScalarFma(&acc, d, d);
+  }
+  return acc;
+}
+
+double SquaredNormD(const float* a, std::int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(a + i);
+    const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+    const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+    acc0 = _mm256_fmadd_pd(lo, lo, acc0);
+    acc1 = _mm256_fmadd_pd(hi, hi, acc1);
+  }
+  double acc = HSumD(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * a[i];
+  }
+  return acc;
+}
+
+double SumD(const float* a, std::int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(a + i);
+    acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+    acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+  }
+  double acc = HSumD(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+void Axpy(float* y, float alpha, const float* x, std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i,
+        _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) ScalarFma(y + i, alpha, x[i]);
+}
+
+void Scale(float* y, float alpha, std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(va, _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] *= alpha;
+}
+
+void NormalizeRowL2(float* dst, const float* src, std::int64_t n, float eps) {
+  const float norm = static_cast<float>(std::sqrt(SquaredNormD(src, n)));
+  if (norm <= eps) {
+    if (dst != src) std::copy(src, src + n, dst);
+    return;
+  }
+  const float inv = 1.0f / norm;
+  const __m256 vi = _mm256_set1_ps(inv);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(vi, _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = src[i] * inv;
+}
+
+void GemmRows(const float* a, const float* b, float* c,
+              std::int64_t row_begin, std::int64_t row_end, std::int64_t k,
+              std::int64_t n) {
+  // Register-tiled i-k-j: for each output row, a tile of C columns
+  // stays resident in YMM registers across the whole k loop, so C is
+  // loaded/stored once per tile instead of once per (p, tile). The
+  // per-element accumulation order (ascending p, one FMA each) and the
+  // scalar zero-skip on a[i][p] are identical to the portable kernel.
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::int64_t j = 0;
+    for (; j + 32 <= n; j += 32) {
+      float* cj = crow + j;
+      __m256 t0 = _mm256_loadu_ps(cj);
+      __m256 t1 = _mm256_loadu_ps(cj + 8);
+      __m256 t2 = _mm256_loadu_ps(cj + 16);
+      __m256 t3 = _mm256_loadu_ps(cj + 24);
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const __m256 va = _mm256_set1_ps(av);
+        const float* bj = b + p * n + j;
+        t0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(bj), t0);
+        t1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(bj + 8), t1);
+        t2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(bj + 16), t2);
+        t3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(bj + 24), t3);
+      }
+      _mm256_storeu_ps(cj, t0);
+      _mm256_storeu_ps(cj + 8, t1);
+      _mm256_storeu_ps(cj + 16, t2);
+      _mm256_storeu_ps(cj + 24, t3);
+    }
+    for (; j + 8 <= n; j += 8) {
+      float* cj = crow + j;
+      __m256 t0 = _mm256_loadu_ps(cj);
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        t0 = _mm256_fmadd_ps(_mm256_set1_ps(av),
+                             _mm256_loadu_ps(b + p * n + j), t0);
+      }
+      _mm256_storeu_ps(cj, t0);
+    }
+    for (; j < n; ++j) {
+      float acc = crow[j];
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        ScalarFma(&acc, av, b[p * n + j]);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+void GemmTransBRows(const float* a, const float* b, float* c,
+                    std::int64_t row_begin, std::int64_t row_end,
+                    std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) crow[j] = Dot(arow, b + j * k, k);
+  }
+}
+
+void SpmmRows(const std::int64_t* row_ptr, const std::int32_t* col_idx,
+              const float* vals, const float* b, float* c,
+              std::int64_t row_begin, std::int64_t row_end, std::int64_t n) {
+  // Row-blocked gather form: a register tile of the output row is held
+  // across the whole edge list, so the row is written once per tile.
+  // Tile boundaries (32-wide, then 8-wide, then fmaf tail) match Axpy's
+  // vector/scalar split, and edges accumulate in ascending order, so
+  // each element sees the exact FMA sequence a per-edge Axpy loop
+  // would produce (EncodeRows' subset replay relies on this).
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    const std::int64_t e0 = row_ptr[r];
+    const std::int64_t e1 = row_ptr[r + 1];
+    float* crow = c + r * n;
+    std::int64_t j = 0;
+    for (; j + 32 <= n; j += 32) {
+      float* cj = crow + j;
+      __m256 t0 = _mm256_loadu_ps(cj);
+      __m256 t1 = _mm256_loadu_ps(cj + 8);
+      __m256 t2 = _mm256_loadu_ps(cj + 16);
+      __m256 t3 = _mm256_loadu_ps(cj + 24);
+      for (std::int64_t e = e0; e < e1; ++e) {
+        const __m256 vv = _mm256_set1_ps(vals[e]);
+        const float* bj = b + static_cast<std::int64_t>(col_idx[e]) * n + j;
+        t0 = _mm256_fmadd_ps(vv, _mm256_loadu_ps(bj), t0);
+        t1 = _mm256_fmadd_ps(vv, _mm256_loadu_ps(bj + 8), t1);
+        t2 = _mm256_fmadd_ps(vv, _mm256_loadu_ps(bj + 16), t2);
+        t3 = _mm256_fmadd_ps(vv, _mm256_loadu_ps(bj + 24), t3);
+      }
+      _mm256_storeu_ps(cj, t0);
+      _mm256_storeu_ps(cj + 8, t1);
+      _mm256_storeu_ps(cj + 16, t2);
+      _mm256_storeu_ps(cj + 24, t3);
+    }
+    for (; j + 8 <= n; j += 8) {
+      float* cj = crow + j;
+      __m256 t0 = _mm256_loadu_ps(cj);
+      for (std::int64_t e = e0; e < e1; ++e) {
+        t0 = _mm256_fmadd_ps(
+            _mm256_set1_ps(vals[e]),
+            _mm256_loadu_ps(b + static_cast<std::int64_t>(col_idx[e]) * n + j),
+            t0);
+      }
+      _mm256_storeu_ps(cj, t0);
+    }
+    for (; j < n; ++j) {
+      float acc = crow[j];
+      for (std::int64_t e = e0; e < e1; ++e) {
+        ScalarFma(&acc, vals[e],
+                  b[static_cast<std::int64_t>(col_idx[e]) * n + j]);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+std::int32_t DotI8(const std::int8_t* a, const std::int8_t* b,
+                   std::int64_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i va = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i vb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+  }
+  alignas(32) std::int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int32_t total = 0;
+  for (int l = 0; l < 8; ++l) total += lanes[l];
+  for (; i < n; ++i) {
+    total += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return total;
+}
+
+}  // namespace avx2
+}  // namespace simd
+}  // namespace e2gcl

@@ -264,6 +264,51 @@ TEST(LintRules, FloatIndexCastFlagsTruncationAndAllowsExplicitRounding) {
   EXPECT_EQ(Count(LintContent(kLibPath, ints), "float-index-cast"), 0);
 }
 
+// --- Rule: raw-simd-intrinsic ----------------------------------------
+
+TEST(LintRules, RawSimdIntrinsicFlagsIntrinsicsOutsideKernelLayer) {
+  // The include token is spliced so this test file itself (whose string
+  // contents are linted too) does not trip the rule.
+  const std::string bad = std::string("#include <immintrin") + ".h>\n" + R"(
+    float Sum8(const float* x) {
+      __m256 v = _mm256_loadu_ps(x);
+      v = _mm256_add_ps(v, v);
+      return _mm_cvtss_f32(_mm256_castps256_ps128(v));
+    }
+  )";
+  // include + __m256 decl + two lines with _mm* calls.
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "raw-simd-intrinsic"), 4);
+  EXPECT_EQ(Count(LintContent("tools/cli.cc", bad), "raw-simd-intrinsic"), 4);
+}
+
+TEST(LintRules, RawSimdIntrinsicAllowsKernelLayerAndLookalikes) {
+  const std::string kernels = std::string("#include <immintrin") + ".h>\n" +
+                              R"(
+    __m256 Load(const float* x) { return _mm256_loadu_ps(x); }
+  )";
+  EXPECT_EQ(Count(LintContent("src/tensor/simd/simd_avx2.cc", kernels),
+                  "raw-simd-intrinsic"),
+            0);
+  const std::string lookalikes = R"(
+    #include "tensor/simd/simd.h"
+    float f = simd::Dot(a, b, n);   // dispatched API is fine
+    int comm_mm256 = 0;             // _mm must start the token
+    // _mm256_loadu_ps in a comment does not count
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, lookalikes), "raw-simd-intrinsic"),
+            0);
+}
+
+TEST(LintRules, RawSimdIntrinsicHonorsJustifiedSuppression) {
+  const std::string suppressed =
+      "// e2gcl-lint: allow(raw-simd-intrinsic): prefetch hint only\n"
+      "_mm_prefetch(p, 1);\n";
+  const std::vector<Finding> fs = LintContent(kLibPath, suppressed);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(fs[0].suppressed);
+  EXPECT_EQ(CountUnsuppressed(fs), 0);
+}
+
 // --- Rule: test-include-in-library -----------------------------------
 
 TEST(LintRules, TestIncludeFlagsTestsToolsAndRelativeIncludes) {

@@ -23,6 +23,8 @@
 #include "parallel/thread_pool.h"
 #include "serve/embedding_server.h"
 #include "serve/lru_cache.h"
+#include "serve/quantized_table.h"
+#include "tensor/simd/simd.h"
 
 namespace e2gcl {
 namespace {
@@ -247,10 +249,11 @@ TEST(EmbeddingServer, ScoreLinkEqualsDotOfEmbeddingRows) {
   const std::vector<std::pair<std::int64_t, std::int64_t>> pairs = {
       {0, 1}, {5, 90}, {119, 119}};
   for (const auto& [u, v] : pairs) {
-    float expected = 0.0f;
-    for (std::int64_t c = 0; c < reference.cols(); ++c) {
-      expected += reference(u, c) * reference(v, c);
-    }
+    // Expected through the same simd::Dot kernel the server uses; a
+    // hand-rolled serial loop would differ in the last ulps under the
+    // AVX2 backend (per-build-config determinism contract).
+    const float expected =
+        simd::Dot(reference.RowPtr(u), reference.RowPtr(v), reference.cols());
     EXPECT_EQ(server->ScoreLink(u, v), expected) << u << "," << v;
   }
 }
@@ -270,15 +273,14 @@ TEST(EmbeddingServer, TopKSimilarMatchesBruteForceAndExcludesSelf) {
   ASSERT_EQ(got.nodes.size(), static_cast<std::size_t>(k));
   ASSERT_EQ(got.scores.size(), static_cast<std::size_t>(k));
 
-  // Brute force with the same total order (score desc, id asc).
+  // Brute force (via the server's dot kernel) with the same total order
+  // (score desc, id asc).
   std::vector<std::pair<float, std::int64_t>> all;
   for (std::int64_t i = 0; i < g.num_nodes; ++i) {
     if (i == query) continue;
-    float s = 0.0f;
-    for (std::int64_t c = 0; c < reference.cols(); ++c) {
-      s += reference(query, c) * reference(i, c);
-    }
-    all.push_back({s, i});
+    all.push_back({simd::Dot(reference.RowPtr(query), reference.RowPtr(i),
+                             reference.cols()),
+                   i});
   }
   std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
     if (a.first != b.first) return a.first > b.first;
@@ -299,12 +301,133 @@ TEST(EmbeddingServer, TopKSimilarMatchesBruteForceAndExcludesSelf) {
   EXPECT_EQ(got.scores, got2.scores);
 }
 
+// --- Int8 quantized serving. -----------------------------------------------
+
+TEST(QuantizedEmbeddingTable, RoundTripsWithinOneQuantizationStep) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+  const QuantizedEmbeddingTable table = QuantizedEmbeddingTable::Build(
+      reference);
+  ASSERT_EQ(table.rows(), reference.rows());
+  ASSERT_EQ(table.cols(), reference.cols());
+  // Memory: one byte per coefficient + one float per row, ~4x under fp32.
+  EXPECT_EQ(table.MemoryBytes(),
+            reference.rows() * reference.cols() +
+                reference.rows() * static_cast<std::int64_t>(sizeof(float)));
+  for (std::int64_t r = 0; r < reference.rows(); ++r) {
+    const float scale = table.scale(r);
+    for (std::int64_t c = 0; c < reference.cols(); ++c) {
+      const float back = static_cast<float>(table.RowPtr(r)[c]) * scale;
+      // Symmetric rounding: off by at most half a step.
+      EXPECT_NEAR(back, reference(r, c), scale * 0.5f + 1e-7f)
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(QuantizedEmbeddingTable, ScoreAllIsThreadCountInvariant) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+  const QuantizedEmbeddingTable table = QuantizedEmbeddingTable::Build(
+      reference);
+  std::vector<std::int8_t> q;
+  const float qscale = table.QuantizeQuery(reference.RowPtr(17), &q);
+  SetNumThreads(1);
+  std::vector<float> baseline;
+  table.ScoreAll(q.data(), qscale, &baseline);
+  for (int threads : kThreadCounts) {
+    SetNumThreads(threads);
+    std::vector<float> scores;
+    table.ScoreAll(q.data(), qscale, &scores);
+    EXPECT_EQ(scores, baseline) << "threads=" << threads;
+  }
+  SetNumThreads(1);
+}
+
+TEST(EmbeddingServer, QuantizedTopKWithRescoreMatchesFp32Exactly) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  ServeOptions fp32;
+  std::string error;
+  auto exact_server = EmbeddingServer::FromCheckpoint(g, ckpt, fp32, &error);
+  ASSERT_NE(exact_server, nullptr) << error;
+  ServeOptions quant;
+  quant.quantize_int8 = true;  // default rescore_factor = 4
+  auto quant_server = EmbeddingServer::FromCheckpoint(g, ckpt, quant, &error);
+  ASSERT_NE(quant_server, nullptr) << error;
+  EXPECT_FALSE(quant_server->quantized().empty());
+
+  // With the exact fp32 rescore, the quantized path must return the same
+  // node sets AND the same exact scores as the fp32 scan on every query
+  // here (the true top-k comfortably survives into the k*4 candidate
+  // pool on this fixture).
+  for (std::int64_t query : {0L, 17L, 31L, 64L, 119L}) {
+    const TopKResult want = exact_server->TopKSimilar(query, 5);
+    const TopKResult got = quant_server->TopKSimilar(query, 5);
+    EXPECT_EQ(got.nodes, want.nodes) << "query " << query;
+    EXPECT_EQ(got.scores, want.scores) << "query " << query;
+  }
+}
+
+TEST(EmbeddingServer, QuantizedTopKWithoutRescoreRanksByApproxScores) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+  ServeOptions quant;
+  quant.quantize_int8 = true;
+  quant.rescore_factor = 0;  // approximate scores straight from int8
+  std::string error;
+  auto server = EmbeddingServer::FromCheckpoint(g, ckpt, quant, &error);
+  ASSERT_NE(server, nullptr) << error;
+
+  const std::int64_t query = 31;
+  const TopKResult got = server->TopKSimilar(query, 5);
+  ASSERT_EQ(got.nodes.size(), 5u);
+  // Reproduce the approximate scan out-of-process.
+  const QuantizedEmbeddingTable table = QuantizedEmbeddingTable::Build(
+      reference);
+  std::vector<std::int8_t> q;
+  const float qscale = table.QuantizeQuery(reference.RowPtr(query), &q);
+  std::vector<float> approx;
+  table.ScoreAll(q.data(), qscale, &approx);
+  std::vector<std::pair<float, std::int64_t>> all;
+  for (std::int64_t i = 0; i < g.num_nodes; ++i) {
+    if (i != query) all.push_back({approx[static_cast<std::size_t>(i)], i});
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (std::size_t i = 0; i < 5u; ++i) {
+    EXPECT_EQ(got.nodes[i], all[i].second) << "rank " << i;
+    EXPECT_EQ(got.scores[i], all[i].first) << "rank " << i;
+  }
+}
+
+TEST(EmbeddingServer, QuantizedModeKeepsEmbeddingAndScoreExact) {
+  Graph g = ServeGraph();
+  TrainerCheckpoint ckpt = MakeCheckpoint(g);
+  const Matrix reference = ReferenceEmbeddings(g, ckpt);
+  ServeOptions quant;
+  quant.quantize_int8 = true;
+  std::string error;
+  auto server = EmbeddingServer::FromCheckpoint(g, ckpt, quant, &error);
+  ASSERT_NE(server, nullptr) << error;
+  EXPECT_EQ(server->GetEmbedding(42), RowOf(reference, 42));
+  EXPECT_EQ(server->ScoreLink(3, 99),
+            simd::Dot(reference.RowPtr(3), reference.RowPtr(99),
+                      reference.cols()));
+}
+
 TEST(EmbeddingServer, DeadlineFlushesPartialBatch) {
   Graph g = ServeGraph();
   TrainerCheckpoint ckpt = MakeCheckpoint(g);
   ServeOptions opt;
   opt.max_batch = 1000;          // can never fill from one client
   opt.batch_deadline_us = 2000;  // so the deadline must flush it
+  opt.batch_gap_us = 2000;       // linger the full deadline
   std::string error;
   auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
   ASSERT_NE(server, nullptr) << error;
@@ -318,6 +441,7 @@ TEST(EmbeddingServer, FullBatchFlushesBeforeDeadline) {
   ServeOptions opt;
   opt.max_batch = 4;
   opt.batch_deadline_us = 30'000'000;  // a deadline-only flush would stall
+  opt.batch_gap_us = 30'000'000;       // and so would the linger gap
   std::string error;
   auto server = EmbeddingServer::FromCheckpoint(g, ckpt, opt, &error);
   ASSERT_NE(server, nullptr) << error;
@@ -389,10 +513,9 @@ TEST(EmbeddingServer, ConcurrentMixedClientsSeeConsistentResults) {
             break;
           }
           case 1: {
-            float expected = 0.0f;
-            for (std::int64_t j = 0; j < reference.cols(); ++j) {
-              expected += reference(node, j) * reference(other, j);
-            }
+            const float expected = simd::Dot(
+                reference.RowPtr(node), reference.RowPtr(other),
+                reference.cols());
             if (server->ScoreLink(node, other) != expected) ++failures[c];
             break;
           }

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Kernel perf gate: builds bench_micro_kernels + bench_compare, runs
+# the kernel sweep, and compares the fresh numbers against the
+# committed baseline bench/BENCH_kernels.json at bench_compare's
+# default 1.25x regression threshold.
+#
+#   tools/check_kernels.sh                    # gate against the baseline
+#   tools/check_kernels.sh --threshold 1.5    # looser gate
+#   tools/check_kernels.sh --rebaseline       # rewrite the committed seed
+#
+# The committed baseline was produced by the default E2GCL_SIMD=auto
+# build (AVX2 where the toolchain supports it); gate a portable build
+# against its own rebaseline, not the AVX2 seed.
+#
+# Exit codes follow bench_compare: 0 = within threshold,
+# 1 = regression(s), 2 = usage/file error.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build"
+BASELINE="$ROOT/bench/BENCH_kernels.json"
+# Short repetitions keep the sweep tractable; the 1.25x threshold has
+# plenty of margin over the run-to-run noise this leaves. google-benchmark
+# on some installs rejects duration suffixes, so the value stays numeric.
+MIN_TIME="${E2GCL_BENCH_MIN_TIME:-0.2}"
+
+REBASELINE=0
+COMPARE_ARGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --rebaseline) REBASELINE=1 ;;
+    *) COMPARE_ARGS+=("$1") ;;
+  esac
+  shift
+done
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target bench_micro_kernels bench_compare >/dev/null
+
+if [ "$REBASELINE" = 1 ]; then
+  E2GCL_BENCH_JSON="$BASELINE" "$BUILD/bench/bench_micro_kernels" \
+    --benchmark_min_time="$MIN_TIME"
+  echo "check_kernels: baseline rewritten at $BASELINE"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "check_kernels: missing baseline $BASELINE (run with --rebaseline)" >&2
+  exit 2
+fi
+
+CANDIDATE="$BUILD/BENCH_kernels.json"
+E2GCL_BENCH_JSON="$CANDIDATE" "$BUILD/bench/bench_micro_kernels" \
+  --benchmark_min_time="$MIN_TIME"
+"$BUILD/tools/bench_compare" "${COMPARE_ARGS[@]}" "$BASELINE" "$CANDIDATE"

@@ -5,13 +5,21 @@
 # the parallel kernels and the fault-tolerance machinery (checkpoint
 # I/O, kill/resume, death tests). Usage:
 #
-#   tools/check_sanitizers.sh             # lint + all three sanitizers
+#   tools/check_sanitizers.sh             # lint + sanitizers + portable
 #   tools/check_sanitizers.sh lint        # static analysis only
 #   tools/check_sanitizers.sh thread     # ThreadSanitizer only
 #   tools/check_sanitizers.sh address    # AddressSanitizer only
 #   tools/check_sanitizers.sh undefined  # UBSan only
+#   tools/check_sanitizers.sh portable   # E2GCL_SIMD=portable build only
 #
-# Each sanitized tree lives in build-<sanitizer>/ next to the regular
+# The portable leg rebuilds with -DE2GCL_SIMD=portable and runs the
+# same suites, proving the scalar kernel fallback stays green on
+# machines (or compilers) without AVX2. The fallback also runs under
+# every sanitizer leg regardless of that leg's dispatched backend:
+# simd_portable.cc is always compiled, and simd_kernels_test (in the
+# target list below) calls the simd::portable::* kernels directly.
+#
+# Each configured tree lives in build-<config>/ next to the regular
 # build/ so configurations never share object files.
 set -euo pipefail
 
@@ -21,9 +29,11 @@ case "${1:-all}" in
   thread)    SANITIZERS=(thread) ;;
   address)   SANITIZERS=(address) ;;
   undefined) SANITIZERS=(undefined) ;;
+  portable)  SANITIZERS=(portable) ;;
   both)      SANITIZERS=(thread address) ;;
-  all)       SANITIZERS=(thread address undefined); RUN_LINT=1 ;;
-  *) echo "usage: $0 [lint|thread|address|undefined|both|all]" >&2; exit 2 ;;
+  all)       SANITIZERS=(thread address undefined portable); RUN_LINT=1 ;;
+  *) echo "usage: $0 [lint|thread|address|undefined|portable|both|all]" >&2
+     exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -41,6 +51,7 @@ TARGETS=(
   parallel_test
   tensor_matrix_test
   tensor_csr_test
+  simd_kernels_test
   kmeans_test
   core_selector_test
   core_trainer_test
@@ -61,8 +72,16 @@ TARGETS=(
 
 for SANITIZER in "${SANITIZERS[@]}"; do
   BUILD="$ROOT/build-$SANITIZER"
-  cmake -B "$BUILD" -S "$ROOT" -DE2GCL_SANITIZE="$SANITIZER" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  if [ "$SANITIZER" = portable ]; then
+    # Not a sanitizer: a plain build forced onto the scalar SIMD
+    # backend, running the same suites (plus the kernel parity tests,
+    # which become exact-equality comparisons in this mode).
+    cmake -B "$BUILD" -S "$ROOT" -DE2GCL_SIMD=portable \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  else
+    cmake -B "$BUILD" -S "$ROOT" -DE2GCL_SANITIZE="$SANITIZER" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  fi
   cmake --build "$BUILD" -j "$(nproc)" --target "${TARGETS[@]}"
 
   # Exercise a real pool even on small CI machines; fail on any report.

@@ -5,8 +5,15 @@
 # 1.25x regression threshold.
 #
 #   tools/check_serve.sh                    # gate against the baseline
-#   tools/check_serve.sh --threshold 1.5    # looser gate
+#   tools/check_serve.sh --threshold 1.25   # tighter gate
 #   tools/check_serve.sh --rebaseline       # rewrite the committed seed
+#
+# The default threshold is 1.5x (looser than bench_compare's 1.25x):
+# since the SIMD + greedy-flush work the hot-path configs sit at a few
+# microseconds per request, where single-core run-to-run scheduling
+# noise alone exceeds 25%. The committed baseline is a worst-of-N
+# envelope over repeated runs for the same reason. Pass --threshold to
+# override.
 #
 # Exit codes follow bench_compare: 0 = within threshold,
 # 1 = regression(s), 2 = usage/file error.
@@ -18,13 +25,18 @@ BASELINE="$ROOT/bench/BENCH_serve.json"
 
 REBASELINE=0
 COMPARE_ARGS=()
+HAVE_THRESHOLD=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --rebaseline) REBASELINE=1 ;;
+    --threshold) HAVE_THRESHOLD=1; COMPARE_ARGS+=("$1") ;;
     *) COMPARE_ARGS+=("$1") ;;
   esac
   shift
 done
+if [ "$HAVE_THRESHOLD" = 0 ]; then
+  COMPARE_ARGS=(--threshold 1.5 "${COMPARE_ARGS[@]}")
+fi
 
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target bench_serve bench_compare \

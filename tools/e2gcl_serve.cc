@@ -50,6 +50,12 @@ void Usage(const char* prog) {
       "  --max-batch <int>        micro-batch size bound (default 32)\n"
       "  --deadline-us <int>      micro-batch flush deadline (default "
       "200)\n"
+      "  --batch-gap-us <int>     linger this long for batch-mates; 0 = "
+      "greedy flush (default 0)\n"
+      "  --quantize-int8          serve TopKSimilar from a 4x-smaller "
+      "int8 table\n"
+      "  --rescore-factor <int>   exact-rescore pool = k * this; 0 = "
+      "approximate only (default 4)\n"
       "  --fingerprint <uint64>   refuse checkpoints with a different "
       "config fingerprint\n"
       "queries (repeatable, answered in order):\n"
@@ -150,6 +156,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--deadline-us" &&
                ParseInt(next(), 0, (1ll << 40), &v)) {
       options.batch_deadline_us = v;
+    } else if (arg == "--batch-gap-us" &&
+               ParseInt(next(), 0, (1ll << 40), &v)) {
+      options.batch_gap_us = v;
+    } else if (arg == "--quantize-int8") {
+      options.quantize_int8 = true;
+    } else if (arg == "--rescore-factor" &&
+               ParseInt(next(), 0, 100000, &v)) {
+      options.rescore_factor = v;
     } else if (arg == "--fingerprint" &&
                ParseU64(next(), &options.expected_fingerprint)) {
     } else if (arg == "--embed" && ParseInt(next(), 0, (1ll << 62), &v)) {

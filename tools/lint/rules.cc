@@ -415,6 +415,41 @@ void RuleFloatIndexCast(const std::string& path, const LexedFile& lexed,
 }
 
 // ---------------------------------------------------------------------
+// Rule: raw-simd-intrinsic
+//
+// Vector intrinsics (and <immintrin.h>) are confined to the kernel
+// layer src/tensor/simd/: everything else calls the dispatched simd::
+// primitives, so the portable build is honest (no stray AVX2 in a
+// "portable" binary) and the per-build-config determinism contract has
+// a single audit surface. The suppression escape exists for a justified
+// one-off (e.g. a prefetch hint), not for growing a second kernel layer.
+
+void RuleRawSimdIntrinsic(const std::string& path, const LexedFile& lexed,
+                          std::vector<Finding>* out) {
+  if (StartsWith(path, "src/tensor/simd/")) return;
+  static const std::regex kIntrinsic(
+      R"((^|[^\w])(_mm\w*|__m(?:128|256|512)\w*)\b)");
+  static const std::regex kInclude(
+      R"(#include\s*[<"](?:x86intrin|immintrin|emmintrin|avxintrin|avx2intrin)\.h[>"])");
+  for (std::size_t i = 0; i < lexed.code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(lexed.code[i], m, kIntrinsic)) {
+      Add(out, "raw-simd-intrinsic", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "raw vector intrinsic '" + m[2].str() +
+              "' outside src/tensor/simd/; call the dispatched simd:: "
+              "kernels instead");
+    }
+    if (std::regex_search(lexed.code_with_strings[i], kInclude)) {
+      Add(out, "raw-simd-intrinsic", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "intrinsics header included outside src/tensor/simd/; include "
+          "tensor/simd/simd.h and use the dispatched kernels");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Rule: test-include-in-library
 //
 // src/ must stay layerable: library translation units cannot reach
@@ -462,6 +497,8 @@ const std::vector<RuleInfo>& Rules() {
        "headers carry a matched include guard or #pragma once"},
       {"float-index-cast", Severity::kWarning,
        "float->index casts make rounding explicit"},
+      {"raw-simd-intrinsic", Severity::kError,
+       "vector intrinsics and <immintrin.h> only under src/tensor/simd/"},
       {"test-include-in-library", Severity::kError,
        "src/ headers never include tests/ or tools/"},
       {"suppression-justification", Severity::kError,
@@ -482,6 +519,7 @@ void RunAllRules(const std::string& path, const LexedFile& lexed,
   RuleParallelReduction(path, lexed, out);
   RuleIncludeGuard(path, lexed, out);
   RuleFloatIndexCast(path, lexed, out);
+  RuleRawSimdIntrinsic(path, lexed, out);
   RuleTestIncludeInLibrary(path, lexed, out);
 }
 
