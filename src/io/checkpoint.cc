@@ -126,6 +126,17 @@ bool LoadTrainerCheckpoint(const std::string& path, TrainerCheckpoint* out) {
   return ok;
 }
 
+bool LoadTrainerCheckpoint(const std::string& path, TrainerCheckpoint* out,
+                           std::string* error) {
+  if (LoadTrainerCheckpoint(path, out)) return true;
+  if (error != nullptr) {
+    *error =
+        "failed validation (missing file, bad magic/version, truncation, "
+        "CRC mismatch, or malformed payload)";
+  }
+  return false;
+}
+
 namespace {
 
 bool LoadTrainerCheckpointImpl(const std::string& path,

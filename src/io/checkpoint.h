@@ -46,6 +46,11 @@ bool SaveTrainerCheckpoint(const std::string& path,
 /// without touching `out` partially.
 bool LoadTrainerCheckpoint(const std::string& path, TrainerCheckpoint* out);
 
+/// Same, with a human-readable failure reason in `*error` (serving's
+/// load/reload paths surface it to operators).
+bool LoadTrainerCheckpoint(const std::string& path, TrainerCheckpoint* out,
+                           std::string* error);
+
 /// Canonical file name for epoch `epoch` inside `dir`
 /// ("<dir>/ckpt-000042.e2gcl").
 std::string CheckpointPath(const std::string& dir, std::int64_t epoch);

@@ -13,18 +13,6 @@ namespace e2gcl {
 
 namespace {
 
-bool ShapesMatch(const std::vector<Var>& params,
-                 const std::vector<Matrix>& values) {
-  if (params.size() != values.size()) return false;
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    if (params[i].value().rows() != values[i].rows() ||
-        params[i].value().cols() != values[i].cols()) {
-      return false;
-    }
-  }
-  return true;
-}
-
 void RecordRequestMetrics(std::int64_t latency_us) {
   if (!ObsEnabled()) return;
   static const Counter requests = Counter::Get("serve.requests");
@@ -52,6 +40,13 @@ void RecordCacheMetrics(std::int64_t hits, std::int64_t misses) {
   if (misses > 0) miss_counter.Add(static_cast<std::uint64_t>(misses));
 }
 
+void RecordCorruptDropped(std::uint64_t dropped) {
+  if (!ObsEnabled() || dropped == 0) return;
+  static const Counter corrupt =
+      Counter::Get("serve.cache.corrupt_dropped");
+  corrupt.Add(dropped);
+}
+
 void RecordRowsComputed(std::int64_t rows) {
   if (!ObsEnabled()) return;
   static const Counter computed = Counter::Get("serve.rows_computed");
@@ -64,6 +59,46 @@ void UpdateQueueGauge(std::int64_t depth) {
   gauge.Set(depth);
 }
 
+/// One counter per fail-fast rejection class (the load-shedding story
+/// is only auditable if every shed request is counted somewhere).
+void RecordRejected(ServeStatus status) {
+  if (!ObsEnabled()) return;
+  static const Counter overloaded =
+      Counter::Get("serve.rejected.overloaded");
+  static const Counter deadline = Counter::Get("serve.rejected.deadline");
+  static const Counter shutdown = Counter::Get("serve.rejected.shutdown");
+  switch (status) {
+    case ServeStatus::kOverloaded: overloaded.Increment(); break;
+    case ServeStatus::kDeadlineExceeded: deadline.Increment(); break;
+    case ServeStatus::kShutdown: shutdown.Increment(); break;
+    default: break;
+  }
+}
+
+void RecordDegraded() {
+  if (!ObsEnabled()) return;
+  static const Counter degraded = Counter::Get("serve.degraded");
+  degraded.Increment();
+}
+
+void RecordReload(ServeStatus status) {
+  if (!ObsEnabled()) return;
+  static const Counter success = Counter::Get("serve.reload.success");
+  static const Counter failed = Counter::Get("serve.reload.failed");
+  static const Counter rejected = Counter::Get("serve.reload.rejected");
+  switch (status) {
+    case ServeStatus::kOk: success.Increment(); break;
+    case ServeStatus::kReloading: rejected.Increment(); break;
+    default: failed.Increment(); break;
+  }
+}
+
+void UpdateGenerationGauge(std::uint64_t gen) {
+  if (!ObsEnabled()) return;
+  static const Gauge gauge = Gauge::Get("serve.generation");
+  gauge.Set(static_cast<std::int64_t>(gen));
+}
+
 }  // namespace
 
 struct EmbeddingServer::Request {
@@ -73,12 +108,28 @@ struct EmbeddingServer::Request {
   std::int64_t a = 0;
   /// kScore: v. kTopK: k.
   std::int64_t b = 0;
+  /// The model generation this request was admitted under (pinned: a
+  /// concurrent reload cannot change the model mid-request).
+  std::shared_ptr<ModelState> state;
   std::vector<float> row;
   float score = 0.0f;
   TopKResult topk;
-  /// Written by the flusher under mu_ after the results above; readers
-  /// observe the results through the same lock (release/acquire on mu_).
+  /// Written by the flusher OUTSIDE mu_ while serving (the flusher is
+  /// the only writer before `done`); promoted into `status` under mu_.
+  ServeStatus result_status = ServeStatus::kOk;
+  /// Final caller-visible status. Only ever written under mu_: by the
+  /// flusher when it completes/expires the request, or by the caller
+  /// when it abandons at its deadline.
+  ServeStatus status = ServeStatus::kOk;
+  /// Serve this TopK request from the approximate scan (load shedding).
+  bool degrade = false;
+  /// Written under mu_ after the results above; readers observe the
+  /// results through the same lock (release/acquire on mu_).
   bool done = false;
+  /// The caller gave up at its deadline and will never read the result.
+  bool abandoned = false;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline;
   std::chrono::steady_clock::time_point enqueue;
 };
 
@@ -86,11 +137,9 @@ std::unique_ptr<EmbeddingServer> EmbeddingServer::Load(
     const Graph& graph, const std::string& path, const ServeOptions& options,
     std::string* error) {
   TrainerCheckpoint ckpt;
-  if (!LoadTrainerCheckpoint(path, &ckpt)) {
-    if (error != nullptr) {
-      *error = "checkpoint " + path +
-               " failed validation (bad magic/version/CRC or truncated)";
-    }
+  std::string why;
+  if (!LoadTrainerCheckpoint(path, &ckpt, &why)) {
+    if (error != nullptr) *error = "checkpoint " + path + " " + why;
     return nullptr;
   }
   return FromCheckpoint(graph, ckpt, options, error);
@@ -99,96 +148,64 @@ std::unique_ptr<EmbeddingServer> EmbeddingServer::Load(
 std::unique_ptr<EmbeddingServer> EmbeddingServer::FromCheckpoint(
     const Graph& graph, const TrainerCheckpoint& ckpt,
     const ServeOptions& options, std::string* error) {
-  auto fail = [error](const std::string& msg) {
-    if (error != nullptr) *error = msg;
-    return std::unique_ptr<EmbeddingServer>();
-  };
-  if (graph.num_nodes <= 0 || graph.features.empty()) {
-    return fail("serving requires a non-empty graph with node features");
-  }
-  if (options.expected_fingerprint != 0 &&
-      ckpt.config_fingerprint != options.expected_fingerprint) {
-    return fail("checkpoint config fingerprint does not match the expected "
-                "fingerprint");
-  }
-  GcnConfig config = options.encoder;
-  if (config.dims.empty()) {
-    if (!InferEncoderLayout(ckpt.encoder_params, &config.dims,
-                            &config.bias)) {
-      return fail("checkpoint encoder parameters form no consistent GCN "
-                  "layer chain");
-    }
-  }
-  // Serving is inference-only; dropout would be ignored anyway.
-  config.dropout = 0.0f;
-  if (config.dims.front() != graph.feature_dim()) {
-    return fail("checkpoint encoder input width does not match the graph's "
-                "feature dimension");
-  }
-  Rng rng(0);  // Initial weights are immediately overwritten.
-  auto encoder = std::make_unique<GcnEncoder>(config, rng);
-  if (!ShapesMatch(encoder->params().params(), ckpt.encoder_params)) {
-    return fail("checkpoint encoder parameter shapes do not match the "
-                "encoder configuration");
-  }
-  encoder->params().LoadValues(ckpt.encoder_params);
-  return std::make_unique<EmbeddingServer>(graph, std::move(encoder),
-                                           options);
+  std::shared_ptr<ModelState> state =
+      BuildModelState(graph, ckpt, options, /*generation=*/1, error);
+  if (state == nullptr) return nullptr;
+  return std::make_unique<EmbeddingServer>(graph, std::move(state), options);
 }
 
 EmbeddingServer::EmbeddingServer(const Graph& graph,
-                                 std::unique_ptr<GcnEncoder> encoder,
+                                 std::shared_ptr<ModelState> state,
                                  const ServeOptions& options)
     : graph_(&graph),
       adj_(NormalizedAdjacency(graph)),
-      encoder_(std::move(encoder)),
-      options_(options) {
+      options_(options),
+      state_(std::move(state)) {
   E2GCL_CHECK(options_.max_batch >= 1);
   E2GCL_CHECK(options_.batch_deadline_us >= 0);
   E2GCL_CHECK(options_.batch_gap_us >= 0);
   E2GCL_CHECK(options_.rescore_factor >= 0);
-  if (options_.precompute) {
-    full_ = encoder_->Encode(*graph_);
-  } else {
-    cache_ = std::make_unique<ShardedRowCache>(options_.cache_capacity,
-                                               options_.cache_shards);
-  }
-  if (options_.quantize_int8) {
-    // Build the int8 table from a transient full encode; in lazy mode the
-    // fp32 matrix is dropped right after, leaving the 4x-smaller table as
-    // the only |V|-resident state (TopK never materializes full_).
-    if (options_.precompute) {
-      quantized_ = QuantizedEmbeddingTable::Build(full_);
-    } else {
-      quantized_ = QuantizedEmbeddingTable::Build(encoder_->Encode(*graph_));
-    }
-  }
+  E2GCL_CHECK(options_.max_queue_depth >= 1);
+  E2GCL_CHECK(options_.degrade_watermark >= 0);
+  E2GCL_CHECK(state_ != nullptr && state_->encoder != nullptr);
+  UpdateGenerationGauge(state_->generation);
   // Started last: everything above happens-before the flusher's first
   // instruction via the thread launch.
   flusher_ = std::thread([this] { FlusherLoop(); });
 }
 
 EmbeddingServer::~EmbeddingServer() {
+  BeginShutdown();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void EmbeddingServer::BeginShutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   queue_cv_.notify_all();
-  if (flusher_.joinable()) flusher_.join();
 }
 
-std::vector<float> EmbeddingServer::GetEmbedding(std::int64_t node) {
+// --- Status-typed API. -----------------------------------------------------
+
+EmbeddingResponse EmbeddingServer::GetEmbedding(
+    std::int64_t node, const ServeRequestOptions& request) {
   E2GCL_CHECK_MSG(node >= 0 && node < graph_->num_nodes,
                   "GetEmbedding: node %lld out of range",
                   static_cast<long long>(node));
   auto req = std::make_shared<Request>();
   req->kind = Request::Kind::kEmbedding;
   req->a = node;
-  Submit(req);
-  return std::move(req->row);
+  EmbeddingResponse response;
+  response.status = Submit(req, request);
+  response.generation = req->state != nullptr ? req->state->generation : 0;
+  if (response.served()) response.row = std::move(req->row);
+  return response;
 }
 
-float EmbeddingServer::ScoreLink(std::int64_t u, std::int64_t v) {
+ScoreResponse EmbeddingServer::ScoreLink(std::int64_t u, std::int64_t v,
+                                         const ServeRequestOptions& request) {
   E2GCL_CHECK_MSG(u >= 0 && u < graph_->num_nodes && v >= 0 &&
                       v < graph_->num_nodes,
                   "ScoreLink: node pair (%lld, %lld) out of range",
@@ -197,11 +214,15 @@ float EmbeddingServer::ScoreLink(std::int64_t u, std::int64_t v) {
   req->kind = Request::Kind::kScore;
   req->a = u;
   req->b = v;
-  Submit(req);
-  return req->score;
+  ScoreResponse response;
+  response.status = Submit(req, request);
+  response.generation = req->state != nullptr ? req->state->generation : 0;
+  if (response.served()) response.score = req->score;
+  return response;
 }
 
-TopKResult EmbeddingServer::TopKSimilar(std::int64_t node, std::int64_t k) {
+TopKResponse EmbeddingServer::TopKSimilar(std::int64_t node, std::int64_t k,
+                                          const ServeRequestOptions& request) {
   E2GCL_CHECK_MSG(node >= 0 && node < graph_->num_nodes,
                   "TopKSimilar: node %lld out of range",
                   static_cast<long long>(node));
@@ -210,25 +231,191 @@ TopKResult EmbeddingServer::TopKSimilar(std::int64_t node, std::int64_t k) {
   req->kind = Request::Kind::kTopK;
   req->a = node;
   req->b = k;
-  Submit(req);
-  return std::move(req->topk);
+  TopKResponse response;
+  response.status = Submit(req, request);
+  response.generation = req->state != nullptr ? req->state->generation : 0;
+  if (response.served()) response.result = std::move(req->topk);
+  return response;
 }
 
-void EmbeddingServer::Submit(const std::shared_ptr<Request>& req) {
+// --- Legacy blocking API. --------------------------------------------------
+
+std::vector<float> EmbeddingServer::GetEmbedding(std::int64_t node) {
+  EmbeddingResponse response = GetEmbedding(node, ServeRequestOptions{});
+  E2GCL_CHECK_MSG(response.status == ServeStatus::kOk,
+                  "EmbeddingServer::GetEmbedding rejected: %s",
+                  ServeStatusName(response.status));
+  return std::move(response.row);
+}
+
+float EmbeddingServer::ScoreLink(std::int64_t u, std::int64_t v) {
+  ScoreResponse response = ScoreLink(u, v, ServeRequestOptions{});
+  E2GCL_CHECK_MSG(response.status == ServeStatus::kOk,
+                  "EmbeddingServer::ScoreLink rejected: %s",
+                  ServeStatusName(response.status));
+  return response.score;
+}
+
+TopKResult EmbeddingServer::TopKSimilar(std::int64_t node, std::int64_t k) {
+  ServeRequestOptions exact;
+  exact.allow_degraded = false;
+  TopKResponse response = TopKSimilar(node, k, exact);
+  E2GCL_CHECK_MSG(response.status == ServeStatus::kOk,
+                  "EmbeddingServer::TopKSimilar rejected: %s",
+                  ServeStatusName(response.status));
+  return std::move(response.result);
+}
+
+// --- Hot reload. -----------------------------------------------------------
+
+ServeStatus EmbeddingServer::ReloadCheckpoint(const TrainerCheckpoint& ckpt,
+                                              std::string* error) {
+  TraceSpan span("serve_reload");
+  bool expected = false;
+  if (!reload_in_flight_.compare_exchange_strong(expected, true)) {
+    if (error != nullptr) *error = "another checkpoint reload is in flight";
+    RecordReload(ServeStatus::kReloading);
+    return ServeStatus::kReloading;
+  }
+  std::uint64_t next_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      if (error != nullptr) *error = "server is shutting down";
+      reload_in_flight_.store(false);
+      return ServeStatus::kShutdown;
+    }
+    next_generation = state_->generation + 1;
+  }
+  // The expensive part — validation + full rebuild of encoder, cache,
+  // precompute/quantized tables — runs on the reloading thread with no
+  // server lock held: queries keep flowing against the old generation.
+  std::string why;
+  std::shared_ptr<ModelState> fresh =
+      BuildModelState(*graph_, ckpt, options_, next_generation, &why);
+  if (fresh == nullptr) {
+    if (error != nullptr) *error = why;
+    RecordReload(ServeStatus::kInvalidArgument);
+    reload_in_flight_.store(false);
+    return ServeStatus::kInvalidArgument;
+  }
+  if (options_.fault_injector.before_reload_swap) {
+    options_.fault_injector.before_reload_swap(next_generation);
+  }
+  {
+    // RCU swap: requests admitted before this line hold their own
+    // shared_ptr to the old generation and finish on it; requests
+    // admitted after see only the new one. Nothing is ever torn.
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = std::move(fresh);
+  }
+  UpdateGenerationGauge(next_generation);
+  RecordReload(ServeStatus::kOk);
+  reload_in_flight_.store(false);
+  return ServeStatus::kOk;
+}
+
+ServeStatus EmbeddingServer::ReloadFromFile(const std::string& path,
+                                            std::string* error) {
+  TrainerCheckpoint ckpt;
+  std::string why;
+  if (!LoadTrainerCheckpoint(path, &ckpt, &why)) {
+    if (error != nullptr) *error = "checkpoint " + path + " " + why;
+    RecordReload(ServeStatus::kInvalidArgument);
+    return ServeStatus::kInvalidArgument;
+  }
+  return ReloadCheckpoint(ckpt, error);
+}
+
+// --- Introspection. --------------------------------------------------------
+
+std::int64_t EmbeddingServer::embed_dim() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_->encoder->config().dims.back();
+}
+
+std::uint64_t EmbeddingServer::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_->generation;
+}
+
+std::shared_ptr<const ModelState> EmbeddingServer::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::int64_t EmbeddingServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(queue_.size());
+}
+
+const ShardedRowCache* EmbeddingServer::cache() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_->cache.get();
+}
+
+const QuantizedEmbeddingTable& EmbeddingServer::quantized() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_->quantized;
+}
+
+// --- Queue plumbing. -------------------------------------------------------
+
+ServeStatus EmbeddingServer::Submit(const std::shared_ptr<Request>& req,
+                                    const ServeRequestOptions& request) {
   TraceSpan span("serve_request");
   const auto t0 = std::chrono::steady_clock::now();
+  ServeStatus status = ServeStatus::kOk;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    E2GCL_CHECK_MSG(!shutdown_, "EmbeddingServer: query during shutdown");
+    if (shutdown_) {
+      RecordRejected(ServeStatus::kShutdown);
+      return ServeStatus::kShutdown;
+    }
+    if (static_cast<std::int64_t>(queue_.size()) >=
+        options_.max_queue_depth) {
+      // Admission control: shed the request instead of growing an
+      // unbounded queue behind a slow flusher.
+      RecordRejected(ServeStatus::kOverloaded);
+      return ServeStatus::kOverloaded;
+    }
+    // Pin the generation at admission: a reload swapping state_ after
+    // this line does not affect this request.
+    req->state = state_;
+    if (req->kind == Request::Kind::kTopK && request.allow_degraded &&
+        options_.degrade_watermark > 0 && !req->state->quantized.empty() &&
+        static_cast<std::int64_t>(queue_.size()) >=
+            options_.degrade_watermark) {
+      req->degrade = true;
+    }
     req->enqueue = t0;
+    if (request.deadline_us > 0) {
+      req->has_deadline = true;
+      req->deadline = t0 + std::chrono::microseconds(request.deadline_us);
+    }
     queue_.push_back(req);
     UpdateQueueGauge(static_cast<std::int64_t>(queue_.size()));
     queue_cv_.notify_one();
-    done_cv_.wait(lock, [&] { return req->done; });
+    if (req->has_deadline) {
+      if (!done_cv_.wait_until(lock, req->deadline,
+                               [&] { return req->done; })) {
+        // Deadline expired with the request still unserved (queued or
+        // mid-batch): release the caller NOW. The flusher discards the
+        // request when it reaches it; the shared_ptr keeps it alive.
+        req->abandoned = true;
+        req->status = ServeStatus::kDeadlineExceeded;
+        RecordRejected(ServeStatus::kDeadlineExceeded);
+        return ServeStatus::kDeadlineExceeded;
+      }
+    } else {
+      done_cv_.wait(lock, [&] { return req->done; });
+    }
+    status = req->status;
   }
   RecordRequestMetrics(std::chrono::duration_cast<std::chrono::microseconds>(
                            std::chrono::steady_clock::now() - t0)
                            .count());
+  return status;
 }
 
 void EmbeddingServer::FlusherLoop() {
@@ -246,7 +433,7 @@ void EmbeddingServer::FlusherLoop() {
     // up while the previous batch is served. A positive gap lets the
     // flusher linger that long for stragglers, deadline-capped. A
     // shutdown flushes whatever is queued immediately.
-    if (options_.batch_gap_us > 0) {
+    if (options_.batch_gap_us > 0 && !shutdown_) {
       const auto deadline =
           queue_.front()->enqueue +
           std::chrono::microseconds(options_.batch_deadline_us);
@@ -258,19 +445,49 @@ void EmbeddingServer::FlusherLoop() {
              queue_cv_.wait_until(lock, linger) != std::cv_status::timeout) {
       }
     }
+    // Pop a batch: skip abandoned requests, fail already-expired ones
+    // fast (their compute would be wasted — the caller is gone or about
+    // to give up), and stop at a generation boundary so one batch never
+    // mixes models (each batch computes rows with exactly one encoder).
     std::vector<std::shared_ptr<Request>> batch;
-    const std::int64_t take = std::min<std::int64_t>(
-        static_cast<std::int64_t>(queue_.size()), options_.max_batch);
-    batch.reserve(static_cast<std::size_t>(take));
-    for (std::int64_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
+    const auto now = std::chrono::steady_clock::now();
+    bool expired_any = false;
+    while (static_cast<std::int64_t>(batch.size()) < options_.max_batch &&
+           !queue_.empty()) {
+      std::shared_ptr<Request>& front = queue_.front();
+      if (front->abandoned) {
+        front->done = true;
+        queue_.pop_front();
+        continue;
+      }
+      if (front->has_deadline && now >= front->deadline) {
+        front->status = ServeStatus::kDeadlineExceeded;
+        front->done = true;
+        RecordRejected(ServeStatus::kDeadlineExceeded);
+        expired_any = true;
+        queue_.pop_front();
+        continue;
+      }
+      if (!batch.empty() && front->state.get() != batch.front()->state.get()) {
+        break;
+      }
+      batch.push_back(std::move(front));
       queue_.pop_front();
     }
     UpdateQueueGauge(static_cast<std::int64_t>(queue_.size()));
+    if (expired_any) done_cv_.notify_all();
+    if (batch.empty()) continue;
     lock.unlock();
+    if (options_.fault_injector.stall_batch) {
+      options_.fault_injector.stall_batch(
+          static_cast<std::int64_t>(batch.size()));
+    }
     ProcessBatch(batch);
     lock.lock();
-    for (const auto& r : batch) r->done = true;
+    for (const auto& r : batch) {
+      if (!r->abandoned) r->status = r->result_status;
+      r->done = true;
+    }
     done_cv_.notify_all();
   }
 }
@@ -279,6 +496,8 @@ void EmbeddingServer::ProcessBatch(
     const std::vector<std::shared_ptr<Request>>& batch) {
   TraceSpan span("serve_batch");
   RecordBatchMetrics(static_cast<std::int64_t>(batch.size()));
+  // Every request in the batch shares one pinned generation.
+  ModelState& state = *batch.front()->state;
   // One frontier-batched row fetch covers every node the batch touches.
   std::vector<std::int64_t> needed;
   needed.reserve(batch.size() * 2);
@@ -288,7 +507,7 @@ void EmbeddingServer::ProcessBatch(
   }
   std::sort(needed.begin(), needed.end());
   needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
-  const std::vector<std::vector<float>> rows = FetchRows(needed);
+  const std::vector<std::vector<float>> rows = FetchRows(state, needed);
   const auto row_of = [&](std::int64_t node) -> const std::vector<float>& {
     const auto it = std::lower_bound(needed.begin(), needed.end(), node);
     return rows[static_cast<std::size_t>(it - needed.begin())];
@@ -306,11 +525,11 @@ void EmbeddingServer::ProcessBatch(
         break;
       }
       case Request::Kind::kTopK: {
-        if (!quantized_.empty()) {
-          ServeTopKQuantized(r.get(), row_of(r->a));
+        if (!state.quantized.empty()) {
+          ServeTopKQuantized(state, r.get(), row_of(r->a), r->degrade);
           break;
         }
-        const Matrix& z = FullEmbeddings();
+        const Matrix& z = FullEmbeddings(state);
         const std::vector<float>& q = row_of(r->a);
         const std::int64_t n = z.rows();
         // One owned slot per node: deterministic at any thread count.
@@ -352,17 +571,19 @@ void EmbeddingServer::ProcessBatch(
   }
 }
 
-void EmbeddingServer::ServeTopKQuantized(Request* req,
-                                         const std::vector<float>& query) {
+void EmbeddingServer::ServeTopKQuantized(ModelState& state, Request* req,
+                                         const std::vector<float>& query,
+                                         bool degraded) {
   TraceSpan span("serve_topk_quantized");
-  const std::int64_t n = quantized_.rows();
+  const QuantizedEmbeddingTable& quantized = state.quantized;
+  const std::int64_t n = quantized.rows();
   // Approximate scan over the int8 table (exact integer dot + one float
   // rescale per row — deterministic at any thread count and identical
   // in every SIMD backend).
   std::vector<std::int8_t> qcodes;
-  const float qscale = quantized_.QuantizeQuery(query.data(), &qcodes);
+  const float qscale = quantized.QuantizeQuery(query.data(), &qcodes);
   std::vector<float> approx;
-  quantized_.ScoreAll(qcodes.data(), qscale, &approx);
+  quantized.ScoreAll(qcodes.data(), qscale, &approx);
   std::vector<std::int64_t> order;
   order.reserve(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
@@ -371,10 +592,12 @@ void EmbeddingServer::ServeTopKQuantized(Request* req,
   const std::int64_t k =
       std::min<std::int64_t>(req->b, static_cast<std::int64_t>(order.size()));
   // Candidate pool: k * rescore_factor by approximate score (total order:
-  // score desc, node id asc). rescore_factor == 0 disables the exact
-  // pass and returns the approximate top-k directly.
+  // score desc, node id asc). rescore_factor == 0 — or a degraded
+  // request (load shedding skips the exact pass) — returns the
+  // approximate top-k directly.
+  const bool approx_only = degraded || options_.rescore_factor == 0;
   const std::int64_t pool =
-      options_.rescore_factor == 0
+      approx_only
           ? k
           : std::min<std::int64_t>(k * options_.rescore_factor,
                                    static_cast<std::int64_t>(order.size()));
@@ -387,12 +610,16 @@ void EmbeddingServer::ServeTopKQuantized(Request* req,
   std::partial_sort(order.begin(), order.begin() + pool, order.end(),
                     by_approx);
   order.resize(static_cast<std::size_t>(pool));
-  if (options_.rescore_factor == 0) {
+  if (approx_only) {
     req->topk.nodes.assign(order.begin(), order.begin() + k);
     req->topk.scores.reserve(static_cast<std::size_t>(k));
     for (std::int64_t i = 0; i < k; ++i) {
       req->topk.scores.push_back(
           approx[static_cast<std::size_t>(req->topk.nodes[i])]);
+    }
+    if (degraded) {
+      req->result_status = ServeStatus::kDegraded;
+      RecordDegraded();
     }
     return;
   }
@@ -403,7 +630,7 @@ void EmbeddingServer::ServeTopKQuantized(Request* req,
   // scan exactly — rows, scores, and tie-breaks.
   std::vector<std::int64_t> sorted = order;
   std::sort(sorted.begin(), sorted.end());
-  const std::vector<std::vector<float>> rows = FetchRows(sorted);
+  const std::vector<std::vector<float>> rows = FetchRows(state, sorted);
   std::vector<float> exact(static_cast<std::size_t>(pool));
   for (std::int64_t i = 0; i < pool; ++i) {
     const auto it = std::lower_bound(sorted.begin(), sorted.end(), order[i]);
@@ -433,19 +660,21 @@ void EmbeddingServer::ServeTopKQuantized(Request* req,
 }
 
 std::vector<std::vector<float>> EmbeddingServer::FetchRows(
-    const std::vector<std::int64_t>& nodes) {
+    ModelState& state, const std::vector<std::int64_t>& nodes) {
   std::vector<std::vector<float>> rows(nodes.size());
   if (options_.precompute) {
     for (std::size_t i = 0; i < nodes.size(); ++i) {
-      const float* r = full_.RowPtr(nodes[i]);
-      rows[i].assign(r, r + full_.cols());
+      const float* r = state.full.RowPtr(nodes[i]);
+      rows[i].assign(r, r + state.full.cols());
     }
     return rows;
   }
+  ShardedRowCache& cache = *state.cache;
+  const std::uint64_t corrupt_before = cache.corrupt_dropped();
   std::vector<std::int64_t> missing;
   std::vector<std::size_t> missing_slot;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    if (!cache_->Get(nodes[i], &rows[i])) {
+    if (!cache.Get(nodes[i], &rows[i])) {
       missing.push_back(nodes[i]);
       missing_slot.push_back(i);
     }
@@ -453,29 +682,34 @@ std::vector<std::vector<float>> EmbeddingServer::FetchRows(
   RecordCacheMetrics(
       static_cast<std::int64_t>(nodes.size() - missing.size()),
       static_cast<std::int64_t>(missing.size()));
+  RecordCorruptDropped(cache.corrupt_dropped() - corrupt_before);
   if (!missing.empty()) {
     // `missing` is sorted (nodes is), so one EncodeRows call computes all
     // cold rows over a single shared frontier.
     const Matrix computed =
-        encoder_->EncodeRows(adj_, graph_->features, missing);
+        state.encoder->EncodeRows(adj_, graph_->features, missing);
     RecordRowsComputed(static_cast<std::int64_t>(missing.size()));
     for (std::size_t j = 0; j < missing.size(); ++j) {
       const float* r = computed.RowPtr(static_cast<std::int64_t>(j));
       rows[missing_slot[j]].assign(r, r + computed.cols());
-      cache_->Put(missing[j], rows[missing_slot[j]]);
+      cache.Put(missing[j], rows[missing_slot[j]]);
+      if (options_.fault_injector.corrupt_row_after_put &&
+          options_.fault_injector.corrupt_row_after_put(missing[j])) {
+        cache.CorruptEntryForTest(missing[j]);
+      }
     }
   }
   return rows;
 }
 
-const Matrix& EmbeddingServer::FullEmbeddings() {
-  // Precomputed at construction, or materialized by the flusher on the
-  // first TopK; only the flusher thread reaches this path afterwards, so
-  // no lock is needed.
-  if (full_.rows() == 0) {
-    full_ = encoder_->Encode(*graph_);
+const Matrix& EmbeddingServer::FullEmbeddings(ModelState& state) {
+  // Precomputed at generation build time, or materialized by the
+  // flusher on the first fp32 TopK; only the flusher thread reaches
+  // this path afterwards, so no lock is needed.
+  if (state.full.rows() == 0) {
+    state.full = state.encoder->Encode(*graph_);
   }
-  return full_;
+  return state.full;
 }
 
 }  // namespace e2gcl

@@ -1,6 +1,7 @@
 #ifndef E2GCL_SERVE_EMBEDDING_SERVER_H_
 #define E2GCL_SERVE_EMBEDDING_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -14,8 +15,11 @@
 #include "graph/graph.h"
 #include "io/checkpoint.h"
 #include "nn/gcn.h"
+#include "serve/fault_injector.h"
 #include "serve/lru_cache.h"
 #include "serve/quantized_table.h"
+#include "serve/reload.h"
+#include "serve/serve_status.h"
 #include "tensor/csr.h"
 #include "tensor/matrix.h"
 
@@ -46,16 +50,30 @@ struct ServeOptions {
   /// way.
   std::int64_t batch_gap_us = 0;
   /// Serve TopKSimilar from a symmetric int8 per-row quantized copy of
-  /// the embedding table (built once at startup; ~4x smaller than the
-  /// fp32 matrix that lazy TopK would otherwise materialize). The
-  /// approximate scan picks k * rescore_factor candidates, which are
+  /// the embedding table (built once per model generation; ~4x smaller
+  /// than the fp32 matrix that lazy TopK would otherwise materialize).
+  /// The approximate scan picks k * rescore_factor candidates, which are
   /// re-scored with exact fp32 rows before the final top-k cut;
   /// rescore_factor = 0 skips the rescore and returns approximate
   /// scores. GetEmbedding/ScoreLink always stay exact fp32.
   bool quantize_int8 = false;
   std::int64_t rescore_factor = 4;
+  /// Admission-control watermark: a request arriving while this many
+  /// requests are already queued is rejected immediately with
+  /// kOverloaded (load shedding) instead of growing the queue without
+  /// bound. The bounded-retry helper (RetryWithBackoff) is the intended
+  /// client response.
+  std::int64_t max_queue_depth = 4096;
+  /// Graceful degradation: when a TopKSimilar request that allows it
+  /// arrives while at least this many requests are queued (pressure),
+  /// it is answered from the int8 approximate scan with the exact
+  /// rescore skipped and flagged kDegraded. 0 disables degradation.
+  /// Requires quantize_int8 (without a table there is nothing cheaper
+  /// to answer from, and the request is served exactly).
+  std::int64_t degrade_watermark = 0;
   /// When nonzero, loading refuses a checkpoint whose config fingerprint
-  /// differs (same contract as trainer resume).
+  /// differs (same contract as trainer resume). Hot reloads revalidate
+  /// against the same fingerprint.
   std::uint64_t expected_fingerprint = 0;
   /// Encoder architecture. When `encoder.dims` is empty (the serving
   /// default — note GcnConfig's own default dims are non-empty) the
@@ -63,13 +81,8 @@ struct ServeOptions {
   /// shapes (InferEncoderLayout) and the remaining knobs keep the
   /// trainer defaults (ReLU, linear final layer, no PReLU).
   GcnConfig encoder = {.dims = {}};
-};
-
-/// Result of a TopKSimilar query: up to k nodes ordered by descending
-/// dot-product score (node id ascending on ties), query node excluded.
-struct TopKResult {
-  std::vector<std::int64_t> nodes;
-  std::vector<float> scores;
+  /// Test-only fault hooks; unset in production (fault_injector.h).
+  ServeFaultInjector fault_injector;
 };
 
 /// Serves frozen-encoder embedding queries over one graph + checkpoint.
@@ -79,12 +92,32 @@ struct TopKResult {
 /// funnel through a micro-batching queue drained by a single flusher
 /// thread; the flusher computes missing rows in one frontier-batched
 /// GcnEncoder::EncodeRows call per batch (riding the global thread
-/// pool) and fills per-request results. Callers block until their
-/// request is served; any number of threads may query concurrently.
+/// pool) and fills per-request results. Any number of threads may query
+/// concurrently.
 ///
-/// Determinism contract: a row is bit-identical whether it is served
-/// cold, from the cache, solo, or inside any batch composition, at any
-/// E2GCL_NUM_THREADS — see DESIGN.md "Serving architecture".
+/// Robustness layer (DESIGN.md "Serving robustness model"):
+///  * Every call has a status-typed variant carrying ServeRequestOptions
+///    with a deadline: expired requests fail fast with
+///    kDeadlineExceeded — the caller is released at its deadline even if
+///    the flusher is wedged, and an expired queued request is dropped
+///    without paying its compute.
+///  * Admission control sheds load at the max_queue_depth watermark
+///    (kOverloaded) and degrades eligible TopK requests under pressure
+///    (kDegraded, int8 approximate scan, always flagged and counted).
+///  * Hot checkpoint reload: ReloadCheckpoint/ReloadFromFile build and
+///    validate a fresh generation off the serving path, then swap it in
+///    RCU-style. In-flight requests stay pinned to the generation they
+///    were admitted under; every response is tagged with its
+///    generation.
+///  * Shutdown drains deterministically: queued requests are served (or
+///    deadline-failed), new ones are rejected with kShutdown, and no
+///    caller stays blocked past the destructor.
+///
+/// Determinism contract: within one model generation a row is
+/// bit-identical whether it is served cold, from the cache, solo, or
+/// inside any batch composition, at any E2GCL_NUM_THREADS — see
+/// DESIGN.md "Serving architecture". Degraded responses are exactly the
+/// approximate-scan answers (themselves deterministic), never a mix.
 class EmbeddingServer {
  public:
   /// Loads + validates an on-disk checkpoint (magic/version/per-section
@@ -100,75 +133,124 @@ class EmbeddingServer {
       const Graph& graph, const TrainerCheckpoint& ckpt,
       const ServeOptions& options, std::string* error);
 
-  /// Prefer the factories: this constructor trusts that `encoder`
-  /// already holds validated weights for `graph`.
-  EmbeddingServer(const Graph& graph, std::unique_ptr<GcnEncoder> encoder,
+  /// Prefer the factories: this constructor trusts that `state` was
+  /// built by BuildModelState for `graph` + `options`.
+  EmbeddingServer(const Graph& graph, std::shared_ptr<ModelState> state,
                   const ServeOptions& options);
 
-  /// Drains the queue (every in-flight request completes) and joins the
-  /// flusher thread.
+  /// BeginShutdown() + drain (every admitted request completes or fails
+  /// its deadline) + join the flusher thread. Never blocks on callers.
   ~EmbeddingServer();
 
   EmbeddingServer(const EmbeddingServer&) = delete;
   EmbeddingServer& operator=(const EmbeddingServer&) = delete;
 
-  /// The embedding row of `node` (blocking).
+  // --- Status-typed API (deadline/admission aware). ------------------------
+
+  /// The embedding row of `node`. Blocks at most until the request's
+  /// deadline (forever when deadline_us == 0).
+  EmbeddingResponse GetEmbedding(std::int64_t node,
+                                 const ServeRequestOptions& request);
+
+  /// Dot-product link score <z_u, z_v>.
+  ScoreResponse ScoreLink(std::int64_t u, std::int64_t v,
+                          const ServeRequestOptions& request);
+
+  /// The k most similar nodes to `node` by dot-product score. May be
+  /// answered degraded (see ServeOptions::degrade_watermark) when
+  /// `request.allow_degraded` is set.
+  TopKResponse TopKSimilar(std::int64_t node, std::int64_t k,
+                           const ServeRequestOptions& request);
+
+  // --- Legacy blocking API (no deadline, exact-only, aborts on a
+  // rejected request — kept for callers from before the robustness
+  // layer; new code should use the status-typed calls). ---------------------
+
   std::vector<float> GetEmbedding(std::int64_t node);
-
-  /// Dot-product link score <z_u, z_v> (blocking).
   float ScoreLink(std::int64_t u, std::int64_t v);
-
-  /// The k most similar nodes to `node` by dot-product score (blocking).
   TopKResult TopKSimilar(std::int64_t node, std::int64_t k);
 
+  // --- Hot checkpoint reload. ----------------------------------------------
+
+  /// Zero-downtime reload: validates `ckpt` with exactly the checks the
+  /// initial load performs, builds the next generation (encoder +
+  /// fresh cache + quantized table) off the serving path, then swaps it
+  /// in atomically. Queries keep being served from the old generation
+  /// for the whole build; requests already admitted finish on the
+  /// generation they started on. Returns kOk (swapped), kReloading
+  /// (another reload in flight), kShutdown, or kInvalidArgument
+  /// (validation failed; `*error` says why and serving is untouched).
+  ServeStatus ReloadCheckpoint(const TrainerCheckpoint& ckpt,
+                               std::string* error = nullptr);
+
+  /// ReloadCheckpoint from a checkpoint file (full magic/version/CRC
+  /// validation; a torn or corrupt file is rejected without touching
+  /// the serving state).
+  ServeStatus ReloadFromFile(const std::string& path,
+                             std::string* error = nullptr);
+
+  /// Stops admitting new requests (they fail fast with kShutdown) and
+  /// lets the flusher drain what was already admitted. Idempotent; the
+  /// destructor calls it implicitly.
+  void BeginShutdown();
+
+  // --- Introspection. ------------------------------------------------------
+
   std::int64_t num_nodes() const { return graph_->num_nodes; }
-  std::int64_t embed_dim() const {
-    return encoder_->config().dims.back();
-  }
-  const GcnEncoder& encoder() const { return *encoder_; }
-  /// Lazy-mode row cache (nullptr in precompute mode).
-  const ShardedRowCache* cache() const { return cache_.get(); }
-  /// Int8 table (empty unless options.quantize_int8).
-  const QuantizedEmbeddingTable& quantized() const { return quantized_; }
+  std::int64_t embed_dim() const;
+  /// Current model generation (1 = initial checkpoint).
+  std::uint64_t generation() const;
+  /// Pins and returns the current generation (tests; survives reloads).
+  std::shared_ptr<const ModelState> state() const;
+  /// Requests currently queued (scheduling-dependent; tests only).
+  std::int64_t queue_depth() const;
+  /// Current generation's lazy-mode row cache (nullptr in precompute
+  /// mode). The pointer is invalidated by a reload — use state() when
+  /// reloads may run concurrently.
+  const ShardedRowCache* cache() const;
+  /// Current generation's int8 table (empty unless
+  /// options.quantize_int8). Same reload caveat as cache().
+  const QuantizedEmbeddingTable& quantized() const;
 
  private:
   struct Request;
 
-  /// Enqueues and blocks until the flusher marks the request done.
-  void Submit(const std::shared_ptr<Request>& req);
-  /// Single-threaded flusher: batches by size/deadline, serves, signals.
+  /// Admission control + enqueue + bounded wait. Returns the request's
+  /// final status.
+  ServeStatus Submit(const std::shared_ptr<Request>& req,
+                     const ServeRequestOptions& request);
+  /// Single-threaded flusher: batches by size/deadline/generation,
+  /// serves, signals.
   void FlusherLoop();
   /// Serves one popped batch (runs on the flusher thread, outside mu_).
+  /// Every request in the batch is pinned to the same generation.
   void ProcessBatch(const std::vector<std::shared_ptr<Request>>& batch);
   /// Rows for sorted-unique `nodes`, aligned with `nodes` — cache/lazy
   /// or precomputed, depending on the mode.
   std::vector<std::vector<float>> FetchRows(
-      const std::vector<std::int64_t>& nodes);
-  /// The full |V| x d embedding matrix (precomputed, or materialized on
-  /// first TopK in lazy mode).
-  const Matrix& FullEmbeddings();
-  /// Serves one TopK request from the int8 table (+ fp32 rescore).
-  void ServeTopKQuantized(Request* req, const std::vector<float>& query);
+      ModelState& state, const std::vector<std::int64_t>& nodes);
+  /// The generation's full |V| x d embedding matrix (precomputed, or
+  /// materialized on first fp32 TopK in lazy mode).
+  const Matrix& FullEmbeddings(ModelState& state);
+  /// Serves one TopK request from the int8 table. `degraded` skips the
+  /// exact rescore regardless of rescore_factor.
+  void ServeTopKQuantized(ModelState& state, Request* req,
+                          const std::vector<float>& query, bool degraded);
 
   const Graph* graph_;
   CsrMatrix adj_;
-  std::unique_ptr<GcnEncoder> encoder_;
   ServeOptions options_;
-  std::unique_ptr<ShardedRowCache> cache_;  // lazy mode only
 
-  /// Full embedding matrix; rows() == 0 until materialized. Only the
-  /// constructor (precompute mode) and the flusher thread (first TopK)
-  /// write it.
-  Matrix full_;
-  /// Int8 copy of the embedding table, built once at construction when
-  /// options.quantize_int8 is set; immutable afterwards.
-  QuantizedEmbeddingTable quantized_;
-
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  /// Current generation; swapped under mu_ by ReloadCheckpoint. Requests
+  /// pin their own shared_ptr copy at admission.
+  std::shared_ptr<ModelState> state_;
   std::condition_variable queue_cv_;  // wakes the flusher
   std::condition_variable done_cv_;   // wakes blocked callers
   std::deque<std::shared_ptr<Request>> queue_;
   bool shutdown_ = false;
+  /// Single-reload gate (kReloading for the losers of the race).
+  std::atomic<bool> reload_in_flight_{false};
   std::thread flusher_;
 };
 

@@ -1,0 +1,36 @@
+#ifndef E2GCL_SERVE_FAULT_INJECTOR_H_
+#define E2GCL_SERVE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace e2gcl {
+
+/// Deterministic serve-side fault-injection hooks, mirroring the
+/// trainer's FaultInjector (core/trainer.h): all hooks are optional,
+/// production servers leave them unset and pay one null-check per site.
+/// They exist so tests/serve_robustness_test.cc can stage the failure
+/// modes the robustness layer defends against — a stalled flusher, a
+/// corrupted cache entry, a reload racing live queries, a saturated
+/// queue — without sleeps-and-hope scheduling.
+struct ServeFaultInjector {
+  /// Called by the flusher thread right before it serves a popped batch
+  /// (outside the queue lock). Blocking here stalls the serving path
+  /// while admission, deadlines, and shutdown keep running — the stall
+  /// every deadline/watermark test is built on.
+  std::function<void(std::int64_t batch_size)> stall_batch;
+  /// Consulted after a freshly computed row is inserted into the lazy
+  /// row cache. Return true to flip a byte of the cached copy (checksum
+  /// left stale), planting the corruption that the CRC-checked Get must
+  /// catch and repair. The served row itself is never touched.
+  std::function<bool(std::int64_t node)> corrupt_row_after_put;
+  /// Called on the reloading thread after the new generation is fully
+  /// built and validated, right before the pointer swap. Lets tests
+  /// hold a reload in flight to order it against concurrent queries and
+  /// competing reloads.
+  std::function<void(std::uint64_t new_generation)> before_reload_swap;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_SERVE_FAULT_INJECTOR_H_

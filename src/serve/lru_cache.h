@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "io/serialize.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -26,6 +27,12 @@ namespace e2gcl {
 /// Capacity is a total row budget split evenly across shards (each
 /// shard gets at least one slot). Eviction is strictly
 /// least-recently-used within a shard.
+///
+/// Every entry carries a CRC32 of its row bytes, computed at Put time
+/// and re-verified on Get: a corrupted entry (bit rot, stray write) is
+/// dropped and reported as a miss, so the caller recomputes the row
+/// instead of serving garbage. Detections are counted in
+/// `corrupt_dropped()` and the `serve.cache.corrupt_dropped` counter.
 class ShardedRowCache {
  public:
   ShardedRowCache(std::int64_t capacity, int num_shards)
@@ -39,7 +46,9 @@ class ShardedRowCache {
   ShardedRowCache& operator=(const ShardedRowCache&) = delete;
 
   /// Copies the cached row for `node` into `*out` and marks it most
-  /// recently used. Returns false (leaving `*out` untouched) on a miss.
+  /// recently used. Returns false (leaving `*out` untouched) on a miss
+  /// or when the entry fails its checksum (the entry is dropped so the
+  /// caller's recompute repairs the cache).
   bool Get(std::int64_t node, std::vector<float>* out) {
     Shard& shard = ShardFor(node);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -48,8 +57,15 @@ class ShardedRowCache {
       misses_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
+    if (RowCrc(it->second->row) != it->second->crc) {
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      corrupt_dropped_.fetch_add(1, std::memory_order_relaxed);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    *out = it->second->second;
+    *out = it->second->row;
     hits_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
@@ -57,23 +73,39 @@ class ShardedRowCache {
   /// Inserts (or refreshes) the row for `node`, evicting the shard's
   /// least-recently-used entry when the shard is full.
   void Put(std::int64_t node, std::vector<float> row) {
+    const std::uint32_t crc = RowCrc(row);
     Shard& shard = ShardFor(node);
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.index.find(node);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      it->second->second = std::move(row);
+      it->second->row = std::move(row);
+      it->second->crc = crc;
       return;
     }
-    shard.lru.emplace_front(node, std::move(row));
+    shard.lru.push_front(Entry{node, std::move(row), crc});
     shard.index.emplace(node, shard.lru.begin());
     if (static_cast<std::int64_t>(shard.lru.size()) > per_shard_capacity_) {
-      shard.index.erase(shard.lru.back().first);
+      shard.index.erase(shard.lru.back().node);
       shard.lru.pop_back();
     }
   }
 
-  /// True iff `node` is currently cached (no recency update; test/debug).
+  /// Test-only: flips one byte of the cached row for `node` (checksum
+  /// left stale) to plant the corruption the next Get must detect.
+  /// Returns false when the node is not cached or its row is empty.
+  bool CorruptEntryForTest(std::int64_t node) {
+    Shard& shard = ShardFor(node);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(node);
+    if (it == shard.index.end() || it->second->row.empty()) return false;
+    auto* bytes = reinterpret_cast<unsigned char*>(it->second->row.data());
+    bytes[0] = static_cast<unsigned char>(bytes[0] ^ 0x5a);
+    return true;
+  }
+
+  /// True iff `node` is currently cached (no recency update, no
+  /// checksum verification; test/debug).
   bool Contains(std::int64_t node) const {
     const Shard& shard = ShardFor(node);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -96,14 +128,28 @@ class ShardedRowCache {
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Entries dropped because their stored CRC no longer matched.
+  std::uint64_t corrupt_dropped() const {
+    return corrupt_dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct Entry {
+    std::int64_t node;
+    std::vector<float> row;
+    std::uint32_t crc;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     /// Front = most recently used. The index maps node id -> list node.
-    std::list<std::pair<std::int64_t, std::vector<float>>> lru;
-    std::unordered_map<std::int64_t, decltype(lru)::iterator> index;
+    std::list<Entry> lru;
+    std::unordered_map<std::int64_t, std::list<Entry>::iterator> index;
   };
+
+  static std::uint32_t RowCrc(const std::vector<float>& row) {
+    return Crc32(row.data(), row.size() * sizeof(float));
+  }
 
   Shard& ShardFor(std::int64_t node) {
     return shards_[static_cast<std::size_t>(
@@ -118,6 +164,7 @@ class ShardedRowCache {
   std::int64_t per_shard_capacity_ = 1;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> corrupt_dropped_{0};
 };
 
 }  // namespace e2gcl

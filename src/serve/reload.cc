@@ -1,0 +1,89 @@
+#include "serve/reload.h"
+
+#include <utility>
+#include <vector>
+
+#include "serve/embedding_server.h"
+
+namespace e2gcl {
+
+namespace {
+
+bool ShapesMatch(const std::vector<Var>& params,
+                 const std::vector<Matrix>& values) {
+  if (params.size() != values.size()) return false;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].value().rows() != values[i].rows() ||
+        params[i].value().cols() != values[i].cols()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<ModelState> BuildModelState(const Graph& graph,
+                                            const TrainerCheckpoint& ckpt,
+                                            const ServeOptions& options,
+                                            std::uint64_t generation,
+                                            std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::shared_ptr<ModelState>();
+  };
+  if (graph.num_nodes <= 0 || graph.features.empty()) {
+    return fail("serving requires a non-empty graph with node features");
+  }
+  if (options.expected_fingerprint != 0 &&
+      ckpt.config_fingerprint != options.expected_fingerprint) {
+    return fail("checkpoint config fingerprint does not match the expected "
+                "fingerprint");
+  }
+  GcnConfig config = options.encoder;
+  if (config.dims.empty()) {
+    if (!InferEncoderLayout(ckpt.encoder_params, &config.dims,
+                            &config.bias)) {
+      return fail("checkpoint encoder parameters form no consistent GCN "
+                  "layer chain");
+    }
+  }
+  // Serving is inference-only; dropout would be ignored anyway.
+  config.dropout = 0.0f;
+  if (config.dims.front() != graph.feature_dim()) {
+    return fail("checkpoint encoder input width does not match the graph's "
+                "feature dimension");
+  }
+  Rng rng(0);  // Initial weights are immediately overwritten.
+  auto encoder = std::make_unique<GcnEncoder>(config, rng);
+  if (!ShapesMatch(encoder->params().params(), ckpt.encoder_params)) {
+    return fail("checkpoint encoder parameter shapes do not match the "
+                "encoder configuration");
+  }
+  encoder->params().LoadValues(ckpt.encoder_params);
+
+  auto state = std::make_shared<ModelState>();
+  state->generation = generation;
+  state->encoder = std::move(encoder);
+  if (options.precompute) {
+    state->full = state->encoder->Encode(graph);
+  } else {
+    state->cache = std::make_unique<ShardedRowCache>(options.cache_capacity,
+                                                     options.cache_shards);
+  }
+  if (options.quantize_int8) {
+    // Build the int8 table from a transient full encode; in lazy mode
+    // the fp32 matrix is dropped right after, leaving the 4x-smaller
+    // table as the only |V|-resident state (TopK never materializes
+    // `full`).
+    if (options.precompute) {
+      state->quantized = QuantizedEmbeddingTable::Build(state->full);
+    } else {
+      state->quantized =
+          QuantizedEmbeddingTable::Build(state->encoder->Encode(graph));
+    }
+  }
+  return state;
+}
+
+}  // namespace e2gcl

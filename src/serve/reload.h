@@ -1,0 +1,63 @@
+#ifndef E2GCL_SERVE_RELOAD_H_
+#define E2GCL_SERVE_RELOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+#include "io/checkpoint.h"
+#include "nn/gcn.h"
+#include "serve/lru_cache.h"
+#include "serve/quantized_table.h"
+#include "tensor/matrix.h"
+
+namespace e2gcl {
+
+struct ServeOptions;  // embedding_server.h (which includes this header)
+
+/// One immutable-once-published model generation: everything whose
+/// contents depend on the checkpoint weights. The EmbeddingServer holds
+/// the current generation behind a `shared_ptr` and swaps it RCU-style
+/// on hot reload; every request pins the generation it was admitted
+/// under, so in-flight queries stay bit-identical to the model they
+/// started on and never observe a half-switched state. The row cache
+/// and quantized table live *inside* the generation — a reload starts
+/// from a cold cache rather than risking rows encoded by older weights.
+///
+/// Mutability after publication is confined to single-writer members:
+/// `cache` is internally synchronized, and `full` is written only by
+/// the flusher thread (lazy-mode first-TopK materialization).
+struct ModelState {
+  /// Monotonic reload epoch: 1 for the initially loaded checkpoint,
+  /// +1 per successful reload. Echoed in every response's
+  /// `generation` field.
+  std::uint64_t generation = 0;
+  std::unique_ptr<GcnEncoder> encoder;
+  /// Lazy-mode row cache (nullptr in precompute mode).
+  std::unique_ptr<ShardedRowCache> cache;
+  /// Full |V| x d embedding matrix; rows() == 0 until materialized
+  /// (at build time in precompute mode, by the flusher on the first
+  /// fp32 TopK in lazy mode).
+  Matrix full;
+  /// Int8 table (empty unless ServeOptions::quantize_int8).
+  QuantizedEmbeddingTable quantized;
+};
+
+/// Validates `ckpt` against `graph` + `options` (fingerprint, encoder
+/// layout inference, parameter shapes, feature width — the same checks
+/// initial Load performs) and builds a complete generation: encoder
+/// weights loaded, cache/precompute/quantized state constructed. This
+/// is the shared path behind both server construction and hot reload,
+/// so a reloaded checkpoint can never bypass a validation the initial
+/// one went through. Returns nullptr with `*error` set on any failure;
+/// the caller's serving state is untouched.
+std::shared_ptr<ModelState> BuildModelState(const Graph& graph,
+                                            const TrainerCheckpoint& ckpt,
+                                            const ServeOptions& options,
+                                            std::uint64_t generation,
+                                            std::string* error);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_SERVE_RELOAD_H_

@@ -1,0 +1,140 @@
+#ifndef E2GCL_SERVE_SERVE_STATUS_H_
+#define E2GCL_SERVE_SERVE_STATUS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace e2gcl {
+
+/// Typed outcome of a serving call. Every response carries one, so
+/// callers can distinguish a served answer (kOk/kDegraded) from a
+/// fast-failed one without parsing error strings. See DESIGN.md
+/// "Serving robustness model".
+enum class ServeStatus : std::uint8_t {
+  /// Served exactly: the answer is bit-identical to the offline encode
+  /// of the response's model generation.
+  kOk = 0,
+  /// Served, but from the int8 approximate scan with the exact rescore
+  /// skipped (load shedding). Only TopKSimilar degrades, only when the
+  /// request allows it, and the response is always flagged — a degraded
+  /// answer is never silent.
+  kDegraded = 1,
+  /// The request's deadline_us elapsed before the flusher served it.
+  /// The caller has already been released; no result was produced.
+  kDeadlineExceeded = 2,
+  /// Admission control rejected the request at the max_queue_depth
+  /// watermark. Transient: retryable.
+  kOverloaded = 3,
+  /// A checkpoint reload could not start because another reload is
+  /// already in flight. Transient: retryable.
+  kReloading = 4,
+  /// The server is draining for shutdown and no longer admits work.
+  kShutdown = 5,
+  /// The argument (e.g. a reload checkpoint) failed validation.
+  kInvalidArgument = 6,
+};
+
+/// Stable lowercase name for logs/CLI output.
+inline const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kDegraded: return "degraded";
+    case ServeStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case ServeStatus::kOverloaded: return "overloaded";
+    case ServeStatus::kReloading: return "reloading";
+    case ServeStatus::kShutdown: return "shutdown";
+    case ServeStatus::kInvalidArgument: return "invalid_argument";
+  }
+  return "unknown";
+}
+
+/// True when the call produced an answer (exact or degraded).
+inline bool ServeStatusServed(ServeStatus status) {
+  return status == ServeStatus::kOk || status == ServeStatus::kDegraded;
+}
+
+/// True for rejections that a bounded retry can reasonably turn into a
+/// success. Deadline expiry is not retryable here: the deadline belongs
+/// to the caller, who must decide whether a later answer is still
+/// useful.
+inline bool ServeStatusRetryable(ServeStatus status) {
+  return status == ServeStatus::kOverloaded ||
+         status == ServeStatus::kReloading;
+}
+
+/// Per-request options carried by every serving call.
+struct ServeRequestOptions {
+  /// Fail the request with kDeadlineExceeded once this many microseconds
+  /// have elapsed since submission (admission + queueing + compute).
+  /// 0 = no deadline: block until served (the pre-robustness contract).
+  std::int64_t deadline_us = 0;
+  /// Allow the server to answer this request degraded (approximate
+  /// TopK) under pressure. Callers that need the exact contract set
+  /// false and keep kOk-or-rejected semantics.
+  bool allow_degraded = true;
+};
+
+/// Query result of TopKSimilar: up to k nodes ordered by descending
+/// dot-product score (node id ascending on ties), query node excluded.
+struct TopKResult {
+  std::vector<std::int64_t> nodes;
+  std::vector<float> scores;
+};
+
+/// Responses: status + the model generation that produced the answer
+/// (0 when the request was never admitted — rejected at the door by
+/// admission control or shutdown). Within one generation every
+/// served row/score is bit-identical to that generation's offline
+/// encode — the tag is what makes that testable across hot reloads.
+struct EmbeddingResponse {
+  ServeStatus status = ServeStatus::kOk;
+  std::uint64_t generation = 0;
+  std::vector<float> row;
+  bool served() const { return ServeStatusServed(status); }
+};
+
+struct ScoreResponse {
+  ServeStatus status = ServeStatus::kOk;
+  std::uint64_t generation = 0;
+  float score = 0.0f;
+  bool served() const { return ServeStatusServed(status); }
+};
+
+struct TopKResponse {
+  ServeStatus status = ServeStatus::kOk;
+  std::uint64_t generation = 0;
+  TopKResult result;
+  bool served() const { return ServeStatusServed(status); }
+};
+
+/// Bounded-retry policy for transient rejects (kOverloaded/kReloading):
+/// exponential backoff starting at initial_backoff_us, doubling per
+/// attempt, capped at max_backoff_us.
+struct RetryPolicy {
+  int max_attempts = 4;
+  std::int64_t initial_backoff_us = 100;
+  std::int64_t max_backoff_us = 10000;
+};
+
+/// Client helper: calls `fn` (returning any *Response type) up to
+/// policy.max_attempts times, sleeping the backoff between attempts,
+/// until the status stops being retryable. Returns the last response.
+template <typename Fn>
+auto RetryWithBackoff(const RetryPolicy& policy, Fn&& fn) -> decltype(fn()) {
+  auto response = fn();
+  std::int64_t backoff_us = policy.initial_backoff_us;
+  for (int attempt = 1; attempt < policy.max_attempts &&
+                        ServeStatusRetryable(response.status);
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(policy.max_backoff_us, backoff_us * 2);
+    response = fn();
+  }
+  return response;
+}
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_SERVE_SERVE_STATUS_H_

@@ -67,6 +67,7 @@ TARGETS=(
   bench_compare_test
   hash_order_test
   serve_test
+  serve_robustness_test
   lint_test
 )
 

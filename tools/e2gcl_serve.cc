@@ -54,14 +54,24 @@ void Usage(const char* prog) {
       "greedy flush (default 0)\n"
       "  --quantize-int8          serve TopKSimilar from a 4x-smaller "
       "int8 table\n"
-      "  --rescore-factor <int>   exact-rescore pool = k * this; 0 = "
-      "approximate only (default 4)\n"
+      "  --rescore-factor <int>   exact-rescore pool = k * this "
+      "(>= 1; default 4)\n"
       "  --fingerprint <uint64>   refuse checkpoints with a different "
       "config fingerprint\n"
+      "robustness:\n"
+      "  --max-queue-depth <int>  admission watermark; requests beyond it "
+      "fail fast as overloaded (default 4096)\n"
+      "  --degrade-watermark <int> answer TopK approximately (flagged "
+      "degraded) at this queue depth; 0 = off, needs --quantize-int8\n"
+      "  --request-deadline-us <int> per-query deadline; expired queries "
+      "fail fast as deadline_exceeded (0 = wait; default 0)\n"
+      "  --no-degraded            never accept degraded TopK answers\n"
       "queries (repeatable, answered in order):\n"
       "  --embed <node>           print the node's embedding row\n"
       "  --score <u,v>            print the dot-product link score\n"
       "  --topk <node,k>          print the k most similar nodes\n"
+      "  --reload-checkpoint <path> hot-reload this checkpoint (zero "
+      "downtime), then keep answering\n"
       "  --stats                  print serve.* metrics before exit\n",
       prog);
 }
@@ -109,9 +119,10 @@ bool ParsePair(const char* s, long long* a, long long* b) {
 }
 
 struct Query {
-  enum class Kind { kEmbed, kScore, kTopK } kind;
+  enum class Kind { kEmbed, kScore, kTopK, kReload } kind;
   long long a = 0;
   long long b = 0;
+  std::string path;  // kReload only.
 };
 
 }  // namespace
@@ -125,6 +136,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   long long epochs = 20;
   bool stats = false;
+  long long deadline_us = 0;
+  bool allow_degraded = true;
   e2gcl::ServeOptions options;
   std::vector<Query> queries;
 
@@ -156,14 +169,43 @@ int main(int argc, char** argv) {
     } else if (arg == "--deadline-us" &&
                ParseInt(next(), 0, (1ll << 40), &v)) {
       options.batch_deadline_us = v;
-    } else if (arg == "--batch-gap-us" &&
-               ParseInt(next(), 0, (1ll << 40), &v)) {
+    } else if (arg == "--batch-gap-us") {
+      if (!ParseInt(next(), -(1ll << 40), (1ll << 40), &v) || v < 0) {
+        std::fprintf(stderr,
+                     "--batch-gap-us must be a non-negative integer "
+                     "(0 = greedy flush)\n");
+        Usage(argv[0]);
+        return 2;
+      }
       options.batch_gap_us = v;
     } else if (arg == "--quantize-int8") {
       options.quantize_int8 = true;
-    } else if (arg == "--rescore-factor" &&
-               ParseInt(next(), 0, 100000, &v)) {
+    } else if (arg == "--rescore-factor") {
+      if (!ParseInt(next(), -100000, 100000, &v) || v < 1) {
+        std::fprintf(stderr, "--rescore-factor must be an integer >= 1\n");
+        Usage(argv[0]);
+        return 2;
+      }
       options.rescore_factor = v;
+    } else if (arg == "--max-queue-depth" &&
+               ParseInt(next(), 1, (1ll << 40), &v)) {
+      options.max_queue_depth = v;
+    } else if (arg == "--degrade-watermark" &&
+               ParseInt(next(), 0, (1ll << 40), &v)) {
+      options.degrade_watermark = v;
+    } else if (arg == "--request-deadline-us" &&
+               ParseInt(next(), 0, (1ll << 40), &v)) {
+      deadline_us = v;
+    } else if (arg == "--no-degraded") {
+      allow_degraded = false;
+    } else if (arg == "--reload-checkpoint") {
+      const char* path = next();
+      if (path == nullptr || *path == '\0') {
+        std::fprintf(stderr, "--reload-checkpoint needs a file path\n");
+        Usage(argv[0]);
+        return 2;
+      }
+      queries.push_back({Query::Kind::kReload, 0, 0, path});
     } else if (arg == "--fingerprint" &&
                ParseU64(next(), &options.expected_fingerprint)) {
     } else if (arg == "--embed" && ParseInt(next(), 0, (1ll << 62), &v)) {
@@ -183,6 +225,13 @@ int main(int argc, char** argv) {
   if (train == !checkpoint_path.empty()) {
     std::fprintf(stderr,
                  "exactly one of --train / --checkpoint is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+  if (options.degrade_watermark > 0 && !options.quantize_int8) {
+    std::fprintf(stderr,
+                 "--degrade-watermark requires --quantize-int8 (degraded "
+                 "answers come from the int8 table)\n");
     Usage(argv[0]);
     return 2;
   }
@@ -223,33 +272,68 @@ int main(int argc, char** argv) {
               static_cast<long long>(server->embed_dim()),
               options.precompute ? "precompute" : "lazy");
 
+  e2gcl::ServeRequestOptions request;
+  request.deadline_us = deadline_us;
+  request.allow_degraded = allow_degraded;
   for (const Query& q : queries) {
-    if (q.a >= server->num_nodes() ||
-        (q.kind == Query::Kind::kScore && q.b >= server->num_nodes())) {
+    if (q.kind != Query::Kind::kReload &&
+        (q.a >= server->num_nodes() ||
+         (q.kind == Query::Kind::kScore && q.b >= server->num_nodes()))) {
       std::fprintf(stderr, "query node out of range (have %lld nodes)\n",
                    static_cast<long long>(server->num_nodes()));
       return 1;
     }
     switch (q.kind) {
       case Query::Kind::kEmbed: {
-        const std::vector<float> row = server->GetEmbedding(q.a);
+        const e2gcl::EmbeddingResponse r = server->GetEmbedding(q.a, request);
+        if (!r.served()) {
+          std::printf("embed %lld: !%s\n", q.a, ServeStatusName(r.status));
+          break;
+        }
         std::printf("embed %lld:", q.a);
-        for (float x : row) std::printf(" %.6g", static_cast<double>(x));
+        for (float x : r.row) std::printf(" %.6g", static_cast<double>(x));
         std::printf("\n");
         break;
       }
-      case Query::Kind::kScore:
+      case Query::Kind::kScore: {
+        const e2gcl::ScoreResponse r = server->ScoreLink(q.a, q.b, request);
+        if (!r.served()) {
+          std::printf("score %lld,%lld: !%s\n", q.a, q.b,
+                      ServeStatusName(r.status));
+          break;
+        }
         std::printf("score %lld,%lld: %.6g\n", q.a, q.b,
-                    static_cast<double>(server->ScoreLink(q.a, q.b)));
+                    static_cast<double>(r.score));
         break;
+      }
       case Query::Kind::kTopK: {
-        const e2gcl::TopKResult r = server->TopKSimilar(q.a, q.b);
-        std::printf("topk %lld (k=%lld):", q.a, q.b);
-        for (std::size_t i = 0; i < r.nodes.size(); ++i) {
-          std::printf(" %lld=%.6g", static_cast<long long>(r.nodes[i]),
-                      static_cast<double>(r.scores[i]));
+        const e2gcl::TopKResponse r = server->TopKSimilar(q.a, q.b, request);
+        if (!r.served()) {
+          std::printf("topk %lld (k=%lld): !%s\n", q.a, q.b,
+                      ServeStatusName(r.status));
+          break;
+        }
+        std::printf("topk %lld (k=%lld)%s:", q.a, q.b,
+                    r.status == e2gcl::ServeStatus::kDegraded ? " [degraded]"
+                                                              : "");
+        for (std::size_t i = 0; i < r.result.nodes.size(); ++i) {
+          std::printf(" %lld=%.6g",
+                      static_cast<long long>(r.result.nodes[i]),
+                      static_cast<double>(r.result.scores[i]));
         }
         std::printf("\n");
+        break;
+      }
+      case Query::Kind::kReload: {
+        const e2gcl::ServeStatus status =
+            server->ReloadFromFile(q.path, &error);
+        if (status != e2gcl::ServeStatus::kOk) {
+          std::fprintf(stderr, "reload %s failed (%s): %s\n", q.path.c_str(),
+                       ServeStatusName(status), error.c_str());
+          return 1;
+        }
+        std::printf("reloaded %s: generation=%llu\n", q.path.c_str(),
+                    static_cast<unsigned long long>(server->generation()));
         break;
       }
     }
