@@ -1,0 +1,240 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace e2gcl {
+namespace net {
+
+std::unique_ptr<NetClient> NetClient::Connect(const std::string& host,
+                                              int port,
+                                              const NetClientOptions& options,
+                                              std::string* error) {
+  if (port <= 0 || port > 65535) {
+    *error = "bad port " + std::to_string(port);
+    return nullptr;
+  }
+  const std::string address = host == "localhost" ? "127.0.0.1" : host;
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad address '" + host + "' (IPv4 dotted quad or localhost)";
+    return nullptr;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.timeout_ms > 0) {
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(options.timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((options.timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  // e2gcl-lint: allow(naked-new-delete): private ctor; owned by the
+  // unique_ptr on this line
+  std::unique_ptr<NetClient> client(new NetClient());
+  client->fd_ = fd;
+  return client;
+}
+
+NetClient::~NetClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void NetClient::MarkBroken(const std::string& why) {
+  broken_ = true;
+  last_error_ = why;
+}
+
+bool NetClient::SendAll(const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    MarkBroken(std::string("send: ") + std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::RecvExact(std::size_t n, std::string* out) {
+  char buf[4096];
+  while (n > 0) {
+    const ssize_t r = ::recv(fd_, buf, std::min(n, sizeof(buf)), 0);
+    if (r > 0) {
+      out->append(buf, static_cast<std::size_t>(r));
+      n -= static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      MarkBroken("connection closed by server");
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      MarkBroken("receive timeout");
+      return false;
+    }
+    MarkBroken(std::string("recv: ") + std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::RoundTrip(const std::string& frame, std::uint64_t request_id,
+                          FrameType expect, std::string* payload) {
+  last_wire_error_ = WireError::kBadRequest;
+  if (!ok()) {
+    if (last_error_.empty()) last_error_ = "client not connected";
+    return false;
+  }
+  if (!SendAll(frame)) return false;
+  // Responses come back in request order on one connection; anything
+  // unexpected means the stream is broken beyond recovery.
+  std::string header_bytes;
+  if (!RecvExact(kFrameHeaderSize, &header_bytes)) return false;
+  FrameHeader header;
+  WireError wire_error = WireError::kBadRequest;
+  if (TryDecodeHeader(header_bytes, &header, &wire_error) !=
+      HeaderStatus::kOk) {
+    MarkBroken(std::string("bad response header: ") +
+               WireErrorName(wire_error));
+    return false;
+  }
+  std::string body;
+  if (!RecvExact(header.payload_len, &body)) return false;
+  if (!VerifyPayload(header, body)) {
+    MarkBroken("response crc mismatch");
+    return false;
+  }
+  if (header.type == FrameType::kError) {
+    ErrorFrame error_frame;
+    if (DecodeError(body, &error_frame)) {
+      last_wire_error_ = error_frame.code;
+      MarkBroken("server error: " + error_frame.message);
+    } else {
+      MarkBroken("undecodable server error frame");
+    }
+    return false;
+  }
+  if (header.request_id != request_id) {
+    MarkBroken("response id mismatch");
+    return false;
+  }
+  if (header.type != expect) {
+    MarkBroken("unexpected response type");
+    return false;
+  }
+  *payload = std::move(body);
+  return true;
+}
+
+EmbeddingResponse NetClient::GetEmbedding(std::int64_t node,
+                                          const ServeRequestOptions& options) {
+  EmbeddingResponse r;
+  r.status = ServeStatus::kTransportError;
+  GetEmbeddingRequest req;
+  req.node = node;
+  req.options = options;
+  const std::uint64_t id = next_request_id_++;
+  std::string payload;
+  if (!RoundTrip(EncodeGetEmbedding(id, req), id,
+                 FrameType::kEmbeddingResponse, &payload)) {
+    return r;
+  }
+  if (!DecodeEmbeddingResponse(payload, &r)) {
+    r = EmbeddingResponse();
+    r.status = ServeStatus::kTransportError;
+    MarkBroken("undecodable embedding response");
+  }
+  return r;
+}
+
+ScoreResponse NetClient::ScoreLink(std::int64_t u, std::int64_t v,
+                                   const ServeRequestOptions& options) {
+  ScoreResponse r;
+  r.status = ServeStatus::kTransportError;
+  ScoreLinkRequest req;
+  req.u = u;
+  req.v = v;
+  req.options = options;
+  const std::uint64_t id = next_request_id_++;
+  std::string payload;
+  if (!RoundTrip(EncodeScoreLink(id, req), id, FrameType::kScoreResponse,
+                 &payload)) {
+    return r;
+  }
+  if (!DecodeScoreResponse(payload, &r)) {
+    r = ScoreResponse();
+    r.status = ServeStatus::kTransportError;
+    MarkBroken("undecodable score response");
+  }
+  return r;
+}
+
+TopKResponse NetClient::TopKSimilar(std::int64_t node, std::int64_t k,
+                                    const ServeRequestOptions& options) {
+  TopKResponse r;
+  r.status = ServeStatus::kTransportError;
+  TopKSimilarRequest req;
+  req.node = node;
+  req.k = k;
+  req.options = options;
+  const std::uint64_t id = next_request_id_++;
+  std::string payload;
+  if (!RoundTrip(EncodeTopKSimilar(id, req), id, FrameType::kTopKResponse,
+                 &payload)) {
+    return r;
+  }
+  if (!DecodeTopKResponse(payload, &r)) {
+    r = TopKResponse();
+    r.status = ServeStatus::kTransportError;
+    MarkBroken("undecodable topk response");
+  }
+  return r;
+}
+
+bool NetClient::Stats(StatsResponse* out) {
+  out->status = ServeStatus::kTransportError;
+  out->json.clear();
+  const std::uint64_t id = next_request_id_++;
+  std::string payload;
+  if (!RoundTrip(EncodeStatsRequest(id), id, FrameType::kStatsResponse,
+                 &payload)) {
+    return false;
+  }
+  if (!DecodeStatsResponse(payload, out)) {
+    out->status = ServeStatus::kTransportError;
+    MarkBroken("undecodable stats response");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace e2gcl

@@ -1,0 +1,83 @@
+#ifndef E2GCL_NET_CLIENT_H_
+#define E2GCL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace e2gcl {
+namespace net {
+
+struct NetClientOptions {
+  /// Receive timeout per response (SO_RCVTIMEO). 0 = block forever.
+  std::int64_t timeout_ms = 5000;
+};
+
+/// Blocking client for the binary serving protocol. Not thread-safe:
+/// one NetClient per thread (the request pipeline is strictly
+/// send-then-receive on one socket).
+///
+/// Transport failures — connect/send/recv errors, receive timeout,
+/// malformed frames, a response whose request id does not match — are
+/// reported as ServeStatus::kTransportError with the detail in
+/// last_error(); a server-sent kError frame also maps to
+/// kTransportError and carries its WireError in last_wire_error().
+/// After any transport error the connection is considered broken and
+/// every later call fails fast until the client is reconnected.
+class NetClient {
+ public:
+  /// Connects to host:port (IPv4 dotted quad or "localhost"). Returns
+  /// nullptr with `*error` set on failure.
+  static std::unique_ptr<NetClient> Connect(const std::string& host, int port,
+                                            const NetClientOptions& options,
+                                            std::string* error);
+
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  EmbeddingResponse GetEmbedding(std::int64_t node,
+                                 const ServeRequestOptions& options = {});
+  ScoreResponse ScoreLink(std::int64_t u, std::int64_t v,
+                          const ServeRequestOptions& options = {});
+  TopKResponse TopKSimilar(std::int64_t node, std::int64_t k,
+                           const ServeRequestOptions& options = {});
+  /// Fills `*out` and returns true, or returns false with last_error()
+  /// set (out->status is kTransportError).
+  bool Stats(StatsResponse* out);
+
+  /// False once a transport error has broken the connection.
+  bool ok() const { return fd_ >= 0 && !broken_; }
+  const std::string& last_error() const { return last_error_; }
+  /// Meaningful only right after a call that failed on a server kError
+  /// frame; kBadRequest otherwise.
+  WireError last_wire_error() const { return last_wire_error_; }
+
+ private:
+  NetClient() = default;
+
+  /// Sends `frame`, then reads frames until one matches `request_id`
+  /// with `expect` type (an error frame for the id also terminates).
+  /// On success fills *payload and returns true.
+  bool RoundTrip(const std::string& frame, std::uint64_t request_id,
+                 FrameType expect, std::string* payload);
+  bool SendAll(const std::string& bytes);
+  /// Reads exactly `n` bytes into *out (appending); false on timeout,
+  /// EOF, or error.
+  bool RecvExact(std::size_t n, std::string* out);
+  void MarkBroken(const std::string& why);
+
+  int fd_ = -1;
+  bool broken_ = false;
+  std::uint64_t next_request_id_ = 1;
+  std::string last_error_;
+  WireError last_wire_error_ = WireError::kBadRequest;
+};
+
+}  // namespace net
+}  // namespace e2gcl
+
+#endif  // E2GCL_NET_CLIENT_H_

@@ -1,0 +1,871 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "io/json.h"
+#include "obs/metrics.h"
+#include "tensor/check.h"
+
+namespace e2gcl {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Largest k a TopK request may ask for: the response must fit one
+/// frame (12 bytes per hit plus the status prefix).
+constexpr std::int64_t kMaxTopK =
+    static_cast<std::int64_t>((kMaxPayload - 64) / 12);
+
+/// Event bits reported by the Poller.
+constexpr unsigned kReadable = 1;
+constexpr unsigned kWritable = 2;
+constexpr unsigned kBroken = 4;
+
+/// Bounded pending work across all connections; beyond it requests are
+/// shed kOverloaded before they are even queued for a worker, so a
+/// wedged serving queue cannot grow an unbounded deque in the net
+/// layer.
+constexpr std::size_t kWorkQueueCap = 4096;
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+struct NetCounters {
+  Counter accepted = Counter::Get("net.accepted");
+  Counter conn_rejected = Counter::Get("net.conn.rejected");
+  Counter closed = Counter::Get("net.closed");
+  Counter frames_ok = Counter::Get("net.frames.ok");
+  Counter frames_bad = Counter::Get("net.frames.bad");
+  Counter rate_limited = Counter::Get("net.rate_limited");
+  Counter rejected_shutdown = Counter::Get("net.rejected.shutdown");
+  Counter rejected_invalid = Counter::Get("net.rejected.invalid");
+  Counter rejected_pending = Counter::Get("net.rejected.pending");
+  Counter requests = Counter::Get("net.requests");
+  Counter responses = Counter::Get("net.responses");
+  Counter http_requests = Counter::Get("net.http.requests");
+  Counter idle_closed = Counter::Get("net.idle_closed");
+  Gauge connections = Gauge::Get("net.connections");
+};
+
+NetCounters& CountersOf() {
+  static NetCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Poller: epoll where available, poll(2) otherwise (or when forced).
+
+class NetServer::Poller {
+ public:
+  explicit Poller(bool force_poll) : use_poll_(force_poll) {
+#if !defined(__linux__)
+    use_poll_ = true;
+#endif
+  }
+
+  ~Poller() {
+#if defined(__linux__)
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+#endif
+  }
+
+  bool Init(std::string* error) {
+    if (use_poll_) return true;
+#if defined(__linux__)
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) {
+      *error = std::string("epoll_create1: ") + std::strerror(errno);
+      return false;
+    }
+    return true;
+#else
+    *error = "epoll unavailable";
+    return false;
+#endif
+  }
+
+  void Add(int fd, bool want_write) {
+    if (use_poll_) {
+      interest_[fd] = want_write;
+      return;
+    }
+#if defined(__linux__)
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+#endif
+  }
+
+  void Update(int fd, bool want_write) {
+    if (use_poll_) {
+      interest_[fd] = want_write;
+      return;
+    }
+#if defined(__linux__)
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+#endif
+  }
+
+  void Remove(int fd) {
+    if (use_poll_) {
+      interest_.erase(fd);
+      return;
+    }
+#if defined(__linux__)
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+  }
+
+  /// Fills `out` with (fd, event bits) pairs; returns the pair count
+  /// (0 on timeout/EINTR, -1 on an unrecoverable poller error).
+  int Wait(int timeout_ms, std::vector<std::pair<int, unsigned>>* out) {
+    out->clear();
+    if (use_poll_) {
+      std::vector<struct pollfd> fds;
+      fds.reserve(interest_.size());
+      for (const auto& [fd, want_write] : interest_) {
+        struct pollfd p;
+        p.fd = fd;
+        p.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+        p.revents = 0;
+        fds.push_back(p);
+      }
+      const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+      if (n < 0) return errno == EINTR ? 0 : -1;
+      for (const struct pollfd& p : fds) {
+        unsigned bits = 0;
+        if ((p.revents & POLLIN) != 0) bits |= kReadable;
+        if ((p.revents & POLLOUT) != 0) bits |= kWritable;
+        if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+          bits |= kBroken;
+        }
+        if (bits != 0) out->push_back({p.fd, bits});
+      }
+      return static_cast<int>(out->size());
+    }
+#if defined(__linux__)
+    std::vector<struct epoll_event> events(64);
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    for (int i = 0; i < n; ++i) {
+      unsigned bits = 0;
+      if ((events[i].events & EPOLLIN) != 0) bits |= kReadable;
+      if ((events[i].events & EPOLLOUT) != 0) bits |= kWritable;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) bits |= kBroken;
+      const int fd = events[i].data.fd;
+      out->push_back({fd, bits});
+    }
+    return n;
+#else
+    return -1;
+#endif
+  }
+
+ private:
+  bool use_poll_;
+#if defined(__linux__)
+  int epoll_fd_ = -1;
+#endif
+  /// poll backend: fd -> want_write (ordered so the pollfd array, and
+  /// therefore event delivery order, is deterministic).
+  std::map<int, bool> interest_;
+};
+
+// ---------------------------------------------------------------------
+// Connection state (event-loop-owned).
+
+struct NetServer::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  bool http = false;
+  bool probed = false;  // protocol decided from the first bytes
+  std::string inbuf;
+  std::string outbuf;
+  std::size_t out_off = 0;
+  bool close_after_flush = false;
+  bool want_write = false;
+  std::int64_t in_flight = 0;
+  double tokens = 0.0;
+  Clock::time_point last_refill;
+  Clock::time_point last_activity;
+};
+
+struct NetServer::WorkItem {
+  std::uint64_t conn_id = 0;
+  Request request;
+};
+
+// ---------------------------------------------------------------------
+// Lifecycle.
+
+NetServer::NetServer(EmbeddingServer* server, const NetServerOptions& options)
+    : server_(server), options_(options) {}
+
+std::unique_ptr<NetServer> NetServer::Start(EmbeddingServer* server,
+                                            const NetServerOptions& options,
+                                            std::string* error) {
+  E2GCL_CHECK(server != nullptr);
+  // e2gcl-lint: allow(naked-new-delete): private ctor; owned by the
+  // unique_ptr on this line
+  std::unique_ptr<NetServer> net(new NetServer(server, options));
+  if (!net->Init(error)) return nullptr;
+  return net;
+}
+
+bool NetServer::Init(std::string* error) {
+  if (options_.max_conns < 1 || options_.num_workers < 1 ||
+      options_.rate_limit_qps < 0.0 || options_.rate_limit_burst < 0.0 ||
+      options_.drain_grace_ms < 0 || options_.idle_timeout_ms < 0 ||
+      options_.port < 0 || options_.port > 65535) {
+    *error = "invalid NetServerOptions";
+    return false;
+  }
+  poller_ = std::make_unique<Poller>(options_.force_poll);
+  if (!poller_->Init(error)) return false;
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    *error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    *error = "bad bind address '" + options_.bind_address + "'";
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    *error = std::string("getsockname: ") + std::strerror(errno);
+    return false;
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  if (::listen(listen_fd_, 128) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  SetNonBlocking(listen_fd_);
+
+  poller_->Add(listen_fd_, /*want_write=*/false);
+  poller_->Add(wake_read_fd_, /*want_write=*/false);
+
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  loop_ = std::thread([this] { EventLoop(); });
+  return true;
+}
+
+NetServer::~NetServer() {
+  BeginShutdown();
+  if (loop_.joinable()) loop_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void NetServer::BeginShutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 1;
+    (void)::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+std::int64_t NetServer::num_connections() const {
+  return live_conns_.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------
+// Event loop.
+
+void NetServer::EventLoop() {
+  NetCounters& counters = CountersOf();
+  std::vector<std::pair<int, unsigned>> events;
+  bool listener_open = true;
+  bool drain_deadline_set = false;
+  Clock::time_point drain_deadline;
+  for (;;) {
+    const bool shutting_down = shutdown_.load(std::memory_order_acquire);
+    if (shutting_down && listener_open) {
+      poller_->Remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      listener_open = false;
+      drain_deadline =
+          Clock::now() + std::chrono::milliseconds(options_.drain_grace_ms);
+      drain_deadline_set = true;
+    }
+    if (shutting_down && conns_.empty()) break;
+
+    const int n = poller_->Wait(/*timeout_ms=*/50, &events);
+    if (n < 0) break;  // poller broke; nothing recoverable
+
+    for (const auto& [fd, bits] : events) {
+      if (fd == listen_fd_ && listener_open) {
+        AcceptNew();
+        continue;
+      }
+      if (fd == wake_read_fd_) {
+        char buf[256];
+        while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      // Find the connection owning this fd. conns_ stays small
+      // relative to event counts; an fd->id index would be premature.
+      Conn* conn = nullptr;
+      for (auto& [id, c] : conns_) {
+        if (c->fd == fd) {
+          conn = c.get();
+          break;
+        }
+      }
+      if (conn == nullptr) continue;
+      if ((bits & kBroken) != 0 && (bits & kReadable) == 0) {
+        CloseConn(conn->id);
+        continue;
+      }
+      bool alive = true;
+      if ((bits & kReadable) != 0) alive = ReadConn(conn);
+      if (alive && (bits & kWritable) != 0) FlushConn(conn);
+    }
+
+    // Route worker completions to their connections.
+    std::vector<std::pair<std::uint64_t, std::string>> done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done.swap(completions_);
+    }
+    for (auto& [conn_id, bytes] : done) {
+      auto it = conns_.find(conn_id);
+      if (it == conns_.end()) continue;  // client left; drop the answer
+      it->second->in_flight -= 1;
+      counters.responses.Increment();
+      QueueOutput(it->second.get(), bytes);
+    }
+
+    // Housekeeping: idle timeouts and shutdown draining.
+    const Clock::time_point now = Clock::now();
+    std::vector<std::uint64_t> to_close;
+    for (auto& [id, conn] : conns_) {
+      if (options_.idle_timeout_ms > 0 && conn->in_flight == 0 &&
+          conn->outbuf.empty() &&
+          now - conn->last_activity >
+              std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        counters.idle_closed.Increment();
+        to_close.push_back(id);
+        continue;
+      }
+      if (shutting_down) {
+        const bool drained = conn->in_flight == 0 && conn->outbuf.empty();
+        if (drained || (drain_deadline_set && now > drain_deadline)) {
+          to_close.push_back(id);
+        }
+      }
+    }
+    for (std::uint64_t id : to_close) CloseConn(id);
+  }
+  // Force-close whatever is left (poller error path).
+  while (!conns_.empty()) CloseConn(conns_.begin()->first);
+}
+
+void NetServer::AcceptNew() {
+  NetCounters& counters = CountersOf();
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept error: retry on the next
+               // readiness notification
+    }
+    if (static_cast<std::int64_t>(conns_.size()) >= options_.max_conns ||
+        shutdown_.load(std::memory_order_acquire)) {
+      // Over the cap (or racing shutdown): one best-effort typed error
+      // frame, then close. The socket was just accepted, so the small
+      // write almost always fits the kernel buffer; if not, the close
+      // alone is still a clean, protocol-visible rejection.
+      const std::string frame =
+          EncodeError(0, WireError::kConnectionLimit,
+                      shutdown_.load(std::memory_order_acquire)
+                          ? "server is shutting down"
+                          : "connection limit reached");
+      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      counters.conn_rejected.Increment();
+      continue;
+    }
+    SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->tokens = options_.rate_limit_burst > 0.0
+                       ? options_.rate_limit_burst
+                       : std::max(1.0, options_.rate_limit_qps);
+    conn->last_refill = Clock::now();
+    conn->last_activity = conn->last_refill;
+    poller_->Add(fd, /*want_write=*/false);
+    counters.accepted.Increment();
+    const std::uint64_t id = conn->id;
+    conns_.emplace(id, std::move(conn));
+    live_conns_.store(static_cast<std::int64_t>(conns_.size()),
+                      std::memory_order_release);
+    counters.connections.Set(static_cast<std::int64_t>(conns_.size()));
+  }
+}
+
+bool NetServer::ReadConn(Conn* conn) {
+  const std::uint64_t conn_id = conn->id;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      conn->inbuf.append(buf, static_cast<std::size_t>(r));
+      conn->last_activity = Clock::now();
+      // A hostile peer could stream garbage forever; cap the buffered
+      // unparsed bytes at one max frame plus header slack.
+      if (conn->inbuf.size() > kMaxPayload + 4096) {
+        CountersOf().frames_bad.Increment();
+        CloseConn(conn_id);
+        return false;
+      }
+      continue;
+    }
+    if (r == 0) {  // peer closed; drop the connection (mid-request
+                   // disconnects included — pending answers are dropped
+                   // when the completion finds no connection)
+      CloseConn(conn_id);
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(conn_id);
+    return false;
+  }
+  ProcessInbuf(conn);
+  return conns_.count(conn_id) != 0;
+}
+
+void NetServer::ProcessInbuf(Conn* conn) {
+  if (!conn->probed) {
+    if (conn->inbuf.size() < 4) return;
+    conn->probed = true;
+    const std::string head = conn->inbuf.substr(0, 4);
+    conn->http = head == "GET " || head == "HEAD" || head == "POST";
+  }
+  if (conn->http) {
+    ProcessHttp(conn);
+  } else {
+    ProcessBinary(conn);
+  }
+}
+
+void NetServer::ProcessBinary(Conn* conn) {
+  NetCounters& counters = CountersOf();
+  const std::uint64_t conn_id = conn->id;
+  for (;;) {
+    FrameHeader header;
+    WireError wire_error = WireError::kBadRequest;
+    const HeaderStatus hs = TryDecodeHeader(conn->inbuf, &header, &wire_error);
+    if (hs == HeaderStatus::kNeedMore) return;
+    if (hs == HeaderStatus::kError) {
+      // Framing is poisoned: typed error, then close. The request id
+      // is only echoed when the header parsed far enough to carry one.
+      counters.frames_bad.Increment();
+      const std::uint64_t echo_id =
+          wire_error == WireError::kBadMagic ? 0 : header.request_id;
+      conn->inbuf.clear();
+      conn->close_after_flush = true;
+      QueueOutput(conn, EncodeError(echo_id, wire_error,
+                                    WireErrorName(wire_error)));
+      return;  // conn may be gone (flushed + closed) — do not touch it
+    }
+    if (conn->inbuf.size() < kFrameHeaderSize + header.payload_len) {
+      return;  // wait for the rest of the payload
+    }
+    const std::string payload =
+        conn->inbuf.substr(kFrameHeaderSize, header.payload_len);
+    conn->inbuf.erase(0, kFrameHeaderSize + header.payload_len);
+    if (!VerifyPayload(header, payload)) {
+      counters.frames_bad.Increment();
+      conn->inbuf.clear();
+      conn->close_after_flush = true;
+      QueueOutput(conn, EncodeError(header.request_id, WireError::kBadCrc,
+                                    "payload crc mismatch"));
+      return;
+    }
+    Request request;
+    if (!DecodeRequest(header, payload, &request)) {
+      // Framing held, the payload did not: answer in-band and keep the
+      // connection — the stream is still aligned on frame boundaries.
+      counters.frames_bad.Increment();
+      QueueOutput(conn,
+                  EncodeError(header.request_id, WireError::kBadRequest,
+                              "undecodable request payload"));
+      if (conns_.count(conn_id) == 0) return;
+      continue;
+    }
+    counters.frames_ok.Increment();
+    DispatchRequest(conn, request);
+    if (conns_.count(conn_id) == 0) return;  // closed while dispatching
+  }
+}
+
+void NetServer::DispatchRequest(Conn* conn, const Request& request) {
+  NetCounters& counters = CountersOf();
+  counters.requests.Increment();
+  if (shutdown_.load(std::memory_order_acquire)) {
+    counters.rejected_shutdown.Increment();
+    QueueOutput(conn, EncodeRejection(request, ServeStatus::kShutdown));
+    return;
+  }
+  if (!TakeToken(conn)) {
+    counters.rate_limited.Increment();
+    QueueOutput(conn, EncodeRejection(request, ServeStatus::kOverloaded));
+    return;
+  }
+  // Argument validation happens here, against the live model: the
+  // typed EmbeddingServer API CHECK-aborts on out-of-range ids, which
+  // a remote byte stream must never be able to trigger.
+  const std::int64_t num_nodes = server_->num_nodes();
+  bool valid = true;
+  switch (request.type) {
+    case FrameType::kGetEmbedding:
+      valid = request.embed.node >= 0 && request.embed.node < num_nodes;
+      break;
+    case FrameType::kScoreLink:
+      valid = request.score.u >= 0 && request.score.u < num_nodes &&
+              request.score.v >= 0 && request.score.v < num_nodes;
+      break;
+    case FrameType::kTopKSimilar:
+      valid = request.topk.node >= 0 && request.topk.node < num_nodes &&
+              request.topk.k >= 0 && request.topk.k <= kMaxTopK;
+      break;
+    case FrameType::kStats:
+      break;
+    default:
+      valid = false;
+      break;
+  }
+  if (!valid) {
+    counters.rejected_invalid.Increment();
+    QueueOutput(conn, EncodeRejection(request, ServeStatus::kInvalidArgument));
+    return;
+  }
+  if (request.type == FrameType::kStats) {
+    // Cheap and queue-free on the serving side: answered inline.
+    StatsResponse stats;
+    stats.status = ServeStatus::kOk;
+    stats.json = StatsJson();
+    QueueOutput(conn, EncodeStatsResponse(request.request_id, stats));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (work_queue_.size() >= kWorkQueueCap) {
+      counters.rejected_pending.Increment();
+      // Drop the lock before writing to the socket.
+    } else {
+      WorkItem item;
+      item.conn_id = conn->id;
+      item.request = request;
+      work_queue_.push_back(std::move(item));
+      conn->in_flight += 1;
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  QueueOutput(conn, EncodeRejection(request, ServeStatus::kOverloaded));
+}
+
+void NetServer::ProcessHttp(Conn* conn) {
+  NetCounters& counters = CountersOf();
+  const std::size_t end = conn->inbuf.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    if (static_cast<std::int64_t>(conn->inbuf.size()) >
+        options_.max_http_header_bytes) {
+      conn->inbuf.clear();
+      conn->close_after_flush = true;
+      QueueOutput(conn,
+                  "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n"
+                  "Connection: close\r\n\r\n");
+    }
+    return;
+  }
+  counters.http_requests.Increment();
+  const std::string request_line =
+      conn->inbuf.substr(0, conn->inbuf.find("\r\n"));
+  conn->inbuf.clear();  // one request per connection
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : request_line.find(' ', sp1 + 1);
+  std::string method;
+  std::string path;
+  if (sp1 != std::string::npos && sp2 != std::string::npos) {
+    method = request_line.substr(0, sp1);
+    path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  std::string status = "404 Not Found";
+  std::string content_type = "text/plain";
+  std::string body = "not found\n";
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "only GET is supported\n";
+  } else if (path == "/healthz") {
+    status = "200 OK";
+    body = shutdown_.load(std::memory_order_acquire) ? "shutting down\n"
+                                                     : "ok\n";
+  } else if (path == "/metrics") {
+    status = "200 OK";
+    content_type = "application/json";
+    body = MetricsJson();
+  }
+  std::string response = "HTTP/1.1 " + status + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  conn->close_after_flush = true;
+  QueueOutput(conn, response);
+}
+
+void NetServer::QueueOutput(Conn* conn, const std::string& bytes) {
+  conn->outbuf.append(bytes);
+  FlushConn(conn);
+}
+
+bool NetServer::FlushConn(Conn* conn) {
+  while (conn->out_off < conn->outbuf.size()) {
+    const ssize_t w =
+        ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+               conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+    if (w > 0) {
+      conn->out_off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        poller_->Update(conn->fd, /*want_write=*/true);
+      }
+      return true;
+    }
+    CloseConn(conn->id);  // EPIPE/ECONNRESET: peer is gone
+    return false;
+  }
+  conn->outbuf.clear();
+  conn->out_off = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    poller_->Update(conn->fd, /*want_write=*/false);
+  }
+  if (conn->close_after_flush && conn->in_flight == 0) {
+    CloseConn(conn->id);
+    return false;
+  }
+  return true;
+}
+
+void NetServer::CloseConn(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  poller_->Remove(it->second->fd);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  live_conns_.store(static_cast<std::int64_t>(conns_.size()),
+                    std::memory_order_release);
+  CountersOf().closed.Increment();
+  CountersOf().connections.Set(static_cast<std::int64_t>(conns_.size()));
+}
+
+bool NetServer::TakeToken(Conn* conn) {
+  if (options_.rate_limit_qps <= 0.0) return true;
+  const Clock::time_point now = Clock::now();
+  const double dt =
+      std::chrono::duration<double>(now - conn->last_refill).count();
+  conn->last_refill = now;
+  const double burst = options_.rate_limit_burst > 0.0
+                           ? options_.rate_limit_burst
+                           : std::max(1.0, options_.rate_limit_qps);
+  conn->tokens = std::min(burst, conn->tokens + dt * options_.rate_limit_qps);
+  if (conn->tokens < 1.0) return false;
+  conn->tokens -= 1.0;
+  return true;
+}
+
+std::string NetServer::EncodeRejection(const Request& request,
+                                       ServeStatus status) {
+  switch (request.type) {
+    case FrameType::kScoreLink: {
+      ScoreResponse r;
+      r.status = status;
+      return EncodeScoreResponse(request.request_id, r);
+    }
+    case FrameType::kTopKSimilar: {
+      TopKResponse r;
+      r.status = status;
+      return EncodeTopKResponse(request.request_id, r);
+    }
+    case FrameType::kStats: {
+      StatsResponse r;
+      r.status = status;
+      return EncodeStatsResponse(request.request_id, r);
+    }
+    case FrameType::kGetEmbedding:
+    default: {
+      EmbeddingResponse r;
+      r.status = status;
+      return EncodeEmbeddingResponse(request.request_id, r);
+    }
+  }
+}
+
+std::string NetServer::StatsJson() {
+  JsonValue root = JsonValue::Object();
+  root.Set("num_nodes", JsonValue::Int(server_->num_nodes()));
+  root.Set("embed_dim", JsonValue::Int(server_->embed_dim()));
+  const std::uint64_t gen = server_->generation();
+  root.Set("generation", JsonValue::Int(static_cast<std::int64_t>(gen)));
+  JsonValue counters = JsonValue::Object();
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("serve.", 0) == 0 || name.rfind("net.", 0) == 0) {
+      counters.Set(name, JsonValue::Int(static_cast<std::int64_t>(value)));
+    }
+  }
+  root.Set("counters", std::move(counters));
+  return DumpJson(root, /*indent=*/false);
+}
+
+std::string NetServer::MetricsJson() {
+  JsonValue root = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  JsonValue gauges = JsonValue::Object();
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    counters.Set(name, JsonValue::Int(static_cast<std::int64_t>(value)));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    gauges.Set(name, JsonValue::Int(value));
+  }
+  root.Set("counters", std::move(counters));
+  root.Set("gauges", std::move(gauges));
+  return DumpJson(root, /*indent=*/false);
+}
+
+// ---------------------------------------------------------------------
+// Workers: the only threads that make blocking serving calls.
+
+void NetServer::WorkerLoop() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return workers_stop_ || !work_queue_.empty(); });
+      if (work_queue_.empty()) return;  // stop requested, queue drained
+      item = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    std::string encoded;
+    switch (item.request.type) {
+      case FrameType::kGetEmbedding: {
+        const EmbeddingResponse r = server_->GetEmbedding(
+            item.request.embed.node, item.request.embed.options);
+        encoded = EncodeEmbeddingResponse(item.request.request_id, r);
+        break;
+      }
+      case FrameType::kScoreLink: {
+        const ScoreResponse r =
+            server_->ScoreLink(item.request.score.u, item.request.score.v,
+                               item.request.score.options);
+        encoded = EncodeScoreResponse(item.request.request_id, r);
+        break;
+      }
+      case FrameType::kTopKSimilar: {
+        const TopKResponse r =
+            server_->TopKSimilar(item.request.topk.node, item.request.topk.k,
+                                 item.request.topk.options);
+        encoded = EncodeTopKResponse(item.request.request_id, r);
+        break;
+      }
+      default: {
+        EmbeddingResponse r;
+        r.status = ServeStatus::kInvalidArgument;
+        encoded = EncodeEmbeddingResponse(item.request.request_id, r);
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completions_.push_back({item.conn_id, std::move(encoded)});
+    }
+    const char byte = 1;
+    (void)::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+}  // namespace net
+}  // namespace e2gcl

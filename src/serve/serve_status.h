@@ -34,6 +34,11 @@ enum class ServeStatus : std::uint8_t {
   kShutdown = 5,
   /// The argument (e.g. a reload checkpoint) failed validation.
   kInvalidArgument = 6,
+  /// Client-side only: the transport failed (connect/send/recv error,
+  /// timeout, malformed or mismatched response frame). Never valid on
+  /// the wire — ServeStatusFromByte rejects it, so a server cannot
+  /// fabricate one.
+  kTransportError = 7,
 };
 
 /// Stable lowercase name for logs/CLI output.
@@ -46,8 +51,21 @@ inline const char* ServeStatusName(ServeStatus status) {
     case ServeStatus::kReloading: return "reloading";
     case ServeStatus::kShutdown: return "shutdown";
     case ServeStatus::kInvalidArgument: return "invalid_argument";
+    case ServeStatus::kTransportError: return "transport_error";
   }
   return "unknown";
+}
+
+/// Validated narrowing from an untrusted byte (the network protocol
+/// carries ServeStatus values on the wire). Returns false when `byte`
+/// is not a status a server may legitimately send — undefined values
+/// and the client-side kTransportError — leaving `*out` untouched.
+inline bool ServeStatusFromByte(std::uint8_t byte, ServeStatus* out) {
+  if (byte > static_cast<std::uint8_t>(ServeStatus::kInvalidArgument)) {
+    return false;
+  }
+  *out = static_cast<ServeStatus>(byte);
+  return true;
 }
 
 /// True when the call produced an answer (exact or degraded).

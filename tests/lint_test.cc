@@ -309,6 +309,56 @@ TEST(LintRules, RawSimdIntrinsicHonorsJustifiedSuppression) {
   EXPECT_EQ(CountUnsuppressed(fs), 0);
 }
 
+// --- Rule: raw-socket-io ----------------------------------------------
+
+TEST(LintRules, RawSocketIoFlagsSyscallsAndHeadersOutsideNet) {
+  const std::string bad = std::string("#include <sys/socket") + ".h>\n" +
+                          std::string("#include <netinet/tcp") + ".h>\n" + R"(
+    int Dial(int fd, const sockaddr* a, socklen_t n) {
+      if (::connect(fd, a, n) != 0) return -1;
+      return static_cast<int>(::send(fd, "x", 1, 0));
+    }
+  )";
+  // Two headers + ::connect + ::send.
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "raw-socket-io"), 4);
+  EXPECT_EQ(Count(LintContent("src/serve/embedding_server.cc", bad),
+                  "raw-socket-io"),
+            4);
+}
+
+TEST(LintRules, RawSocketIoAllowsNetLayerToolsTestsAndLookalikes) {
+  const std::string sockets = std::string("#include <sys/socket") + ".h>\n" +
+                              "::recv(fd, buf, n, 0);\n";
+  EXPECT_EQ(Count(LintContent("src/net/server.cc", sockets), "raw-socket-io"),
+            0);
+  EXPECT_EQ(Count(LintContent("src/net/client.cc", sockets), "raw-socket-io"),
+            0);
+  // Tools and tests talk to sockets on purpose (bench clients, torture
+  // fixtures forging hostile frames).
+  EXPECT_EQ(Count(LintContent("tools/e2gcl_serve.cc", sockets),
+                  "raw-socket-io"),
+            0);
+  EXPECT_EQ(Count(LintContent(kTestPath, sockets), "raw-socket-io"), 0);
+  const std::string lookalikes = R"(
+    #include "net/client.h"
+    std::bind(&F::Run, this);        // unqualified lookalike names
+    client.connect();                 // member call, not ::connect
+    listener->accept_all();
+    // ::send in a comment does not count
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, lookalikes), "raw-socket-io"), 0);
+}
+
+TEST(LintRules, RawSocketIoHonorsJustifiedSuppression) {
+  const std::string suppressed =
+      "// e2gcl-lint: allow(raw-socket-io): self-pipe wakeup, not a socket\n"
+      "::send(fd, &b, 1, 0);\n";
+  const std::vector<Finding> fs = LintContent(kLibPath, suppressed);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(fs[0].suppressed);
+  EXPECT_EQ(CountUnsuppressed(fs), 0);
+}
+
 // --- Rule: test-include-in-library -----------------------------------
 
 TEST(LintRules, TestIncludeFlagsTestsToolsAndRelativeIncludes) {

@@ -68,6 +68,8 @@ TARGETS=(
   hash_order_test
   serve_test
   serve_robustness_test
+  net_protocol_test
+  net_serve_test
   lint_test
 )
 

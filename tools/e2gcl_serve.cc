@@ -11,17 +11,22 @@
 // sharded LRU row cache, and answers are bit-identical to the offline
 // Encode() rows.
 
+#include <csignal>
+
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/trainer.h"
 #include "graph/datasets.h"
 #include "io/checkpoint.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "serve/embedding_server.h"
 
@@ -66,6 +71,18 @@ void Usage(const char* prog) {
       "  --request-deadline-us <int> per-query deadline; expired queries "
       "fail fast as deadline_exceeded (0 = wait; default 0)\n"
       "  --no-degraded            never accept degraded TopK answers\n"
+      "network (see DESIGN.md \"Network protocol\"):\n"
+      "  --listen <port>          serve the binary protocol + HTTP "
+      "/healthz,/metrics over TCP until SIGINT/SIGTERM (port 0 = "
+      "ephemeral; the bound port is printed on stdout). Incompatible "
+      "with one-shot query flags\n"
+      "  --bind <addr>            listen address (default 127.0.0.1)\n"
+      "  --max-conns <int>        simultaneous-connection cap (default "
+      "1024; needs --listen)\n"
+      "  --rate-limit-qps <float> per-connection sustained request rate; "
+      "0 = unlimited (default 0; needs --listen)\n"
+      "  --net-workers <int>      network worker threads (default 4; "
+      "needs --listen)\n"
       "queries (repeatable, answered in order):\n"
       "  --embed <node>           print the node's embedding row\n"
       "  --score <u,v>            print the dot-product link score\n"
@@ -125,6 +142,10 @@ struct Query {
   std::string path;  // kReload only.
 };
 
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStop(int) { g_stop = 1; }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,6 +161,9 @@ int main(int argc, char** argv) {
   bool allow_degraded = true;
   e2gcl::ServeOptions options;
   std::vector<Query> queries;
+  long long listen_port = -1;  // -1 = no --listen
+  e2gcl::net::NetServerOptions net_options;
+  bool net_flags_used = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -216,6 +240,48 @@ int main(int argc, char** argv) {
       queries.push_back({Query::Kind::kTopK, v, w});
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--listen") {
+      if (!ParseInt(next(), 0, 65535, &listen_port)) {
+        std::fprintf(stderr, "--listen needs a port in [0, 65535]\n");
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--bind") {
+      const char* addr = next();
+      if (addr == nullptr || *addr == '\0') {
+        std::fprintf(stderr, "--bind needs an IPv4 address\n");
+        Usage(argv[0]);
+        return 2;
+      }
+      net_options.bind_address = addr;
+      net_flags_used = true;
+    } else if (arg == "--max-conns") {
+      if (!ParseInt(next(), 1, (1ll << 30), &v)) {
+        std::fprintf(stderr, "--max-conns must be an integer >= 1\n");
+        Usage(argv[0]);
+        return 2;
+      }
+      net_options.max_conns = v;
+      net_flags_used = true;
+    } else if (arg == "--rate-limit-qps") {
+      double qps = 0.0;
+      if (!ParseDouble(next(), &qps) || qps < 0.0) {
+        std::fprintf(stderr,
+                     "--rate-limit-qps must be a non-negative number "
+                     "(0 = unlimited)\n");
+        Usage(argv[0]);
+        return 2;
+      }
+      net_options.rate_limit_qps = qps;
+      net_flags_used = true;
+    } else if (arg == "--net-workers") {
+      if (!ParseInt(next(), 1, 1024, &v)) {
+        std::fprintf(stderr, "--net-workers must be in [1, 1024]\n");
+        Usage(argv[0]);
+        return 2;
+      }
+      net_options.num_workers = static_cast<int>(v);
+      net_flags_used = true;
     } else {
       std::fprintf(stderr, "bad or incomplete flag: %s\n", arg.c_str());
       Usage(argv[0]);
@@ -225,6 +291,21 @@ int main(int argc, char** argv) {
   if (train == !checkpoint_path.empty()) {
     std::fprintf(stderr,
                  "exactly one of --train / --checkpoint is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+  if (listen_port < 0 && net_flags_used) {
+    std::fprintf(stderr,
+                 "--bind/--max-conns/--rate-limit-qps/--net-workers "
+                 "require --listen\n");
+    Usage(argv[0]);
+    return 2;
+  }
+  if (listen_port >= 0 && (!queries.empty() || stats)) {
+    std::fprintf(stderr,
+                 "--listen runs as a network server; one-shot query flags "
+                 "(--embed/--score/--topk/--reload-checkpoint/--stats) "
+                 "cannot be combined with it\n");
     Usage(argv[0]);
     return 2;
   }
@@ -271,6 +352,30 @@ int main(int argc, char** argv) {
               static_cast<long long>(server->num_nodes()),
               static_cast<long long>(server->embed_dim()),
               options.precompute ? "precompute" : "lazy");
+
+  if (listen_port >= 0) {
+    net_options.port = static_cast<int>(listen_port);
+    std::unique_ptr<e2gcl::net::NetServer> net =
+        e2gcl::net::NetServer::Start(server.get(), net_options, &error);
+    if (net == nullptr) {
+      std::fprintf(stderr, "failed to listen: %s\n", error.c_str());
+      return 1;
+    }
+    std::signal(SIGINT, HandleStop);
+    std::signal(SIGTERM, HandleStop);
+    // The port line is the machine-readable startup handshake
+    // (check_net.sh and the tests parse it), hence stdout + flush.
+    std::printf("listening on port %d\n", net->port());
+    std::fflush(stdout);
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::fprintf(stderr, "shutting down\n");
+    net->BeginShutdown();
+    net.reset();           // drains connections, joins net threads
+    server->BeginShutdown();
+    return 0;
+  }
 
   e2gcl::ServeRequestOptions request;
   request.deadline_us = deadline_us;

@@ -450,6 +450,44 @@ void RuleRawSimdIntrinsic(const std::string& path, const LexedFile& lexed,
 }
 
 // ---------------------------------------------------------------------
+// Rule: raw-socket-io
+//
+// Raw socket syscalls and the socket/poller headers are confined to
+// src/net/ — the one place where wire-format validation, CRC checks,
+// partial-read/-write handling, and MSG_NOSIGNAL discipline live. A
+// ::send elsewhere in the library would bypass all of it. Follows the
+// raw-file-write/stdout-in-library family: the rest of src/ talks to
+// the network through net::NetServer/net::NetClient. Tools and tests
+// are exempt (test fixtures forge hostile byte streams on purpose).
+
+void RuleRawSocketIo(const std::string& path, const LexedFile& lexed,
+                     std::vector<Finding>* out) {
+  if (!InLibrary(path) || StartsWith(path, "src/net/")) return;
+  // (?:^|[^\w:]) keeps qualified lookalikes like std::bind from matching:
+  // only a global-scope :: call counts.
+  static const std::regex kSyscall(
+      R"((?:^|[^\w:])::(socket|accept|bind|listen|connect|send|sendto|recv|recvfrom|setsockopt|getsockname|getpeername)\s*\()");
+  static const std::regex kHeader(
+      R"(#include\s*[<"](?:sys/socket|sys/epoll|poll|netinet/in|netinet/tcp|arpa/inet|netdb)\.h[>"])");
+  for (std::size_t i = 0; i < lexed.code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(lexed.code[i], m, kSyscall)) {
+      Add(out, "raw-socket-io", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "raw socket call '::" + m[1].str() +
+              "' outside src/net/; go through net::NetServer/"
+              "net::NetClient so framing and error discipline apply");
+    }
+    if (std::regex_search(lexed.code_with_strings[i], kHeader)) {
+      Add(out, "raw-socket-io", Severity::kError, path,
+          static_cast<int>(i + 1),
+          "socket/poller header included outside src/net/; the network "
+          "surface lives in src/net/ only");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Rule: test-include-in-library
 //
 // src/ must stay layerable: library translation units cannot reach
@@ -499,6 +537,8 @@ const std::vector<RuleInfo>& Rules() {
        "float->index casts make rounding explicit"},
       {"raw-simd-intrinsic", Severity::kError,
        "vector intrinsics and <immintrin.h> only under src/tensor/simd/"},
+      {"raw-socket-io", Severity::kError,
+       "socket syscalls and socket headers only under src/net/"},
       {"test-include-in-library", Severity::kError,
        "src/ headers never include tests/ or tools/"},
       {"suppression-justification", Severity::kError,
@@ -520,6 +560,7 @@ void RunAllRules(const std::string& path, const LexedFile& lexed,
   RuleIncludeGuard(path, lexed, out);
   RuleFloatIndexCast(path, lexed, out);
   RuleRawSimdIntrinsic(path, lexed, out);
+  RuleRawSocketIo(path, lexed, out);
   RuleTestIncludeInLibrary(path, lexed, out);
 }
 
