@@ -1,0 +1,176 @@
+#ifndef E2GCL_CORE_THREAD_ANNOTATIONS_H_
+#define E2GCL_CORE_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis wiring for the concurrent subsystems
+/// (parallel/, serve/, obs/, net/). Build with
+///
+///   cmake -B build-threadsafety -S . -DE2GCL_THREAD_SAFETY=ON
+///
+/// under clang to turn every annotation below into a compile-time
+/// check (-Wthread-safety -Werror=thread-safety); under any other
+/// compiler the macros expand to nothing and the shim classes are
+/// plain zero-cost wrappers over the std primitives. The annotations
+/// are additionally consumed *textually* by `e2gcl_lint`'s
+/// concurrency rules (`unannotated-mutex`, `lock-order`,
+/// `hold-lock-across-callback`, `blocking-in-event-loop`), which run
+/// on every compiler, so the discipline is enforced even on a
+/// gcc-only host.
+///
+/// Conventions (see DESIGN.md "Concurrency discipline"):
+///  - every mutex-protected member carries E2GCL_GUARDED_BY(mu);
+///  - condition variables are declared E2GCL_GUARDED_BY(their mutex)
+///    and notified while holding it (wait-morphing makes this cheap,
+///    and it lets the analysis prove notify/wait pairing);
+///  - helpers that expect a lock held are annotated E2GCL_REQUIRES;
+///  - multi-mutex files declare the acquisition order with
+///    E2GCL_ACQUIRED_BEFORE/AFTER plus a `// e2gcl-lock-order:`
+///    manifest comment that the lint rule cross-checks against
+///    observed nestings.
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#if defined(__clang__) && !defined(SWIG)
+#define E2GCL_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define E2GCL_THREAD_ANNOTATION__(x)
+#endif
+
+/// Class attribute: the type is a lockable capability.
+#define E2GCL_CAPABILITY(x) E2GCL_THREAD_ANNOTATION__(capability(x))
+
+/// Class attribute: RAII type that acquires in its constructor and
+/// releases in its destructor.
+#define E2GCL_SCOPED_CAPABILITY E2GCL_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member is protected by the given capability.
+#define E2GCL_GUARDED_BY(x) E2GCL_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define E2GCL_PT_GUARDED_BY(x) E2GCL_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the capability to be held by the caller.
+#define E2GCL_REQUIRES(...) \
+  E2GCL_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (and returns with it held).
+#define E2GCL_ACQUIRE(...) \
+  E2GCL_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define E2GCL_RELEASE(...) \
+  E2GCL_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function attempts the capability; first argument is the success
+/// return value.
+#define E2GCL_TRY_ACQUIRE(...) \
+  E2GCL_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard for
+/// self-locking public entry points).
+#define E2GCL_EXCLUDES(...) E2GCL_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Declared lock order: this mutex is acquired after the listed ones.
+#define E2GCL_ACQUIRED_AFTER(...) \
+  E2GCL_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Declared lock order: this mutex is acquired before the listed ones.
+#define E2GCL_ACQUIRED_BEFORE(...) \
+  E2GCL_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+/// Escape hatch: the function's locking is intentionally invisible to
+/// the analysis. Every use needs a comment explaining why.
+#define E2GCL_NO_THREAD_SAFETY_ANALYSIS \
+  E2GCL_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+/// Marker (expands to nothing on every compiler) naming a function as
+/// an event-loop body. `e2gcl_lint`'s `blocking-in-event-loop` rule
+/// roots its reachability walk at definitions carrying this marker:
+/// nothing reachable from one may block (condition-variable waits,
+/// sleeps, blocking socket syscalls) except via a justified
+/// suppression. Place it between the parameter list and the `{` of
+/// the definition as well as on the declaration, since the lint is
+/// per-translation-unit.
+#define E2GCL_LOOP_BODY
+
+namespace e2gcl {
+
+class CondVar;
+
+/// std::mutex wrapper carrying the capability annotation. Use with
+/// MutexLock; Lock()/Unlock() exist for the rare manual protocol and
+/// for the analysis to see hand-over-hand code.
+class E2GCL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() E2GCL_ACQUIRE() { mu_.lock(); }
+  void Unlock() E2GCL_RELEASE() { mu_.unlock(); }
+  bool TryLock() E2GCL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  // e2gcl-lint: allow(unannotated-mutex): the shim's own primitive; the
+  // capability lives on the enclosing e2gcl::Mutex wrapper itself.
+  std::mutex mu_;
+};
+
+/// RAII lock over e2gcl::Mutex (scoped capability). Backed by
+/// std::unique_lock so flusher-style code can temporarily drop the
+/// lock around a long computation (Unlock()/Lock()) and so CondVar
+/// can wait on it; the destructor releases only if currently held.
+class E2GCL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) E2GCL_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() E2GCL_RELEASE() = default;
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily release the capability mid-scope.
+  void Unlock() E2GCL_RELEASE() { lock_.unlock(); }
+  /// Re-acquire after Unlock().
+  void Lock() E2GCL_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable wrapper that waits through a MutexLock.
+/// Declare members of this type E2GCL_GUARDED_BY(their mutex): the
+/// project convention is to notify while holding the lock, which the
+/// guard annotation then enforces under clang. Predicate overloads
+/// are deliberately absent — clang's analysis cannot see capabilities
+/// inside lambda predicates, so waiters spell the standard
+/// `while (!cond) cv.Wait(lock);` loop with the condition read
+/// directly in the annotated function body.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock.lock_, tp);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // e2gcl-lint: allow(unannotated-mutex): the shim's own primitive; the
+  // guard annotation lives on CondVar members at their declaration site.
+  std::condition_variable cv_;
+};
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_CORE_THREAD_ANNOTATIONS_H_

@@ -44,6 +44,32 @@ constexpr unsigned kBroken = 4;
 /// layer.
 constexpr std::size_t kWorkQueueCap = 4096;
 
+/// True when the '&'-separated query string contains `key=value`.
+bool HasQueryParam(const std::string& query, const std::string& key,
+                   const std::string& value) {
+  const std::string want = key + "=" + value;
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    if (query.compare(pos, amp - pos, want) == 0) return true;
+    pos = amp + 1;
+  }
+  return false;
+}
+
+/// Registry metric name -> Prometheus metric name: [a-zA-Z0-9_:] only
+/// (dots become underscores), `e2gcl_` namespace prefix.
+std::string PromName(const std::string& name) {
+  std::string out = "e2gcl_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
 bool SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
@@ -310,10 +336,13 @@ NetServer::~NetServer() {
   BeginShutdown();
   if (loop_.joinable()) loop_.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     workers_stop_ = true;
+    // Notified under the lock (project convention; see
+    // thread_annotations.h) so the guarded stop flag and the wakeup
+    // stay paired under the analysis.
+    work_cv_.NotifyAll();
   }
-  work_cv_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -337,7 +366,7 @@ std::int64_t NetServer::num_connections() const {
 // ---------------------------------------------------------------------
 // Event loop.
 
-void NetServer::EventLoop() {
+void NetServer::EventLoop() E2GCL_LOOP_BODY {
   NetCounters& counters = CountersOf();
   std::vector<std::pair<int, unsigned>> events;
   bool listener_open = true;
@@ -356,6 +385,9 @@ void NetServer::EventLoop() {
     }
     if (shutting_down && conns_.empty()) break;
 
+    // e2gcl-lint: allow(blocking-in-event-loop): the poller is the
+    // loop's single sanctioned block, bounded at 50 ms so shutdown and
+    // housekeeping always make progress.
     const int n = poller_->Wait(/*timeout_ms=*/50, &events);
     if (n < 0) break;  // poller broke; nothing recoverable
 
@@ -366,6 +398,8 @@ void NetServer::EventLoop() {
       }
       if (fd == wake_read_fd_) {
         char buf[256];
+        // e2gcl-lint: allow(blocking-in-event-loop): self-pipe read end
+        // is O_NONBLOCK; the drain loop ends at EAGAIN, never blocks.
         while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
         }
         continue;
@@ -392,7 +426,7 @@ void NetServer::EventLoop() {
     // Route worker completions to their connections.
     std::vector<std::pair<std::uint64_t, std::string>> done;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       done.swap(completions_);
     }
     for (auto& [conn_id, bytes] : done) {
@@ -431,6 +465,9 @@ void NetServer::EventLoop() {
 void NetServer::AcceptNew() {
   NetCounters& counters = CountersOf();
   for (;;) {
+    // e2gcl-lint: allow(blocking-in-event-loop): the listener is
+    // O_NONBLOCK (SetNonBlocking in Init); accept returns EAGAIN
+    // instead of blocking when the backlog is empty.
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -448,6 +485,9 @@ void NetServer::AcceptNew() {
                       shutdown_.load(std::memory_order_acquire)
                           ? "server is shutting down"
                           : "connection limit reached");
+      // e2gcl-lint: allow(blocking-in-event-loop): best-effort one-shot
+      // write on a freshly accepted socket whose send buffer is empty;
+      // a short write is acceptable (the close is the real rejection).
       (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
       ::close(fd);
       counters.conn_rejected.Increment();
@@ -478,6 +518,9 @@ bool NetServer::ReadConn(Conn* conn) {
   const std::uint64_t conn_id = conn->id;
   char buf[4096];
   for (;;) {
+    // e2gcl-lint: allow(blocking-in-event-loop): conn fds are O_NONBLOCK
+    // (SetNonBlocking at accept); the read loop ends at EAGAIN, so recv
+    // is bounded by what the kernel already buffered.
     const ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (r > 0) {
       conn->inbuf.append(buf, static_cast<std::size_t>(r));
@@ -621,7 +664,7 @@ void NetServer::DispatchRequest(Conn* conn, const Request& request) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (work_queue_.size() >= kWorkQueueCap) {
       counters.rejected_pending.Increment();
       // Drop the lock before writing to the socket.
@@ -631,7 +674,7 @@ void NetServer::DispatchRequest(Conn* conn, const Request& request) {
       item.request = request;
       work_queue_.push_back(std::move(item));
       conn->in_flight += 1;
-      work_cv_.notify_one();
+      work_cv_.NotifyOne();
       return;
     }
   }
@@ -666,6 +709,14 @@ void NetServer::ProcessHttp(Conn* conn) {
     method = request_line.substr(0, sp1);
     path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
   }
+  // Split the query string off the path so /metrics?format=prom routes
+  // to the /metrics handler with the format as a parameter.
+  std::string query;
+  const std::size_t qmark = path.find('?');
+  if (qmark != std::string::npos) {
+    query = path.substr(qmark + 1);
+    path.resize(qmark);
+  }
   std::string status = "404 Not Found";
   std::string content_type = "text/plain";
   std::string body = "not found\n";
@@ -678,8 +729,13 @@ void NetServer::ProcessHttp(Conn* conn) {
                                                      : "ok\n";
   } else if (path == "/metrics") {
     status = "200 OK";
-    content_type = "application/json";
-    body = MetricsJson();
+    if (HasQueryParam(query, "format", "prom")) {
+      content_type = "text/plain; version=0.0.4";
+      body = MetricsProm();
+    } else {
+      content_type = "application/json";
+      body = MetricsJson();
+    }
   }
   std::string response = "HTTP/1.1 " + status + "\r\n";
   response += "Content-Type: " + content_type + "\r\n";
@@ -697,9 +753,12 @@ void NetServer::QueueOutput(Conn* conn, const std::string& bytes) {
 
 bool NetServer::FlushConn(Conn* conn) {
   while (conn->out_off < conn->outbuf.size()) {
-    const ssize_t w =
-        ::send(conn->fd, conn->outbuf.data() + conn->out_off,
-               conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+    // e2gcl-lint: allow(blocking-in-event-loop): conn fds are O_NONBLOCK;
+    // a full send buffer returns EAGAIN and the loop re-arms EPOLLOUT
+    // instead of waiting.
+    const ssize_t w = ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+                             conn->outbuf.size() - conn->out_off,
+                             MSG_NOSIGNAL);
     if (w > 0) {
       conn->out_off += static_cast<std::size_t>(w);
       continue;
@@ -815,6 +874,38 @@ std::string NetServer::MetricsJson() {
   return DumpJson(root, /*indent=*/false);
 }
 
+std::string NetServer::MetricsProm() {
+  // Prometheus text exposition format 0.0.4. Histograms emit the
+  // cumulative `_bucket{le="..."}` series plus `_count`; the registry
+  // tracks bucket counts only, so no `_sum` series is emitted.
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string prom = PromName(h.name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const std::string le =
+          b < h.bounds.size() ? std::to_string(h.bounds[b]) : "+Inf";
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_count " + std::to_string(h.total) + "\n";
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------
 // Workers: the only threads that make blocking serving calls.
 
@@ -822,9 +913,8 @@ void NetServer::WorkerLoop() {
   for (;;) {
     WorkItem item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return workers_stop_ || !work_queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!workers_stop_ && work_queue_.empty()) work_cv_.Wait(lock);
       if (work_queue_.empty()) return;  // stop requested, queue drained
       item = std::move(work_queue_.front());
       work_queue_.pop_front();
@@ -859,7 +949,7 @@ void NetServer::WorkerLoop() {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       completions_.push_back({item.conn_id, std::move(encoded)});
     }
     const char byte = 1;

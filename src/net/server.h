@@ -2,16 +2,15 @@
 #define E2GCL_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "net/protocol.h"
 #include "serve/embedding_server.h"
 
@@ -120,7 +119,10 @@ class NetServer {
   NetServer(EmbeddingServer* server, const NetServerOptions& options);
   bool Init(std::string* error);
 
-  void EventLoop();
+  /// Event-loop body (blocking-in-event-loop lint root): everything
+  /// reachable from here runs on the loop thread and must never block
+  /// beyond the poller's bounded wait.
+  void EventLoop() E2GCL_LOOP_BODY;
   void WorkerLoop();
 
   void AcceptNew();
@@ -147,6 +149,9 @@ class NetServer {
   std::string StatsJson();
   /// Full MetricsRegistry snapshot for GET /metrics.
   std::string MetricsJson();
+  /// The same snapshot in Prometheus text exposition format (0.0.4)
+  /// for GET /metrics?format=prom.
+  std::string MetricsProm();
 
   EmbeddingServer* server_;
   NetServerOptions options_;
@@ -165,13 +170,14 @@ class NetServer {
   std::atomic<std::int64_t> live_conns_{0};
 
   /// Worker queue + completions, shared between loop and workers.
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<WorkItem> work_queue_;
+  mutable Mutex mu_;
+  CondVar work_cv_ E2GCL_GUARDED_BY(mu_);
+  std::deque<WorkItem> work_queue_ E2GCL_GUARDED_BY(mu_);
   /// Encoded responses finished by workers: (conn id, bytes). The loop
   /// drains this after every wakeup and routes bytes to live conns.
-  std::vector<std::pair<std::uint64_t, std::string>> completions_;
-  bool workers_stop_ = false;
+  std::vector<std::pair<std::uint64_t, std::string>> completions_
+      E2GCL_GUARDED_BY(mu_);
+  bool workers_stop_ E2GCL_GUARDED_BY(mu_) = false;
 
   std::atomic<bool> shutdown_{false};
   std::vector<std::thread> workers_;

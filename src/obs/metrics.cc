@@ -5,8 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <mutex>
 
+#include "core/thread_annotations.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -50,22 +50,29 @@ struct HistogramDef {
 }  // namespace
 
 struct MetricsRegistry::Impl {
-  mutable std::mutex mu;
+  mutable Mutex mu;
 
-  std::vector<std::string> counter_names;
-  std::map<std::string, std::int32_t> counter_ids;
-  std::vector<std::uint64_t> counter_retired;  // from exited threads
+  std::vector<std::string> counter_names E2GCL_GUARDED_BY(mu);
+  std::map<std::string, std::int32_t> counter_ids E2GCL_GUARDED_BY(mu);
+  /// Totals merged back from exited threads.
+  std::vector<std::uint64_t> counter_retired E2GCL_GUARDED_BY(mu);
 
-  std::vector<std::string> gauge_names;
-  std::map<std::string, std::int32_t> gauge_ids;
+  std::vector<std::string> gauge_names E2GCL_GUARDED_BY(mu);
+  std::map<std::string, std::int32_t> gauge_ids E2GCL_GUARDED_BY(mu);
+  /// Gauge cells are relaxed atomics written lock-free by Gauge::Set/
+  /// Add/Max; the array itself is fixed-size, so only the name tables
+  /// above need the lock.
   std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
 
-  std::vector<HistogramDef> histogram_defs;
-  std::map<std::string, std::int32_t> histogram_ids;
-  std::vector<std::uint64_t> hist_retired;
-  std::int32_t next_hist_slot = 0;
+  std::vector<HistogramDef> histogram_defs E2GCL_GUARDED_BY(mu);
+  std::map<std::string, std::int32_t> histogram_ids E2GCL_GUARDED_BY(mu);
+  std::vector<std::uint64_t> hist_retired E2GCL_GUARDED_BY(mu);
+  std::int32_t next_hist_slot E2GCL_GUARDED_BY(mu) = 0;
 
-  std::vector<Shard*> shards;  // live, in registration order
+  /// Live shards in registration order. The pointed-to slot arrays are
+  /// relaxed atomics (written lock-free by their owning thread); only
+  /// the vector of pointers needs the lock.
+  std::vector<Shard*> shards E2GCL_GUARDED_BY(mu);
 
   Impl() {
     counter_retired.assign(kMaxCounters, 0);
@@ -75,13 +82,13 @@ struct MetricsRegistry::Impl {
   Shard* AdoptShard() {
     // e2gcl-lint: allow(naked-new-delete): shard ownership transfers to the registry; RetireShard deletes it
     Shard* s = new Shard();
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     shards.push_back(s);
     return s;
   }
 
   void RetireShard(Shard* s) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (std::int32_t i = 0; i < kMaxCounters; ++i) {
       counter_retired[i] += s->counters[i].load(std::memory_order_relaxed);
     }
@@ -150,7 +157,7 @@ MetricsRegistry& MetricsRegistry::Get() {
 
 Counter Counter::Get(const std::string& name) {
   MetricsRegistry::Impl* impl = RegistryImpl();
-  std::lock_guard<std::mutex> lock(impl->mu);
+  MutexLock lock(impl->mu);
   auto it = impl->counter_ids.find(name);
   if (it != impl->counter_ids.end()) return Counter(it->second);
   const std::int32_t id =
@@ -164,7 +171,7 @@ Counter Counter::Get(const std::string& name) {
 
 Gauge Gauge::Get(const std::string& name) {
   MetricsRegistry::Impl* impl = RegistryImpl();
-  std::lock_guard<std::mutex> lock(impl->mu);
+  MutexLock lock(impl->mu);
   auto it = impl->gauge_ids.find(name);
   if (it != impl->gauge_ids.end()) return Gauge(it->second);
   const std::int32_t id = static_cast<std::int32_t>(impl->gauge_names.size());
@@ -177,7 +184,7 @@ Gauge Gauge::Get(const std::string& name) {
 Histogram Histogram::Get(const std::string& name,
                          const std::vector<std::int64_t>& bounds) {
   MetricsRegistry::Impl* impl = RegistryImpl();
-  std::lock_guard<std::mutex> lock(impl->mu);
+  MutexLock lock(impl->mu);
   auto it = impl->histogram_ids.find(name);
   if (it != impl->histogram_ids.end()) return Histogram(it->second);
   E2GCL_CHECK_MSG(!bounds.empty(), "histogram '%s' needs bounds",
@@ -237,7 +244,7 @@ void Histogram::Record(std::int64_t value) const {
   std::int32_t offset;
   std::int32_t bucket;
   {
-    std::lock_guard<std::mutex> lock(impl->mu);
+    MutexLock lock(impl->mu);
     const HistogramDef& def = impl->histogram_defs[id_];
     const auto it =
         std::lower_bound(def.bounds.begin(), def.bounds.end(), value);
@@ -251,7 +258,7 @@ void Histogram::Record(std::int64_t value) const {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
 
   const std::size_t ncounters = impl_->counter_names.size();
   std::vector<std::uint64_t> counter_totals(impl_->counter_retired.begin(),
@@ -303,7 +310,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetValuesForTest() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   std::fill(impl_->counter_retired.begin(), impl_->counter_retired.end(), 0);
   std::fill(impl_->hist_retired.begin(), impl_->hist_retired.end(), 0);
   for (auto& g : impl_->gauges) g.store(0, std::memory_order_relaxed);
@@ -314,7 +321,7 @@ void MetricsRegistry::ResetValuesForTest() {
 }
 
 std::int64_t MetricsRegistry::NumShardsForTest() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return static_cast<std::int64_t>(impl_->shards.size());
 }
 

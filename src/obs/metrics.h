@@ -29,6 +29,12 @@ namespace e2gcl {
 ///
 /// Metric definitions are permanent for the process lifetime (ids are
 /// never recycled); values can be zeroed with ResetValuesForTest().
+///
+/// Locking: the registry's single internal mutex (an annotated
+/// e2gcl::Mutex; see core/thread_annotations.h) guards only the name/
+/// definition tables and the shard list. The hot record paths touch
+/// nothing but relaxed atomics, so they never contend with snapshots
+/// or with each other.
 
 /// True when metric/span recording is active.
 bool ObsEnabled();

@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
+
+#include "core/thread_annotations.h"
 
 namespace e2gcl {
 
@@ -25,14 +26,19 @@ struct TraceRegistry::Impl {
     std::atomic<std::int64_t> total_ns{0};
   };
 
-  mutable std::mutex mu;
-  Node root;  // unnamed sentinel; top-level spans are its children
+  mutable Mutex mu;
+  /// Unnamed sentinel; top-level spans are its children. The tree
+  /// *shape* (children vectors) is guarded by mu — Resolve locks to
+  /// mutate, Flatten/Reset require the lock — while per-node counters
+  /// are relaxed atomics bumped lock-free by ~TraceSpan. TraceSpan's
+  /// constructor only takes the root's address, never reads the tree.
+  Node root;
 
   Impl() { root.name = ""; }
 
   /// Finds or creates the child of `parent` named `name`.
-  Node* Resolve(Node* parent, const char* name) {
-    std::lock_guard<std::mutex> lock(mu);
+  Node* Resolve(Node* parent, const char* name) E2GCL_EXCLUDES(mu) {
+    MutexLock lock(mu);
     for (Node* c : parent->children) {
       if (c->name == name) return c;
     }
@@ -45,7 +51,7 @@ struct TraceRegistry::Impl {
   }
 
   void Flatten(const Node* node, const std::string& prefix,
-               std::vector<SpanSnapshot>* out) const {
+               std::vector<SpanSnapshot>* out) const E2GCL_REQUIRES(mu) {
     for (const Node* c : node->children) {
       const std::string path = prefix.empty() ? c->name : prefix + "/" + c->name;
       SpanSnapshot snap;
@@ -59,7 +65,7 @@ struct TraceRegistry::Impl {
     }
   }
 
-  void Reset(Node* node) {
+  void Reset(Node* node) E2GCL_REQUIRES(mu) {
     for (Node* c : node->children) {
       c->count.store(0, std::memory_order_relaxed);
       c->total_ns.store(0, std::memory_order_relaxed);
@@ -90,14 +96,14 @@ TraceRegistry& TraceRegistry::Get() {
 }
 
 std::vector<SpanSnapshot> TraceRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   std::vector<SpanSnapshot> out;
   impl_->Flatten(&impl_->root, "", &out);
   return out;
 }
 
 void TraceRegistry::ResetValuesForTest() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->Reset(&impl_->root);
 }
 

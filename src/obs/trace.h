@@ -22,6 +22,10 @@ struct SpanSnapshot {
 /// permanent for the process lifetime; totals can be zeroed with
 /// ResetValuesForTest(). Aggregation is per-node integer nanosecond
 /// sums, so merged totals do not depend on completion order.
+///
+/// Locking: one annotated internal mutex (core/thread_annotations.h)
+/// guards the tree *shape*; per-node totals are relaxed atomics, so
+/// completing a span never takes a lock.
 class TraceRegistry {
  public:
   /// Opaque state; defined in trace.cc (public so that file's helper

@@ -29,9 +29,10 @@ int DefaultNumThreads() {
   return ClampThreads(hw == 0 ? 1 : static_cast<long>(hw));
 }
 
-std::mutex g_pool_mu;
-std::unique_ptr<ThreadPool> g_pool;
-int g_requested_threads = 0;  // 0 = not overridden via SetNumThreads
+Mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool E2GCL_GUARDED_BY(g_pool_mu);
+/// 0 = not overridden via SetNumThreads.
+int g_requested_threads E2GCL_GUARDED_BY(g_pool_mu) = 0;
 
 }  // namespace
 
@@ -44,10 +45,13 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(ClampThreads(num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
+    // Notified under the lock (project convention): wait-morphing keeps
+    // this cheap and lets the thread-safety analysis pair the notify
+    // with the guarded shutdown_ write.
+    job_cv_.NotifyAll();
   }
-  job_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -57,21 +61,23 @@ std::int64_t ThreadPool::DrainCurrentJob() {
     const std::function<void(std::int64_t)>* fn;
     std::int64_t chunk;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (next_chunk_ >= job_chunks_) return ran;
       chunk = next_chunk_++;
       fn = job_fn_;
     }
+    // The user callback runs with mu_ dropped: chunks execute in
+    // parallel and fn may itself submit (inline) nested jobs.
     try {
       (*fn)(chunk);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     ++ran;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--pending_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -81,11 +87,11 @@ void ThreadPool::WorkerLoop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_cv_.wait(lock, [&] {
-        return shutdown_ || (generation_ != seen_generation &&
-                             next_chunk_ < job_chunks_);
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && !(generation_ != seen_generation &&
+                             next_chunk_ < job_chunks_)) {
+        job_cv_.Wait(lock);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
     }
@@ -122,17 +128,17 @@ void ThreadPool::Run(std::int64_t num_chunks,
   static const Gauge queue_depth = Gauge::Get("parallel.queue_depth_max");
   queue_depth.Max(num_chunks);
 
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(run_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_fn_ = &fn;
     job_chunks_ = num_chunks;
     next_chunk_ = 0;
     pending_ = num_chunks;
     first_error_ = nullptr;
     ++generation_;
+    job_cv_.NotifyAll();
   }
-  job_cv_.notify_all();
 
   t_in_parallel_region = true;
   DrainCurrentJob();
@@ -140,8 +146,8 @@ void ThreadPool::Run(std::int64_t num_chunks,
 
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    MutexLock lock(mu_);
+    while (pending_ != 0) done_cv_.Wait(lock);
     job_fn_ = nullptr;
     job_chunks_ = 0;
     err = first_error_;
@@ -150,7 +156,7 @@ void ThreadPool::Run(std::int64_t num_chunks,
 }
 
 ThreadPool& GlobalThreadPool() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   if (!g_pool) {
     g_pool = std::make_unique<ThreadPool>(
         g_requested_threads > 0 ? g_requested_threads : DefaultNumThreads());
@@ -159,14 +165,14 @@ ThreadPool& GlobalThreadPool() {
 }
 
 int GetNumThreads() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   if (g_pool) return g_pool->num_threads();
   return g_requested_threads > 0 ? g_requested_threads : DefaultNumThreads();
 }
 
 void SetNumThreads(int num_threads) {
   E2GCL_CHECK(num_threads >= 1);
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   g_requested_threads = ClampThreads(num_threads);
   g_pool.reset();  // next GlobalThreadPool() call respawns at the new size
 }

@@ -1,12 +1,13 @@
 #ifndef E2GCL_PARALLEL_THREAD_POOL_H_
 #define E2GCL_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace e2gcl {
 
@@ -43,24 +44,30 @@ class ThreadPool {
  private:
   void WorkerLoop();
   /// Claims chunks from the current job until none remain. Returns the
-  /// number of chunks this thread executed.
-  std::int64_t DrainCurrentJob();
+  /// number of chunks this thread executed. Acquires mu_ internally per
+  /// chunk; callers must not hold it.
+  std::int64_t DrainCurrentJob() E2GCL_EXCLUDES(mu_);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable job_cv_;   // workers wait for a new job
-  std::condition_variable done_cv_;  // Run() waits for completion
-  const std::function<void(std::int64_t)>* job_fn_ = nullptr;
-  std::int64_t job_chunks_ = 0;
-  std::int64_t next_chunk_ = 0;    // next unclaimed chunk
-  std::int64_t pending_ = 0;       // chunks not yet finished
-  std::uint64_t generation_ = 0;   // bumped per job so workers re-wake
-  std::exception_ptr first_error_;
-  bool shutdown_ = false;
-
-  std::mutex run_mu_;  // serializes top-level Run() calls
+  // e2gcl-lock-order: run_mu_ < mu_
+  /// Serializes top-level Run() calls; always taken before mu_.
+  Mutex run_mu_ E2GCL_ACQUIRED_BEFORE(mu_);
+  Mutex mu_;
+  CondVar job_cv_ E2GCL_GUARDED_BY(mu_);   // workers wait for a new job
+  CondVar done_cv_ E2GCL_GUARDED_BY(mu_);  // Run() waits for completion
+  const std::function<void(std::int64_t)>* job_fn_ E2GCL_GUARDED_BY(mu_) =
+      nullptr;
+  std::int64_t job_chunks_ E2GCL_GUARDED_BY(mu_) = 0;
+  /// Next unclaimed chunk.
+  std::int64_t next_chunk_ E2GCL_GUARDED_BY(mu_) = 0;
+  /// Chunks not yet finished.
+  std::int64_t pending_ E2GCL_GUARDED_BY(mu_) = 0;
+  /// Bumped per job so workers re-wake.
+  std::uint64_t generation_ E2GCL_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ E2GCL_GUARDED_BY(mu_);
+  bool shutdown_ E2GCL_GUARDED_BY(mu_) = false;
 };
 
 /// The process-wide pool used by all kernels, created on first use with

@@ -180,11 +180,12 @@ EmbeddingServer::~EmbeddingServer() {
 }
 
 void EmbeddingServer::BeginShutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  queue_cv_.notify_all();
+  MutexLock lock(mu_);
+  shutdown_ = true;
+  // Notified under the lock (project convention): wait-morphing keeps
+  // this cheap and the thread-safety analysis can pair the notify with
+  // the guarded shutdown_ write.
+  queue_cv_.NotifyAll();
 }
 
 // --- Status-typed API. -----------------------------------------------------
@@ -279,7 +280,7 @@ ServeStatus EmbeddingServer::ReloadCheckpoint(const TrainerCheckpoint& ckpt,
   }
   std::uint64_t next_generation = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       if (error != nullptr) *error = "server is shutting down";
       reload_in_flight_.store(false);
@@ -306,7 +307,7 @@ ServeStatus EmbeddingServer::ReloadCheckpoint(const TrainerCheckpoint& ckpt,
     // RCU swap: requests admitted before this line hold their own
     // shared_ptr to the old generation and finish on it; requests
     // admitted after see only the new one. Nothing is ever torn.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     state_ = std::move(fresh);
   }
   UpdateGenerationGauge(next_generation);
@@ -330,32 +331,32 @@ ServeStatus EmbeddingServer::ReloadFromFile(const std::string& path,
 // --- Introspection. --------------------------------------------------------
 
 std::int64_t EmbeddingServer::embed_dim() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_->encoder->config().dims.back();
 }
 
 std::uint64_t EmbeddingServer::generation() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_->generation;
 }
 
 std::shared_ptr<const ModelState> EmbeddingServer::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
 std::int64_t EmbeddingServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<std::int64_t>(queue_.size());
 }
 
 const ShardedRowCache* EmbeddingServer::cache() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_->cache.get();
 }
 
 const QuantizedEmbeddingTable& EmbeddingServer::quantized() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_->quantized;
 }
 
@@ -367,7 +368,7 @@ ServeStatus EmbeddingServer::Submit(const std::shared_ptr<Request>& req,
   const auto t0 = std::chrono::steady_clock::now();
   ServeStatus status = ServeStatus::kOk;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       RecordRejected(ServeStatus::kShutdown);
       return ServeStatus::kShutdown;
@@ -395,20 +396,23 @@ ServeStatus EmbeddingServer::Submit(const std::shared_ptr<Request>& req,
     }
     queue_.push_back(req);
     UpdateQueueGauge(static_cast<std::int64_t>(queue_.size()));
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
     if (req->has_deadline) {
-      if (!done_cv_.wait_until(lock, req->deadline,
-                               [&] { return req->done; })) {
-        // Deadline expired with the request still unserved (queued or
-        // mid-batch): release the caller NOW. The flusher discards the
-        // request when it reaches it; the shared_ptr keeps it alive.
-        req->abandoned = true;
-        req->status = ServeStatus::kDeadlineExceeded;
-        RecordRejected(ServeStatus::kDeadlineExceeded);
-        return ServeStatus::kDeadlineExceeded;
+      while (!req->done) {
+        if (done_cv_.WaitUntil(lock, req->deadline) ==
+                std::cv_status::timeout &&
+            !req->done) {
+          // Deadline expired with the request still unserved (queued or
+          // mid-batch): release the caller NOW. The flusher discards the
+          // request when it reaches it; the shared_ptr keeps it alive.
+          req->abandoned = true;
+          req->status = ServeStatus::kDeadlineExceeded;
+          RecordRejected(ServeStatus::kDeadlineExceeded);
+          return ServeStatus::kDeadlineExceeded;
+        }
       }
     } else {
-      done_cv_.wait(lock, [&] { return req->done; });
+      while (!req->done) done_cv_.Wait(lock);
     }
     status = req->status;
   }
@@ -419,9 +423,9 @@ ServeStatus EmbeddingServer::Submit(const std::shared_ptr<Request>& req,
 }
 
 void EmbeddingServer::FlusherLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    while (!shutdown_ && queue_.empty()) queue_cv_.Wait(lock);
     if (queue_.empty()) {
       if (shutdown_) return;
       continue;
@@ -442,54 +446,64 @@ void EmbeddingServer::FlusherLoop() {
                         std::chrono::microseconds(options_.batch_gap_us));
       while (!shutdown_ &&
              static_cast<std::int64_t>(queue_.size()) < options_.max_batch &&
-             queue_cv_.wait_until(lock, linger) != std::cv_status::timeout) {
+             queue_cv_.WaitUntil(lock, linger) != std::cv_status::timeout) {
       }
     }
-    // Pop a batch: skip abandoned requests, fail already-expired ones
-    // fast (their compute would be wasted — the caller is gone or about
-    // to give up), and stop at a generation boundary so one batch never
-    // mixes models (each batch computes rows with exactly one encoder).
-    std::vector<std::shared_ptr<Request>> batch;
-    const auto now = std::chrono::steady_clock::now();
     bool expired_any = false;
-    while (static_cast<std::int64_t>(batch.size()) < options_.max_batch &&
-           !queue_.empty()) {
-      std::shared_ptr<Request>& front = queue_.front();
-      if (front->abandoned) {
-        front->done = true;
-        queue_.pop_front();
-        continue;
-      }
-      if (front->has_deadline && now >= front->deadline) {
-        front->status = ServeStatus::kDeadlineExceeded;
-        front->done = true;
-        RecordRejected(ServeStatus::kDeadlineExceeded);
-        expired_any = true;
-        queue_.pop_front();
-        continue;
-      }
-      if (!batch.empty() && front->state.get() != batch.front()->state.get()) {
-        break;
-      }
-      batch.push_back(std::move(front));
-      queue_.pop_front();
-    }
+    std::vector<std::shared_ptr<Request>> batch = PopBatchLocked(&expired_any);
     UpdateQueueGauge(static_cast<std::int64_t>(queue_.size()));
-    if (expired_any) done_cv_.notify_all();
+    if (expired_any) done_cv_.NotifyAll();
     if (batch.empty()) continue;
-    lock.unlock();
+    // The batch is served with mu_ dropped — compute never blocks
+    // admission, introspection, or reload swaps. The fault hook below
+    // likewise runs unlocked (hold-lock-across-callback contract).
+    lock.Unlock();
     if (options_.fault_injector.stall_batch) {
       options_.fault_injector.stall_batch(
           static_cast<std::int64_t>(batch.size()));
     }
     ProcessBatch(batch);
-    lock.lock();
+    lock.Lock();
     for (const auto& r : batch) {
       if (!r->abandoned) r->status = r->result_status;
       r->done = true;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
+}
+
+std::vector<std::shared_ptr<EmbeddingServer::Request>>
+EmbeddingServer::PopBatchLocked(bool* expired_any) E2GCL_REQUIRES(mu_) {
+  // Pop a batch: skip abandoned requests, fail already-expired ones
+  // fast (their compute would be wasted — the caller is gone or about
+  // to give up), and stop at a generation boundary so one batch never
+  // mixes models (each batch computes rows with exactly one encoder).
+  std::vector<std::shared_ptr<Request>> batch;
+  const auto now = std::chrono::steady_clock::now();
+  *expired_any = false;
+  while (static_cast<std::int64_t>(batch.size()) < options_.max_batch &&
+         !queue_.empty()) {
+    std::shared_ptr<Request>& front = queue_.front();
+    if (front->abandoned) {
+      front->done = true;
+      queue_.pop_front();
+      continue;
+    }
+    if (front->has_deadline && now >= front->deadline) {
+      front->status = ServeStatus::kDeadlineExceeded;
+      front->done = true;
+      RecordRejected(ServeStatus::kDeadlineExceeded);
+      *expired_any = true;
+      queue_.pop_front();
+      continue;
+    }
+    if (!batch.empty() && front->state.get() != batch.front()->state.get()) {
+      break;
+    }
+    batch.push_back(std::move(front));
+    queue_.pop_front();
+  }
+  return batch;
 }
 
 void EmbeddingServer::ProcessBatch(

@@ -3,15 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "graph/graph.h"
 #include "io/checkpoint.h"
 #include "nn/gcn.h"
@@ -216,12 +215,17 @@ class EmbeddingServer {
   struct Request;
 
   /// Admission control + enqueue + bounded wait. Returns the request's
-  /// final status.
+  /// final status. Acquires mu_ internally.
   ServeStatus Submit(const std::shared_ptr<Request>& req,
-                     const ServeRequestOptions& request);
+                     const ServeRequestOptions& request) E2GCL_EXCLUDES(mu_);
   /// Single-threaded flusher: batches by size/deadline/generation,
   /// serves, signals.
-  void FlusherLoop();
+  void FlusherLoop() E2GCL_EXCLUDES(mu_);
+  /// Pops the next batch off queue_ (size/deadline/generation bounded,
+  /// abandoned requests skipped). Sets *expired_any when it
+  /// deadline-failed at least one request so the caller wakes waiters.
+  std::vector<std::shared_ptr<Request>> PopBatchLocked(bool* expired_any)
+      E2GCL_REQUIRES(mu_);
   /// Serves one popped batch (runs on the flusher thread, outside mu_).
   /// Every request in the batch is pinned to the same generation.
   void ProcessBatch(const std::vector<std::shared_ptr<Request>>& batch);
@@ -241,14 +245,14 @@ class EmbeddingServer {
   CsrMatrix adj_;
   ServeOptions options_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Current generation; swapped under mu_ by ReloadCheckpoint. Requests
   /// pin their own shared_ptr copy at admission.
-  std::shared_ptr<ModelState> state_;
-  std::condition_variable queue_cv_;  // wakes the flusher
-  std::condition_variable done_cv_;   // wakes blocked callers
-  std::deque<std::shared_ptr<Request>> queue_;
-  bool shutdown_ = false;
+  std::shared_ptr<ModelState> state_ E2GCL_GUARDED_BY(mu_);
+  CondVar queue_cv_ E2GCL_GUARDED_BY(mu_);  // wakes the flusher
+  CondVar done_cv_ E2GCL_GUARDED_BY(mu_);   // wakes blocked callers
+  std::deque<std::shared_ptr<Request>> queue_ E2GCL_GUARDED_BY(mu_);
+  bool shutdown_ E2GCL_GUARDED_BY(mu_) = false;
   /// Single-reload gate (kReloading for the losers of the race).
   std::atomic<bool> reload_in_flight_{false};
   std::thread flusher_;

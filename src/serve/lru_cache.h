@@ -5,11 +5,11 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "io/serialize.h"
 #include "tensor/check.h"
 
@@ -51,7 +51,7 @@ class ShardedRowCache {
   /// caller's recompute repairs the cache).
   bool Get(std::int64_t node, std::vector<float>* out) {
     Shard& shard = ShardFor(node);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.index.find(node);
     if (it == shard.index.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -75,7 +75,7 @@ class ShardedRowCache {
   void Put(std::int64_t node, std::vector<float> row) {
     const std::uint32_t crc = RowCrc(row);
     Shard& shard = ShardFor(node);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.index.find(node);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -96,7 +96,7 @@ class ShardedRowCache {
   /// Returns false when the node is not cached or its row is empty.
   bool CorruptEntryForTest(std::int64_t node) {
     Shard& shard = ShardFor(node);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.index.find(node);
     if (it == shard.index.end() || it->second->row.empty()) return false;
     auto* bytes = reinterpret_cast<unsigned char*>(it->second->row.data());
@@ -108,7 +108,7 @@ class ShardedRowCache {
   /// checksum verification; test/debug).
   bool Contains(std::int64_t node) const {
     const Shard& shard = ShardFor(node);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     return shard.index.find(node) != shard.index.end();
   }
 
@@ -116,7 +116,7 @@ class ShardedRowCache {
   std::int64_t Size() const {
     std::int64_t total = 0;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       total += static_cast<std::int64_t>(shard.lru.size());
     }
     return total;
@@ -141,10 +141,14 @@ class ShardedRowCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    /// Per-shard lock; shards are independent and never nested, so no
+    /// cross-shard order exists (enforced by the lock-order lint rule
+    /// observing acquisitions).
+    mutable Mutex mu;
     /// Front = most recently used. The index maps node id -> list node.
-    std::list<Entry> lru;
-    std::unordered_map<std::int64_t, std::list<Entry>::iterator> index;
+    std::list<Entry> lru E2GCL_GUARDED_BY(mu);
+    std::unordered_map<std::int64_t, std::list<Entry>::iterator> index
+        E2GCL_GUARDED_BY(mu);
   };
 
   static std::uint32_t RowCrc(const std::vector<float>& row) {

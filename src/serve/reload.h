@@ -27,7 +27,12 @@ struct ServeOptions;  // embedding_server.h (which includes this header)
 ///
 /// Mutability after publication is confined to single-writer members:
 /// `cache` is internally synchronized, and `full` is written only by
-/// the flusher thread (lazy-mode first-TopK materialization).
+/// the flusher thread (lazy-mode first-TopK materialization). There is
+/// deliberately no mutex here — the EmbeddingServer's annotated mu_
+/// (see core/thread_annotations.h and DESIGN.md "Concurrency
+/// discipline") guards only the *pointer* to the current generation;
+/// the pointed-to state is immutable or single-writer by construction,
+/// which is what makes the RCU swap safe without per-state locking.
 struct ModelState {
   /// Monotonic reload epoch: 1 for the initially loaded checkpoint,
   /// +1 per successful reload. Echoed in every response's

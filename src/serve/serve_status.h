@@ -134,18 +134,37 @@ struct RetryPolicy {
   int max_attempts = 4;
   std::int64_t initial_backoff_us = 100;
   std::int64_t max_backoff_us = 10000;
+  /// Total wall-clock budget across every attempt *and* backoff sleep,
+  /// measured from the first call. When the budget would be exceeded by
+  /// the next backoff, the helper stops retrying and returns the last
+  /// response instead of sleeping into a deadline it cannot meet.
+  /// 0 = unbounded (the attempts-only contract).
+  std::int64_t total_deadline_us = 0;
 };
 
 /// Client helper: calls `fn` (returning any *Response type) up to
 /// policy.max_attempts times, sleeping the backoff between attempts,
-/// until the status stops being retryable. Returns the last response.
+/// until the status stops being retryable (so terminal rejections —
+/// kShutdown, kInvalidArgument, kDeadlineExceeded — are returned after
+/// exactly one attempt). Returns the last response.
 template <typename Fn>
 auto RetryWithBackoff(const RetryPolicy& policy, Fn&& fn) -> decltype(fn()) {
+  const auto start = std::chrono::steady_clock::now();
   auto response = fn();
   std::int64_t backoff_us = policy.initial_backoff_us;
   for (int attempt = 1; attempt < policy.max_attempts &&
                         ServeStatusRetryable(response.status);
        ++attempt) {
+    if (policy.total_deadline_us > 0) {
+      const std::int64_t elapsed_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      // Give up rather than start a sleep that lands past the budget:
+      // the caller gets the transient status back while there is still
+      // time to act on it.
+      if (elapsed_us + backoff_us >= policy.total_deadline_us) break;
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
     backoff_us = std::min(policy.max_backoff_us, backoff_us * 2);
     response = fn();

@@ -11,6 +11,7 @@
 
 #include "io/json.h"
 #include "tools/lint/lint.h"
+#include "tools/lint/rules.h"
 
 namespace e2gcl {
 namespace lint {
@@ -446,6 +447,233 @@ TEST(LintSuppressions, SuppressionDoesNotLeakToOtherLines) {
       "std::cout << 2;\n";
   std::vector<Finding> fs = LintContent(kLibPath, code);
   EXPECT_EQ(Count(fs, "stdout-in-library"), 1);
+}
+
+// --- Rule: blocking-in-event-loop ------------------------------------
+
+TEST(LintRules, BlockingInEventLoopFlagsDirectAndTransitiveBlocking) {
+  const std::string bad = R"(
+    void Step() {
+      queue_cv_.Wait(lock);
+    }
+    void Loop() E2GCL_LOOP_BODY {
+      Step();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  )";
+  std::vector<Finding> fs = LintContent(kLibPath, bad);
+  // One direct (sleep_for in the loop body) and one transitive
+  // (.Wait( in Step, reachable from Loop).
+  EXPECT_EQ(Count(fs, "blocking-in-event-loop"), 2);
+}
+
+TEST(LintRules, BlockingInEventLoopIgnoresUnmarkedAndUnreachableCode) {
+  // No E2GCL_LOOP_BODY marker anywhere: blocking is fine.
+  const std::string unmarked = R"(
+    void Worker() {
+      queue_cv_.Wait(lock);
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, unmarked), "blocking-in-event-loop"),
+            0);
+  // Marker present, but the blocking function is never called from the
+  // loop.
+  const std::string unreachable = R"(
+    void Loop() E2GCL_LOOP_BODY {
+      Drain();
+    }
+    void Shutdown() {
+      worker_.join();
+    }
+  )";
+  EXPECT_EQ(
+      Count(LintContent(kLibPath, unreachable), "blocking-in-event-loop"), 0);
+}
+
+TEST(LintRules, BlockingInEventLoopHonorsJustifiedSuppression) {
+  const std::string code = R"(
+    void Loop() E2GCL_LOOP_BODY {
+      // e2gcl-lint: allow(blocking-in-event-loop): poller wait is bounded
+      poller_->Wait(timeout_ms, &events);
+    }
+  )";
+  std::vector<Finding> fs = LintContent(kLibPath, code);
+  EXPECT_EQ(Count(fs, "blocking-in-event-loop"), 0);
+  EXPECT_EQ(CountSuppressed(fs, "blocking-in-event-loop"), 1);
+}
+
+// --- Rule: unannotated-mutex -----------------------------------------
+
+TEST(LintRules, UnannotatedMutexFlagsUnreferencedMutexAndBareCondVar) {
+  const std::string bad = R"(
+    class Queue {
+      Mutex mu_;
+      CondVar cv_;
+    };
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "unannotated-mutex"), 2);
+}
+
+TEST(LintRules, UnannotatedMutexAllowsGuardingMutexAndGuardedCondVar) {
+  const std::string good = R"(
+    class Queue {
+      mutable Mutex mu_;
+      CondVar cv_ E2GCL_GUARDED_BY(mu_);
+      int depth_ E2GCL_GUARDED_BY(mu_) = 0;
+    };
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, good), "unannotated-mutex"), 0);
+  // The rule is library-scoped: test scaffolding may use bare mutexes.
+  const std::string bare = "std::mutex mu;\n";
+  EXPECT_EQ(Count(LintContent(kTestPath, bare), "unannotated-mutex"), 0);
+}
+
+// --- Rule: lock-order -------------------------------------------------
+
+TEST(LintRules, LockOrderFlagsCycleAgainstDeclaredManifest) {
+  const std::string bad = R"(
+    // e2gcl-lock-order: a_mu < b_mu
+    void Transfer() {
+      MutexLock outer(b_mu);
+      MutexLock inner(a_mu);
+    }
+  )";
+  EXPECT_GE(Count(LintContent(kLibPath, bad), "lock-order"), 1);
+}
+
+TEST(LintRules, LockOrderFlagsReacquisitionWhileHeld) {
+  const std::string self_nest = R"(
+    void Recurse() {
+      MutexLock outer(mu_);
+      MutexLock inner(mu_);
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, self_nest), "lock-order"), 1);
+  // E2GCL_REQUIRES implies the capability for the whole body.
+  const std::string requires_nest = R"(
+    void DrainLocked() E2GCL_REQUIRES(mu_) {
+      MutexLock lock(mu_);
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, requires_nest), "lock-order"), 1);
+}
+
+TEST(LintRules, LockOrderAllowsConsistentAndScopedAcquisition) {
+  const std::string good = R"(
+    // e2gcl-lock-order: a_mu < b_mu
+    void Transfer() {
+      MutexLock outer(a_mu);
+      MutexLock inner(b_mu);
+    }
+    void Sequential() {
+      { MutexLock first(b_mu); }
+      MutexLock second(a_mu);
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, good), "lock-order"), 0);
+}
+
+// --- Rule: hold-lock-across-callback ---------------------------------
+
+TEST(LintRules, HoldLockAcrossCallbackFlagsCallbacksUnderLock) {
+  const std::string bad = R"(
+    std::function<void()> on_done;
+    void Finish() {
+      MutexLock lock(mu_);
+      on_done();
+      on_error_cb_(1);
+      (*hook)(2);
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, bad), "hold-lock-across-callback"), 3);
+}
+
+TEST(LintRules, HoldLockAcrossCallbackAllowsUnlockCallLockShape) {
+  const std::string good = R"(
+    void Finish() {
+      MutexLock lock(mu_);
+      ++depth_;
+      lock.Unlock();
+      on_done_cb_();
+      lock.Lock();
+      --depth_;
+    }
+    void NoLock() {
+      on_done_cb_();
+    }
+    void PlainCalls() {
+      MutexLock lock(mu_);
+      Drain();
+      queue_.push_back(1);
+    }
+  )";
+  EXPECT_EQ(Count(LintContent(kLibPath, good), "hold-lock-across-callback"),
+            0);
+}
+
+// --- Lexer: backslash-newline splicing -------------------------------
+
+TEST(LintLexer, LineCommentContinuationExtendsTheComment) {
+  // A '\' at the end of a // comment splices the next physical line
+  // into the comment (phase-2 splicing), so line 2 is not code.
+  const std::string code =
+      "// hidden \\\n"
+      "std::cout << 1;\n"
+      "std::cout << 2;\n";
+  std::vector<Finding> fs = LintContent(kLibPath, code);
+  ASSERT_EQ(Count(fs, "stdout-in-library"), 1);
+  for (const Finding& f : fs) {
+    if (f.rule == "stdout-in-library") {
+      EXPECT_EQ(f.line, 3);
+    }
+  }
+}
+
+TEST(LintLexer, StringContinuationKeepsLineNumbersAligned) {
+  // A spliced string literal must still advance the physical line
+  // counter, so findings after it land on the right line.
+  const std::string code =
+      "const char* s = \"ab\\\n"
+      "cd\";\n"
+      "std::cout << 1;\n";
+  std::vector<Finding> fs = LintContent(kLibPath, code);
+  ASSERT_EQ(Count(fs, "stdout-in-library"), 1);
+  for (const Finding& f : fs) {
+    if (f.rule == "stdout-in-library") {
+      EXPECT_EQ(f.line, 3);
+    }
+  }
+}
+
+// --- Per-rule stats (--stats) ----------------------------------------
+
+TEST(LintStats, AccumulatesPerRuleTimingAndFindingCounts) {
+  SetRuleStatsEnabled(true);
+  ResetRuleStats();
+  LintContent(kLibPath, "std::cout << 1;\n");
+  std::vector<RuleStat> stats = RuleStats();
+  SetRuleStatsEnabled(false);
+  ASSERT_EQ(stats.size(), RuleTable().size());
+  bool saw_stdout_rule = false;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].name, RuleTable()[i].name);
+    EXPECT_GE(stats[i].nanos, 0);
+    if (stats[i].name == "stdout-in-library") {
+      saw_stdout_rule = true;
+      EXPECT_EQ(stats[i].findings, 1);
+    } else {
+      EXPECT_EQ(stats[i].findings, 0);
+    }
+  }
+  EXPECT_TRUE(saw_stdout_rule);
+  ResetRuleStats();
+  EXPECT_TRUE(RuleStats().empty());
+}
+
+TEST(LintStats, DisabledByDefaultCostsNothing) {
+  ResetRuleStats();
+  LintContent(kLibPath, "std::cout << 1;\n");
+  EXPECT_TRUE(RuleStats().empty());
 }
 
 // --- Comments and strings never trip rules ---------------------------

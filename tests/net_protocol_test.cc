@@ -19,8 +19,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -563,6 +565,62 @@ TEST_F(NetProtocolTest, HttpHealthzMetricsAndErrors) {
     EXPECT_NE(response.find(c.want_body_substr), std::string::npos)
         << response;
   }
+}
+
+TEST_F(NetProtocolTest, HttpMetricsPromFormatRoundTrips) {
+  StartServer();
+  // JSON view first: net.accepted only grows afterwards, so the prom
+  // value read on a later connection must be >= this one.
+  std::uint64_t json_accepted = 0;
+  {
+    RawSock sock(port());
+    ASSERT_TRUE(sock.connected());
+    ASSERT_TRUE(sock.SendAll("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
+    const std::string response = sock.RecvUntilClose();
+    const std::string key = "\"net.accepted\":";
+    const std::size_t at = response.find(key);
+    ASSERT_NE(at, std::string::npos) << response;
+    json_accepted =
+        std::strtoull(response.c_str() + at + key.size(), nullptr, 10);
+    EXPECT_GE(json_accepted, 1u);
+  }
+  RawSock sock(port());
+  ASSERT_TRUE(sock.connected());
+  ASSERT_TRUE(
+      sock.SendAll("GET /metrics?format=prom HTTP/1.1\r\nHost: x\r\n\r\n"));
+  const std::string response = sock.RecvUntilClose();
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos)
+      << response;
+  // Exposition-format shape: dotted names become e2gcl_-prefixed
+  // underscore names, each with a # TYPE line.
+  EXPECT_NE(response.find("# TYPE e2gcl_net_accepted counter"),
+            std::string::npos)
+      << response;
+  EXPECT_EQ(response.find("net.accepted"), std::string::npos) << response;
+  const std::string sample = "\ne2gcl_net_accepted ";
+  const std::size_t at = response.find(sample);
+  ASSERT_NE(at, std::string::npos) << response;
+  const std::uint64_t prom_accepted =
+      std::strtoull(response.c_str() + at + sample.size(), nullptr, 10);
+  EXPECT_GE(prom_accepted, json_accepted) << response;
+  // Every sample line in the body parses as `name value`.
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  std::istringstream body(response.substr(body_at + 4));
+  std::string line;
+  int samples = 0;
+  while (std::getline(body, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.rfind("e2gcl_", 0), 0u) << line;
+    char* end = nullptr;
+    std::strtoull(line.c_str() + space + 1, &end, 10);
+    EXPECT_EQ(*end, '\0') << line;
+    ++samples;
+  }
+  EXPECT_GE(samples, 2);
 }
 
 TEST_F(NetProtocolTest, OversizedHttpHeadersGet400) {

@@ -363,6 +363,72 @@ TEST(RetryWithBackoff, StopsAtMaxAttemptsAndOnNonRetryableStatus) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(RetryWithBackoff, TotalDeadlineBoundsRetryBudget) {
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_us = 100;
+  policy.max_backoff_us = 100;
+  policy.total_deadline_us = 250;
+  const auto start = std::chrono::steady_clock::now();
+  EmbeddingResponse response = RetryWithBackoff(policy, [&] {
+    ++calls;
+    EmbeddingResponse r;
+    r.status = ServeStatus::kOverloaded;
+    return r;
+  });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(response.status, ServeStatus::kOverloaded);
+  // Every backoff sleeps >= 100us, so the 250us budget admits at most
+  // two of them — nowhere near the 100-attempt unbounded schedule.
+  EXPECT_GE(calls, 1);
+  EXPECT_LE(calls, 3);
+  // And the budget bounds wall clock (very generous ceiling so
+  // scheduler jitter cannot flake the test).
+  EXPECT_LT(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(),
+      1000000);
+}
+
+TEST(RetryWithBackoff, TerminalStatusesNeverRetry) {
+  for (ServeStatus terminal :
+       {ServeStatus::kShutdown, ServeStatus::kInvalidArgument}) {
+    int calls = 0;
+    RetryPolicy policy;
+    policy.max_attempts = 8;
+    policy.initial_backoff_us = 1;
+    EmbeddingResponse response = RetryWithBackoff(policy, [&] {
+      ++calls;
+      EmbeddingResponse r;
+      r.status = terminal;
+      return r;
+    });
+    EXPECT_EQ(response.status, terminal);
+    EXPECT_EQ(calls, 1);
+  }
+}
+
+TEST(RetryWithBackoff, DeadlineIsRespectedAcrossGrowingBackoffs) {
+  // Backoff doubles 500 -> 1000 -> 2000; the 2ms budget stops the
+  // schedule before the third sleep even though max_attempts allows
+  // three orders of magnitude more calls.
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.initial_backoff_us = 500;
+  policy.max_backoff_us = 4000;
+  policy.total_deadline_us = 2000;
+  EmbeddingResponse response = RetryWithBackoff(policy, [&] {
+    ++calls;
+    EmbeddingResponse r;
+    r.status = ServeStatus::kOverloaded;
+    return r;
+  });
+  EXPECT_EQ(response.status, ServeStatus::kOverloaded);
+  EXPECT_GE(calls, 1);
+  EXPECT_LE(calls, 3);
+}
+
 // --- Cache corruption (checksummed rows). ----------------------------------
 
 TEST(ServeCorruption, CorruptedCacheRowIsDetectedAndRecomputed) {

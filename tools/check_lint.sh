@@ -29,4 +29,21 @@ if command -v clang-tidy >/dev/null 2>&1; then
     xargs -0 -n 8 clang-tidy -p "$BUILD" --quiet 2>/dev/null || true
 fi
 
+# Thread-safety leg: compile the concurrent subsystems under clang's
+# -Wthread-safety (promoted to errors by E2GCL_THREAD_SAFETY=ON). This
+# is where the E2GCL_GUARDED_BY / E2GCL_REQUIRES annotations in
+# core/thread_annotations.h are actually checked; on a gcc-only host
+# the mode configures as a documented no-op, so the leg builds (proving
+# the annotation macros expand cleanly) but the capability analysis
+# itself only gates where clang is available.
+echo "--- thread-safety build leg ---" >&2
+TS_BUILD="$ROOT/build-threadsafety"
+cmake -B "$TS_BUILD" -S "$ROOT" -DE2GCL_THREAD_SAFETY=ON \
+  -DE2GCL_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+if ! cmake --build "$TS_BUILD" -j "$(nproc)" \
+    --target e2gcl_parallel e2gcl_obs e2gcl_serve e2gcl_net >/dev/null; then
+  echo "thread-safety build leg FAILED" >&2
+  status=1
+fi
+
 exit $status

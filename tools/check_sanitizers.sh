@@ -3,14 +3,16 @@
 # e2gcl_lint pass, then ThreadSanitizer, AddressSanitizer, and
 # UndefinedBehaviorSanitizer builds running the suites that exercise
 # the parallel kernels and the fault-tolerance machinery (checkpoint
-# I/O, kill/resume, death tests). Usage:
+# I/O, kill/resume, death tests), plus a clang thread-safety-analysis
+# build leg over the annotated serving/net stack. Usage:
 #
-#   tools/check_sanitizers.sh             # lint + sanitizers + portable
-#   tools/check_sanitizers.sh lint        # static analysis only
-#   tools/check_sanitizers.sh thread     # ThreadSanitizer only
-#   tools/check_sanitizers.sh address    # AddressSanitizer only
-#   tools/check_sanitizers.sh undefined  # UBSan only
-#   tools/check_sanitizers.sh portable   # E2GCL_SIMD=portable build only
+#   tools/check_sanitizers.sh               # lint + all legs below
+#   tools/check_sanitizers.sh lint          # static analysis only
+#   tools/check_sanitizers.sh thread        # ThreadSanitizer only
+#   tools/check_sanitizers.sh address       # AddressSanitizer only
+#   tools/check_sanitizers.sh undefined     # UBSan only
+#   tools/check_sanitizers.sh portable      # E2GCL_SIMD=portable build only
+#   tools/check_sanitizers.sh threadsafety  # -DE2GCL_THREAD_SAFETY=ON build
 #
 # The portable leg rebuilds with -DE2GCL_SIMD=portable and runs the
 # same suites, proving the scalar kernel fallback stays green on
@@ -19,29 +21,45 @@
 # simd_portable.cc is always compiled, and simd_kernels_test (in the
 # target list below) calls the simd::portable::* kernels directly.
 #
+# The threadsafety leg is build-only: it compiles the annotated targets
+# with -Wthread-safety -Werror=thread-safety under clang (see
+# src/core/thread_annotations.h); under gcc the mode configures as a
+# documented no-op skip, so the leg passes trivially there.
+#
 # Each configured tree lives in build-<config>/ next to the regular
-# build/ so configurations never share object files.
+# build/ so configurations never share object files. A per-leg PASS/FAIL
+# summary prints at the end; the exit code is nonzero if any leg failed.
 set -euo pipefail
 
 RUN_LINT=0
 case "${1:-all}" in
-  lint)      SANITIZERS=(); RUN_LINT=1 ;;
-  thread)    SANITIZERS=(thread) ;;
-  address)   SANITIZERS=(address) ;;
-  undefined) SANITIZERS=(undefined) ;;
-  portable)  SANITIZERS=(portable) ;;
-  both)      SANITIZERS=(thread address) ;;
-  all)       SANITIZERS=(thread address undefined portable); RUN_LINT=1 ;;
-  *) echo "usage: $0 [lint|thread|address|undefined|portable|both|all]" >&2
+  lint)         LEGS=(); RUN_LINT=1 ;;
+  thread)       LEGS=(thread) ;;
+  address)      LEGS=(address) ;;
+  undefined)    LEGS=(undefined) ;;
+  portable)     LEGS=(portable) ;;
+  threadsafety) LEGS=(threadsafety) ;;
+  both)         LEGS=(thread address) ;;
+  all)          LEGS=(thread address undefined portable threadsafety)
+                RUN_LINT=1 ;;
+  *) echo "usage: $0 [lint|thread|address|undefined|portable|threadsafety|both|all]" >&2
      exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-status=0
+LEG_NAMES=()
+LEG_RESULTS=()
+record() {  # record <leg-name> <0|nonzero>
+  LEG_NAMES+=("$1")
+  if [ "$2" = 0 ]; then LEG_RESULTS+=(PASS); else LEG_RESULTS+=(FAIL); fi
+}
+
 if [ "$RUN_LINT" = 1 ]; then
   echo "=== e2gcl_lint ==="
-  "$ROOT/tools/check_lint.sh" || status=1
+  lint_status=0
+  "$ROOT/tools/check_lint.sh" || lint_status=1
+  record lint "$lint_status"
 fi
 
 # The race-prone and fault-injection code paths live in these binaries;
@@ -73,23 +91,40 @@ TARGETS=(
   lint_test
 )
 
-for SANITIZER in "${SANITIZERS[@]}"; do
-  BUILD="$ROOT/build-$SANITIZER"
-  if [ "$SANITIZER" = portable ]; then
+for LEG in "${LEGS[@]}"; do
+  BUILD="$ROOT/build-$LEG"
+  leg_status=0
+
+  if [ "$LEG" = threadsafety ]; then
+    # Build-only leg: the annotated libraries under clang's
+    # -Wthread-safety (or a documented skip under gcc).
+    echo "=== threadsafety (build only) ==="
+    if ! cmake -B "$BUILD" -S "$ROOT" -DE2GCL_THREAD_SAFETY=ON \
+        -DE2GCL_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
+      leg_status=1
+    elif ! cmake --build "$BUILD" -j "$(nproc)" \
+        --target e2gcl_parallel e2gcl_obs e2gcl_serve e2gcl_net; then
+      leg_status=1
+    fi
+    record "$LEG" "$leg_status"
+    continue
+  fi
+
+  if [ "$LEG" = portable ]; then
     # Not a sanitizer: a plain build forced onto the scalar SIMD
     # backend, running the same suites (plus the kernel parity tests,
     # which become exact-equality comparisons in this mode).
     cmake -B "$BUILD" -S "$ROOT" -DE2GCL_SIMD=portable \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
   else
-    cmake -B "$BUILD" -S "$ROOT" -DE2GCL_SANITIZE="$SANITIZER" \
+    cmake -B "$BUILD" -S "$ROOT" -DE2GCL_SANITIZE="$LEG" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
   fi
   cmake --build "$BUILD" -j "$(nproc)" --target "${TARGETS[@]}"
 
   # Exercise a real pool even on small CI machines; fail on any report.
   export E2GCL_NUM_THREADS="${E2GCL_NUM_THREADS:-4}"
-  if [ "$SANITIZER" = thread ]; then
+  if [ "$LEG" = thread ]; then
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   fi
 
@@ -97,10 +132,22 @@ for SANITIZER in "${SANITIZERS[@]}"; do
   # which makes selecting whole binaries awkward); any sanitizer report
   # fails it.
   for t in "${TARGETS[@]}"; do
-    echo "=== $t ($SANITIZER) ==="
+    echo "=== $t ($LEG) ==="
     if ! "$BUILD/tests/$t"; then
-      status=1
+      leg_status=1
     fi
   done
+  record "$LEG" "$leg_status"
 done
+
+echo
+echo "=== summary ==="
+status=0
+for i in "${!LEG_NAMES[@]}"; do
+  printf '%-14s %s\n' "${LEG_NAMES[$i]}" "${LEG_RESULTS[$i]}"
+  if [ "${LEG_RESULTS[$i]}" = FAIL ]; then status=1; fi
+done
+if [ "${#LEG_NAMES[@]}" = 0 ]; then
+  echo "(no legs ran)"
+fi
 exit $status

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "tools/lint/rules.h"
 
@@ -27,7 +29,51 @@ bool IsKnownRule(const std::string& name) {
 
 // ---------------------------------------------------------------------
 // Lexer: one pass over the file tracking comment/string state, emitting
-// two parallel code views plus the comment texts (for suppressions).
+// two parallel code views plus the comment texts, with every
+// `e2gcl-lint:` suppression marker parsed as the comment is flushed —
+// rule passes and the matcher consume the pre-parsed list instead of
+// re-scanning comment text.
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parses every allow-marker (the e2gcl-lint tag, an allow() clause
+/// naming a rule, a colon, a justification) out of one comment's text.
+/// Syntax only — validation (unknown rule, empty justification) is
+/// LintContent's job, so the lexer stays engine-agnostic.
+void ParseSuppressionMarkers(const std::string& text, int line,
+                             std::vector<RawSuppression>* out) {
+  static const std::string kTag = "e2gcl-lint:";
+  std::size_t pos = text.find(kTag);
+  while (pos != std::string::npos) {
+    const std::size_t cursor = pos + kTag.size();
+    const std::size_t allow = text.find("allow(", cursor);
+    if (allow == std::string::npos) break;
+    const std::size_t close = text.find(')', allow);
+    RawSuppression raw;
+    raw.comment_line = line;
+    if (close == std::string::npos) {
+      raw.malformed = true;
+      out->push_back(std::move(raw));
+      break;
+    }
+    raw.rule = Trim(text.substr(allow + 6, close - allow - 6));
+    const std::size_t colon = text.find(':', close);
+    if (colon != std::string::npos) {
+      raw.justification = Trim(text.substr(colon + 1));
+    }
+    out->push_back(std::move(raw));
+    pos = text.find(kTag, close);
+  }
+}
+
+}  // namespace
 
 LexedFile Lex(const std::string& content) {
   LexedFile out;
@@ -45,6 +91,8 @@ LexedFile Lex(const std::string& content) {
   };
   auto flush_comment = [&]() {
     if (!comment_text.empty() || comment_start_line != 0) {
+      ParseSuppressionMarkers(comment_text, comment_start_line,
+                              &out.suppressions);
       out.comments.emplace_back(comment_start_line, comment_text);
     }
     comment_text.clear();
@@ -122,9 +170,22 @@ LexedFile Lex(const std::string& content) {
         }
         break;
       case State::kLineComment:
-        comment_text += c;
-        code_line += ' ';
-        strings_line += ' ';
+        if (c == '\\' && next == '\n') {
+          // Phase-2 line splicing: a backslash-newline inside a `//`
+          // comment continues the comment onto the next physical line
+          // (the splice happens before comment recognition, so the
+          // "next line" is still comment text, not code).
+          comment_text += ' ';
+          code_line += ' ';
+          strings_line += ' ';
+          flush_line();
+          ++line;
+          ++i;  // consume the newline; state stays kLineComment
+        } else {
+          comment_text += c;
+          code_line += ' ';
+          strings_line += ' ';
+        }
         break;
       case State::kBlockComment:
         if (c == '*' && next == '/') {
@@ -140,7 +201,16 @@ LexedFile Lex(const std::string& content) {
         }
         break;
       case State::kString:
-        if (c == '\\' && next != '\0') {
+        if (c == '\\' && next == '\n') {
+          // Spliced string literal: consuming the newline silently
+          // would shift every later finding's line number, so the line
+          // break is flushed here exactly like a literal newline.
+          code_line += ' ';
+          strings_line += ' ';
+          flush_line();
+          ++line;
+          ++i;  // the literal continues on the next line
+        } else if (c == '\\' && next != '\0') {
           code_line += "  ";
           strings_line += "\\";
           strings_line += next;
@@ -155,7 +225,13 @@ LexedFile Lex(const std::string& content) {
         }
         break;
       case State::kChar:
-        if (c == '\\' && next != '\0') {
+        if (c == '\\' && next == '\n') {
+          code_line += ' ';
+          strings_line += ' ';
+          flush_line();
+          ++line;
+          ++i;  // spliced char literal: same line accounting as kString
+        } else if (c == '\\' && next != '\0') {
           code_line += "  ";
           strings_line += "\\";
           strings_line += next;
@@ -185,82 +261,54 @@ namespace {
 
 struct Suppression {
   std::string rule;
-  std::string justification;  // may be empty (then invalid)
+  std::string justification;  // validated non-empty
   int comment_line = 0;       // where the allow() text sits
   int target_line = 0;        // code line it covers
-  bool used = false;
 };
-
-std::string Trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t");
-  return s.substr(b, e - b + 1);
-}
 
 bool LineHasCode(const std::string& code_line) {
   return code_line.find_first_not_of(" \t") != std::string::npos;
 }
 
-/// Parses every suppression marker — the `e2gcl-lint:` tag followed by
-/// an allow(rule) clause and optional `: justification` — out
-/// of the comment texts and resolves each to its target code line: the
-/// comment's own line when that line has code, otherwise the next line
-/// that has code. Malformed markers (missing/empty justification or an
-/// unknown rule) are reported via `findings`.
+/// Validates the lexer's pre-parsed suppression markers and resolves
+/// each valid one to its target code line: the comment's own line when
+/// that line has code, otherwise the next line that has code. Malformed
+/// markers (missing ')', missing/empty justification, or an unknown
+/// rule) are reported via `findings`. The comment text is never
+/// re-scanned here — the lexer already did the string work once.
 std::vector<Suppression> CollectSuppressions(const LexedFile& lexed,
                                              const std::string& path,
                                              std::vector<Finding>* findings) {
   std::vector<Suppression> sups;
-  const std::string kTag = "e2gcl-lint:";
-  for (const auto& [line, text] : lexed.comments) {
-    std::size_t pos = text.find(kTag);
-    while (pos != std::string::npos) {
-      std::size_t cursor = pos + kTag.size();
-      std::size_t allow = text.find("allow(", cursor);
-      if (allow == std::string::npos) break;
-      std::size_t close = text.find(')', allow);
-      if (close == std::string::npos) {
-        Finding f;
-        f.rule = "suppression-justification";
-        f.severity = Severity::kError;
-        f.file = path;
-        f.line = line;
-        f.message = "malformed suppression: missing ')' after allow(";
-        findings->push_back(std::move(f));
-        break;
-      }
-      Suppression s;
-      s.rule = Trim(text.substr(allow + 6, close - allow - 6));
-      s.comment_line = line;
-      // Justification: everything after a ':' following the ')'.
-      std::size_t colon = text.find(':', close);
-      if (colon != std::string::npos) {
-        s.justification = Trim(text.substr(colon + 1));
-      }
-      if (!IsKnownRule(s.rule)) {
-        Finding f;
-        f.rule = "suppression-justification";
-        f.severity = Severity::kError;
-        f.file = path;
-        f.line = line;
-        f.message = "suppression names unknown rule '" + s.rule + "'";
-        findings->push_back(std::move(f));
-      } else if (s.justification.empty()) {
-        Finding f;
-        f.rule = "suppression-justification";
-        f.severity = Severity::kError;
-        f.file = path;
-        f.line = line;
-        f.message = "suppression for '" + s.rule +
-                    "' lacks a justification (use `// e2gcl-lint: "
-                    "allow(" + s.rule + "): <why this is safe>`)";
-        findings->push_back(std::move(f));
-      } else {
-        sups.push_back(std::move(s));
-      }
-      pos = text.find(kTag, close);
+  for (const RawSuppression& raw : lexed.suppressions) {
+    auto fail = [&](std::string message) {
+      Finding f;
+      f.rule = "suppression-justification";
+      f.severity = Severity::kError;
+      f.file = path;
+      f.line = raw.comment_line;
+      f.message = std::move(message);
+      findings->push_back(std::move(f));
+    };
+    if (raw.malformed) {
+      fail("malformed suppression: missing ')' after allow(");
+      continue;
     }
+    if (!IsKnownRule(raw.rule)) {
+      fail("suppression names unknown rule '" + raw.rule + "'");
+      continue;
+    }
+    if (raw.justification.empty()) {
+      fail("suppression for '" + raw.rule +
+           "' lacks a justification (use `// e2gcl-lint: allow(" + raw.rule +
+           "): <why this is safe>`)");
+      continue;
+    }
+    Suppression s;
+    s.rule = raw.rule;
+    s.justification = raw.justification;
+    s.comment_line = raw.comment_line;
+    sups.push_back(std::move(s));
   }
   // Resolve target lines. A comment on a line with code covers that
   // line; a comment-only line covers the next line that has code
@@ -295,15 +343,18 @@ std::vector<Finding> LintContent(const std::string& path,
   std::vector<Finding> findings;
   RunAllRules(path, lexed, &findings);
   std::vector<Suppression> sups = CollectSuppressions(lexed, path, &findings);
+  // Indexed matching: one (rule, target line) lookup per finding rather
+  // than a scan over every suppression for every finding.
+  std::map<std::pair<std::string, int>, const Suppression*> by_target;
+  for (const Suppression& s : sups) {
+    by_target.emplace(std::make_pair(s.rule, s.target_line), &s);
+  }
   for (Finding& f : findings) {
     if (f.rule == "suppression-justification") continue;  // meta findings
-    for (Suppression& s : sups) {
-      if (s.rule == f.rule && s.target_line == f.line) {
-        f.suppressed = true;
-        f.justification = s.justification;
-        s.used = true;
-        break;
-      }
+    const auto it = by_target.find(std::make_pair(f.rule, f.line));
+    if (it != by_target.end()) {
+      f.suppressed = true;
+      f.justification = it->second->justification;
     }
   }
   std::stable_sort(findings.begin(), findings.end(),

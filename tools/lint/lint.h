@@ -97,14 +97,31 @@ int ExitCode(const std::vector<Finding>& findings);
 
 /// --- exposed for tests ---------------------------------------------
 
+/// One allow-marker — the e2gcl-lint tag, an allow() clause naming a
+/// rule, a colon, a justification — as parsed by the lexer. The lexer
+/// records syntax only — rule-name validation, empty-
+/// justification findings, and target-line resolution happen once per
+/// file in LintContent, so the per-rule matching loop never re-scans
+/// comment text.
+struct RawSuppression {
+  std::string rule;           // trimmed allow() argument; may be unknown
+  std::string justification;  // may be empty (then invalid)
+  int comment_line = 0;       // 1-based line the marker starts on
+  bool malformed = false;     // allow( was never closed with ')'
+};
+
 /// Lexed view of a file: `code` has comments and string/char literals
 /// blanked (spaces, newlines kept), `code_with_strings` keeps literal
 /// contents (for rules that inspect e.g. fopen modes), `comments`
-/// holds each comment's text keyed by its starting line.
+/// holds each comment's text keyed by its starting line, and
+/// `suppressions` holds every `e2gcl-lint:` marker found in them —
+/// parsed during the lexer's single pass rather than re-scanned per
+/// rule.
 struct LexedFile {
   std::vector<std::string> code;               // per line, literals blanked
   std::vector<std::string> code_with_strings;  // per line, comments blanked
   std::vector<std::pair<int, std::string>> comments;  // (1-based line, text)
+  std::vector<RawSuppression> suppressions;    // in file order
 };
 
 LexedFile Lex(const std::string& content);
