@@ -1,5 +1,6 @@
 #include "autograd/variable.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 #include "tensor/check.h"
@@ -73,8 +74,14 @@ void Var::Backward() const {
   E2GCL_CHECK_MSG(node_->value.rows() == 1 && node_->value.cols() == 1,
                   "Backward() must start from a scalar");
 
-  // Topological order via iterative post-order DFS.
+  // Topological order via iterative post-order DFS. Alongside it,
+  // count how many in-tape references (parent edges) each node has and
+  // sample its shared_ptr use_count: a node whose only owners are
+  // parent edges has no external Var handle, so nothing can observe
+  // its value or grad after its own backward step has run.
   std::vector<Node*> order;
+  std::unordered_map<Node*, std::int64_t> tape_refs;
+  std::unordered_map<Node*, std::int64_t> use_count;
   std::unordered_set<Node*> visited;
   std::vector<std::pair<Node*, std::size_t>> stack;
   stack.emplace_back(node_.get(), 0);
@@ -82,7 +89,10 @@ void Var::Backward() const {
   while (!stack.empty()) {
     auto& [cur, idx] = stack.back();
     if (idx < cur->parents.size()) {
-      Node* parent = cur->parents[idx].get();
+      const std::shared_ptr<Node>& parent_ref = cur->parents[idx];
+      Node* parent = parent_ref.get();
+      tape_refs[parent] += 1;
+      use_count.emplace(parent, parent_ref.use_count());
       ++idx;
       if (visited.insert(parent).second) stack.emplace_back(parent, 0);
     } else {
@@ -91,7 +101,15 @@ void Var::Backward() const {
     }
   }
 
-  // Seed and sweep in reverse topological order (self first).
+  // Seed and sweep in reverse topological order (self first). Children
+  // always run before their parents, so once a node's own backward has
+  // fired nothing later in the sweep touches its value or grad; if it
+  // also has no external handle, release them (and the closure's
+  // captured state) immediately. This keeps the backward peak near the
+  // forward peak instead of retaining the whole tape, which is what
+  // lets a sharded batch step fit in an out-of-core memory budget. The
+  // tape is single-use either way: every training loop rebuilds the
+  // graph before the next Backward().
   Matrix seed(1, 1);
   seed(0, 0) = 1.0f;
   // Root may not itself require grad (e.g. loss of constants only).
@@ -100,6 +118,14 @@ void Var::Backward() const {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* n = *it;
     if (n->backward && n->grad_initialized) n->backward(*n);
+    if (n == node_.get()) continue;
+    const auto uc = use_count.find(n);
+    if (uc != use_count.end() && uc->second == tape_refs[n]) {
+      n->value = Matrix();
+      n->grad = Matrix();
+      n->grad_initialized = false;
+      n->backward = nullptr;
+    }
   }
 }
 

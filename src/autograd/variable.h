@@ -53,6 +53,14 @@ class Var {
   /// Runs backpropagation from this node, which must hold a 1x1 scalar.
   /// Seeds d(self)/d(self) = 1 and accumulates into every reachable
   /// requires-grad node.
+  ///
+  /// The sweep releases interior tape state eagerly: once a node's own
+  /// backward step has fired, its value, grad, and closure are freed
+  /// unless some live Var handle still references it (leaves held by a
+  /// ParamSet, or intermediates the caller kept). This caps the
+  /// backward peak near the forward peak. The tape is single-use:
+  /// rebuild the graph (as every define-by-run loop does) before
+  /// calling Backward() again.
   void Backward() const;
 
   std::int64_t rows() const { return value().rows(); }

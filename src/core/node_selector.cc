@@ -288,4 +288,75 @@ SelectionResult SelectCoreset(const Matrix& r, const SelectorConfig& config,
   return result;
 }
 
+std::vector<std::int64_t> ApportionBudget(
+    std::int64_t total, const std::vector<std::int64_t>& shard_sizes) {
+  const std::int64_t s = static_cast<std::int64_t>(shard_sizes.size());
+  std::vector<std::int64_t> parts(s, 0);
+  std::int64_t n = 0;
+  for (std::int64_t size : shard_sizes) {
+    E2GCL_CHECK(size >= 0);
+    n += size;
+  }
+  std::int64_t k = std::min(total, n);
+  if (k <= 0 || n == 0) return parts;
+
+  // Floors first, then distribute the leftover seats by descending
+  // fractional remainder, ties toward the lower shard id. Floors are
+  // capped by shard size, so leftover seats always fit somewhere.
+  std::vector<double> remainder(s, 0.0);
+  std::int64_t assigned = 0;
+  for (std::int64_t i = 0; i < s; ++i) {
+    const double exact = static_cast<double>(k) *
+                         static_cast<double>(shard_sizes[i]) /
+                         static_cast<double>(n);
+    parts[i] = std::min(static_cast<std::int64_t>(exact), shard_sizes[i]);
+    remainder[i] = exact - static_cast<double>(parts[i]);
+    assigned += parts[i];
+  }
+  std::vector<std::int64_t> order(s);
+  for (std::int64_t i = 0; i < s; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int64_t a, std::int64_t b) {
+                     return remainder[a] > remainder[b];
+                   });
+  std::int64_t at = 0;
+  while (assigned < k) {
+    const std::int64_t i = order[at % s];
+    at += 1;
+    if (parts[i] < shard_sizes[i]) {
+      parts[i] += 1;
+      assigned += 1;
+    }
+  }
+  return parts;
+}
+
+SelectionResult MergeShardSelections(
+    const std::vector<SelectionResult>& per_shard,
+    const std::vector<std::vector<std::int64_t>>& shard_core_nodes) {
+  E2GCL_CHECK(per_shard.size() == shard_core_nodes.size());
+  SelectionResult merged;
+  double weighted_obj = 0.0;
+  std::int64_t total_core = 0;
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    const SelectionResult& r = per_shard[s];
+    const std::vector<std::int64_t>& core = shard_core_nodes[s];
+    E2GCL_CHECK(r.nodes.size() == r.weights.size());
+    for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+      const std::int64_t local = r.nodes[i];
+      E2GCL_CHECK(local >= 0 &&
+                  local < static_cast<std::int64_t>(core.size()));
+      merged.nodes.push_back(core[local]);
+      merged.weights.push_back(r.weights[i]);
+    }
+    weighted_obj +=
+        r.representativity * static_cast<double>(core.size());
+    total_core += static_cast<std::int64_t>(core.size());
+    merged.seconds += r.seconds;
+  }
+  merged.representativity =
+      total_core > 0 ? weighted_obj / static_cast<double>(total_core) : 0.0;
+  return merged;
+}
+
 }  // namespace e2gcl

@@ -54,6 +54,26 @@ SelectionResult SelectCoreset(const Matrix& r, const SelectorConfig& config,
 double RepresentativityObjective(const Matrix& r, const KMeansResult& km,
                                  const std::vector<std::int64_t>& selected);
 
+/// Splits a total selection budget across shards proportionally to
+/// their core sizes by the largest-remainder method (ties broken toward
+/// the lower shard id). The parts sum exactly to min(total,
+/// sum(shard_sizes)) and never exceed any shard's size; a pure function
+/// of the inputs, so every thread/shard configuration apportions
+/// identically.
+std::vector<std::int64_t> ApportionBudget(
+    std::int64_t total, const std::vector<std::int64_t>& shard_sizes);
+
+/// Merges per-shard selections into one global SelectionResult under
+/// the documented policy: shards concatenate in ascending shard id,
+/// each shard's nodes stay in their selection order, and local ids map
+/// through `shard_core_nodes[s]` back to global ids. Weights pass
+/// through unchanged (each shard's weights sum to its core size, so
+/// the merge sums to the partitioned node count); representativity is
+/// the core-size-weighted mean and seconds the sum.
+SelectionResult MergeShardSelections(
+    const std::vector<SelectionResult>& per_shard,
+    const std::vector<std::vector<std::int64_t>>& shard_core_nodes);
+
 }  // namespace e2gcl
 
 #endif  // E2GCL_CORE_NODE_SELECTOR_H_

@@ -10,6 +10,7 @@
 #include "core/raw_aggregation.h"
 #include "io/serialize.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
@@ -197,6 +198,9 @@ TrainResult E2gclTrainer::Train(const EpochCallback& callback) {
   // checkpoint_dir is set; with neither, no report is written.
   auto finish = [&](TrainResult result) {
     stats_.total_seconds = SecondsSince(t0);
+    // Sample the process high-water mark into the (determinism-exempt)
+    // gauge so every run report carries its peak RSS.
+    RecordPeakRssGauge();
     std::string report_path = config_.report_path;
     if (report_path.empty() && !config_.checkpoint_dir.empty()) {
       report_path = config_.checkpoint_dir + "/run_report.json";

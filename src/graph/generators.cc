@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
+#include <unordered_set>
 
+#include "obs/metrics.h"
 #include "tensor/check.h"
 
 namespace e2gcl {
@@ -25,6 +28,11 @@ std::int64_t SampleFromCdf(const std::vector<double>& cdf, Rng& rng) {
 }  // namespace
 
 Graph GenerateSbm(const SbmSpec& spec, std::uint64_t seed) {
+  return GenerateSbm(spec, seed, nullptr);
+}
+
+Graph GenerateSbm(const SbmSpec& spec, std::uint64_t seed,
+                  SbmGenReport* report) {
   E2GCL_CHECK(spec.num_nodes > 0 && spec.num_classes > 0);
   E2GCL_CHECK(spec.feature_dim >=
               spec.num_classes * spec.informative_dims_per_class);
@@ -97,10 +105,18 @@ Graph GenerateSbm(const SbmSpec& spec, std::uint64_t seed) {
   }
 
   // --- Edge placement. ---------------------------------------------------
+  // Only *novel* (u, v) pairs spend the edge budget: duplicate draws of
+  // an already placed pair are rejected via the membership set below
+  // (never iterated, so no hash-order dependence) and tallied. The RNG
+  // consumption per attempt is unchanged, so graphs stay deterministic
+  // in (spec, seed).
   const std::int64_t target_edges = static_cast<std::int64_t>(
       std::floor(spec.avg_degree * static_cast<double>(n) / 2.0));
   std::vector<std::pair<std::int64_t, std::int64_t>> edges;
   edges.reserve(target_edges);
+  std::unordered_set<std::uint64_t> placed;
+  placed.reserve(static_cast<std::size_t>(target_edges) * 2);
+  std::int64_t duplicates_rejected = 0;
   std::int64_t attempts = 0;
   const std::int64_t max_attempts = target_edges * 20 + 1000;
   while (static_cast<std::int64_t>(edges.size()) < target_edges &&
@@ -117,7 +133,44 @@ Graph GenerateSbm(const SbmSpec& spec, std::uint64_t seed) {
       if (labels[v] == labels[u]) continue;
     }
     if (u == v) continue;
-    edges.emplace_back(std::min(u, v), std::max(u, v));
+    const std::int64_t a = std::min(u, v);
+    const std::int64_t b = std::max(u, v);
+    // n <= 2^31 (BuildGraph's id contract), so a * n + b < 2^62.
+    const std::uint64_t key = static_cast<std::uint64_t>(a) *
+                                  static_cast<std::uint64_t>(n) +
+                              static_cast<std::uint64_t>(b);
+    if (!placed.insert(key).second) {
+      ++duplicates_rejected;
+      continue;
+    }
+    edges.emplace_back(a, b);
+  }
+
+  const std::int64_t placed_count = static_cast<std::int64_t>(edges.size());
+  const std::int64_t shortfall = target_edges - placed_count;
+  if (duplicates_rejected > 0) {
+    Counter::Get("generator.sbm.duplicate_pairs_rejected")
+        .Add(static_cast<std::uint64_t>(duplicates_rejected));
+  }
+  if (shortfall > 0) {
+    Counter::Get("generator.sbm.shortfall_events").Increment();
+    Counter::Get("generator.sbm.shortfall_edges")
+        .Add(static_cast<std::uint64_t>(shortfall));
+    std::fprintf(stderr,
+                 "E2GCL warning: SBM generator exhausted %lld attempts and "
+                 "placed %lld of %lld requested edges (%lld short); the "
+                 "homophily/degree config cannot supply the budget\n",
+                 static_cast<long long>(attempts),
+                 static_cast<long long>(placed_count),
+                 static_cast<long long>(target_edges),
+                 static_cast<long long>(shortfall));
+  }
+  if (report != nullptr) {
+    report->target_edges = target_edges;
+    report->edges_placed = placed_count;
+    report->duplicates_rejected = duplicates_rejected;
+    report->attempts = attempts;
+    report->budget_met = shortfall <= 0;
   }
 
   // --- Features. ----------------------------------------------------------

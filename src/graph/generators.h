@@ -52,8 +52,30 @@ struct SbmSpec {
   double class_skew = 0.3;
 };
 
+/// Outcome of one SBM edge-placement run. `edges_placed` counts the
+/// *unique* undirected edges delivered (duplicate draws of an already
+/// placed pair are rejected and tallied separately, never spent against
+/// the budget). When the sampler exhausts its attempt budget before
+/// reaching `target_edges` — degenerate homophily/degree configs —
+/// `budget_met` is false, the shortfall is mirrored into the
+/// `generator.sbm.shortfall_*` counters, and a warning is printed.
+struct SbmGenReport {
+  std::int64_t target_edges = 0;
+  std::int64_t edges_placed = 0;
+  std::int64_t duplicates_rejected = 0;
+  std::int64_t attempts = 0;
+  bool budget_met = false;
+  std::int64_t shortfall() const { return target_edges - edges_placed; }
+};
+
 /// Generates a graph from the spec. Deterministic in (spec, seed).
 Graph GenerateSbm(const SbmSpec& spec, std::uint64_t seed);
+
+/// As above, additionally filling `*report` (may be null) with the
+/// edge-placement outcome. Both overloads draw identical graphs for
+/// identical (spec, seed).
+Graph GenerateSbm(const SbmSpec& spec, std::uint64_t seed,
+                  SbmGenReport* report);
 
 /// Erdos-Renyi G(n, p) with optional random dense features; used by
 /// tests and micro-benchmarks.

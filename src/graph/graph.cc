@@ -21,6 +21,11 @@ Graph BuildGraph(
     Matrix features, std::vector<std::int64_t> labels,
     std::int64_t num_classes) {
   E2GCL_CHECK(num_nodes >= 0);
+  // Adjacency columns store node ids as int32; reject node counts whose
+  // ids cannot round-trip before any allocation or narrowing happens.
+  E2GCL_CHECK_MSG(num_nodes <= (std::int64_t{1} << 31),
+                  "num_nodes %lld exceeds the int32 node-id range",
+                  static_cast<long long>(num_nodes));
   E2GCL_CHECK(features.empty() || features.rows() == num_nodes);
   E2GCL_CHECK(labels.empty() ||
               static_cast<std::int64_t>(labels.size()) == num_nodes);

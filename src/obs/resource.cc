@@ -1,0 +1,62 @@
+#include "obs/resource.h"
+
+#include <sys/resource.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace e2gcl {
+
+namespace {
+
+/// Reads one "Vm...:  <kB> kB" line from /proc/self/status. Returns -1
+/// when the file or the field is missing (non-Linux hosts).
+std::int64_t ProcStatusKb(const char* field) {
+  std::ifstream in("/proc/self/status");
+  if (!in.is_open()) return -1;
+  const std::size_t field_len = std::strlen(field);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.compare(0, field_len, field) != 0) continue;
+    std::int64_t kb = 0;
+    bool any = false;
+    for (std::size_t i = field_len; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c >= '0' && c <= '9') {
+        kb = kb * 10 + (c - '0');
+        any = true;
+      } else if (any) {
+        break;
+      }
+    }
+    return any ? kb : -1;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::int64_t PeakRssBytes() {
+  const std::int64_t kb = ProcStatusKb("VmHWM:");
+  if (kb >= 0) return kb * 1024;
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;
+  }
+  return 0;
+}
+
+std::int64_t CurrentRssBytes() {
+  const std::int64_t kb = ProcStatusKb("VmRSS:");
+  return kb >= 0 ? kb * 1024 : 0;
+}
+
+void RecordPeakRssGauge() {
+  static const Gauge peak = Gauge::Get("process.peak_rss_bytes");
+  peak.Max(PeakRssBytes());
+}
+
+}  // namespace e2gcl

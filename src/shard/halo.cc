@@ -1,0 +1,90 @@
+#include "shard/halo.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace e2gcl {
+
+namespace {
+
+/// Fills the ball-node list and the core→local index map shared by both
+/// materialization paths.
+void FinishBall(const Partition& partition, int shard,
+                std::vector<std::int64_t> nodes, ShardBall* out) {
+  const std::vector<std::int64_t>& core = partition.shard_nodes[shard];
+  out->nodes = std::move(nodes);
+  out->num_core = static_cast<std::int64_t>(core.size());
+  out->core_local.clear();
+  out->core_local.reserve(core.size());
+  std::size_t i = 0;
+  for (std::int64_t v : core) {
+    while (i < out->nodes.size() && out->nodes[i] < v) ++i;
+    E2GCL_CHECK(i < out->nodes.size() && out->nodes[i] == v);
+    out->core_local.push_back(static_cast<std::int64_t>(i));
+  }
+}
+
+}  // namespace
+
+std::vector<std::int64_t> BfsBall(const AdjacencySource& adj,
+                                  const std::vector<std::int64_t>& seeds,
+                                  int hops) {
+  E2GCL_CHECK(hops >= 0);
+  const std::int64_t n = adj.num_nodes();
+  std::vector<char> visited(n, 0);
+  std::vector<std::int64_t> ball = seeds;
+  for (std::int64_t v : ball) {
+    E2GCL_CHECK(v >= 0 && v < n);
+    visited[v] = 1;
+  }
+
+  std::vector<std::int64_t> frontier = ball;
+  std::vector<std::int32_t> cols;
+  std::vector<std::int64_t> offsets;
+  for (int h = 0; h < hops && !frontier.empty(); ++h) {
+    const bool ok = adj.GatherAdjacency(frontier, &cols, &offsets);
+    E2GCL_CHECK_MSG(ok, "halo frontier read failed");
+    std::vector<std::int64_t> next;
+    for (std::int32_t u : cols) {
+      if (!visited[u]) {
+        visited[u] = 1;
+        next.push_back(u);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    ball.insert(ball.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  std::sort(ball.begin(), ball.end());
+  return ball;
+}
+
+std::vector<std::int64_t> HaloBallNodes(const AdjacencySource& adj,
+                                        const Partition& partition, int shard,
+                                        int hops) {
+  E2GCL_CHECK(shard >= 0 && shard < partition.num_shards);
+  return BfsBall(adj, partition.shard_nodes[shard], hops);
+}
+
+ShardBall BuildShardBall(const Graph& g, const Partition& partition, int shard,
+                         int hops) {
+  const GraphAdjacency adj(g);
+  std::vector<std::int64_t> nodes =
+      HaloBallNodes(adj, partition, shard, hops);
+  ShardBall ball;
+  ball.graph = InducedSubgraph(g, nodes);
+  FinishBall(partition, shard, std::move(nodes), &ball);
+  return ball;
+}
+
+bool LoadShardBall(const GraphStore& store, const Partition& partition,
+                   int shard, int hops, ShardBall* out) {
+  std::vector<std::int64_t> nodes =
+      HaloBallNodes(store, partition, shard, hops);
+  if (!store.LoadInducedSubgraph(nodes, &out->graph)) return false;
+  FinishBall(partition, shard, std::move(nodes), out);
+  return true;
+}
+
+}  // namespace e2gcl

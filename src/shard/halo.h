@@ -1,0 +1,54 @@
+#ifndef E2GCL_SHARD_HALO_H_
+#define E2GCL_SHARD_HALO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "shard/graph_store.h"
+#include "shard/partition.h"
+
+namespace e2gcl {
+
+/// All nodes within `hops` BFS steps of the sorted-unique `seeds` (the
+/// seeds themselves are hop 0), ascending. Streamed frontier expansion:
+/// only the row pointers, the visited bitmap, and the current
+/// frontier's adjacency are resident.
+std::vector<std::int64_t> BfsBall(const AdjacencySource& adj,
+                                  const std::vector<std::int64_t>& seeds,
+                                  int hops);
+
+/// BfsBall seeded with shard `shard`'s core.
+std::vector<std::int64_t> HaloBallNodes(const AdjacencySource& adj,
+                                        const Partition& partition, int shard,
+                                        int hops);
+
+/// One shard's training universe: the core plus its `hops`-ring halo,
+/// materialized as an induced subgraph. Core nodes are the only rows
+/// that contribute to selection and loss; halo rows exist to feed
+/// message passing (see DESIGN.md for the approximation contract —
+/// edges leaving the ball are dropped, not recursively expanded).
+struct ShardBall {
+  /// Sorted global ids of every ball node (core + halo).
+  std::vector<std::int64_t> nodes;
+  /// Local (ball-graph) indices of the core nodes, ascending; pairs with
+  /// Partition::shard_nodes[shard] element-for-element.
+  std::vector<std::int64_t> core_local;
+  std::int64_t num_core = 0;
+  /// Induced subgraph over `nodes` (local ids, features, labels).
+  Graph graph;
+};
+
+/// Resident-graph path: BFS over `g` then InducedSubgraph.
+ShardBall BuildShardBall(const Graph& g, const Partition& partition, int shard,
+                         int hops);
+
+/// Out-of-core path: BFS + induced-subgraph reads against the store.
+/// Produces a ball bit-identical to BuildShardBall on the same graph.
+/// Returns false on I/O failure.
+bool LoadShardBall(const GraphStore& store, const Partition& partition,
+                   int shard, int hops, ShardBall* out);
+
+}  // namespace e2gcl
+
+#endif  // E2GCL_SHARD_HALO_H_

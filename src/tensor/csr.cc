@@ -150,13 +150,29 @@ Matrix SpmmTransposedA(const CsrMatrix& a, const Matrix& b) {
     scatter(c, 0, a.rows());
     return c;
   }
-  std::vector<Matrix> partials(chunks);
-  ParallelForChunks(0, a.rows(), grain,
-                    [&](std::int64_t chunk, std::int64_t rb, std::int64_t re) {
-                      partials[chunk] = Matrix(a.cols(), n);
-                      scatter(partials[chunk], rb, re);
-                    });
-  for (const Matrix& part : partials) AddInPlace(c, part);
+  // Chunks are processed in waves so only `wave` cols x n partials are
+  // ever resident at once — a full partial per chunk peaks at 64 dense
+  // copies of the output on large graphs, which is what used to blow
+  // the backward-pass memory budget. The reduction stays in ascending
+  // chunk order across waves, so the result is still bit-identical at
+  // any thread count; the wave width only bounds memory.
+  const std::int64_t wave =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(GetNumThreads()));
+  std::vector<Matrix> partials(std::min(chunks, wave));
+  for (std::int64_t wb = 0; wb < chunks; wb += wave) {
+    const std::int64_t we = std::min(chunks, wb + wave);
+    GlobalThreadPool().Run(we - wb, [&](std::int64_t i) {
+      const std::int64_t chunk = wb + i;
+      const std::int64_t rb = chunk * grain;
+      const std::int64_t re = std::min(a.rows(), rb + grain);
+      partials[i] = Matrix(a.cols(), n);
+      scatter(partials[i], rb, re);
+    });
+    for (std::int64_t i = 0; i < we - wb; ++i) {
+      AddInPlace(c, partials[i]);
+      partials[i] = Matrix();
+    }
+  }
   return c;
 }
 

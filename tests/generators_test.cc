@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "graph/datasets.h"
+#include "obs/metrics.h"
 #include "test_util.h"
 
 namespace e2gcl {
@@ -99,6 +104,128 @@ TEST(GenerateSbm, DegreeHeavyTail) {
   }
   // Degree-corrected model: hubs well above the mean.
   EXPECT_GT(max_deg, static_cast<std::int64_t>(3 * g.AverageDegree()));
+}
+
+// Hub-heavy spec where the propensity-weighted sampler frequently
+// redraws an already-placed (u, v) pair. The requested budget is far
+// below the number of available pairs, so the generator must be able
+// to deliver it exactly.
+SbmSpec DuplicateProneSpec() {
+  SbmSpec s;
+  s.num_nodes = 200;
+  s.num_classes = 2;
+  s.feature_dim = 16;
+  s.informative_dims_per_class = 4;
+  s.avg_degree = 16.0;
+  s.homophily = 0.9;
+  s.degree_exponent = 1.2;  // heavy hubs concentrate the pair distribution
+  return s;
+}
+
+// Regression: duplicate (u, v) draws used to count toward the edge
+// budget, so the delivered unique-edge count silently fell below
+// `avg_degree * n / 2` even though the budget was feasible.
+TEST(GenerateSbm, DeliversFullEdgeBudgetWhenFeasible) {
+  const SbmSpec s = DuplicateProneSpec();
+  const std::int64_t target = static_cast<std::int64_t>(
+      std::floor(s.avg_degree * static_cast<double>(s.num_nodes) / 2.0));
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = GenerateSbm(s, seed);
+    EXPECT_EQ(g.num_edges(), target) << "seed " << seed;
+  }
+}
+
+// Regression: the normalized adjacency of a duplicate-prone graph must
+// match an independently computed dense D^-1/2 (A + I) D^-1/2 with a
+// *binary* A — repeated samples of the same pair must not inflate any
+// entry — and the graph must still carry the full requested budget.
+TEST(GenerateSbm, NormalizedAdjacencyMatchesDedupedDenseReference) {
+  const SbmSpec s = DuplicateProneSpec();
+  Graph g = GenerateSbm(s, 11);
+  const std::int64_t n = g.num_nodes;
+  const std::int64_t target = static_cast<std::int64_t>(
+      std::floor(s.avg_degree * static_cast<double>(n) / 2.0));
+  EXPECT_EQ(g.num_edges(), target);
+
+  // Independent reference: binary adjacency rebuilt from the edge list.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  for (const auto& [u, v] : UndirectedEdges(g)) {
+    a[u][v] = 1.0;
+    a[v][u] = 1.0;
+  }
+  std::vector<double> deg(n, 1.0);  // self-loop
+  for (std::int64_t v = 0; v < n; ++v) {
+    for (std::int64_t u = 0; u < n; ++u) deg[v] += a[v][u];
+  }
+
+  Matrix an = NormalizedAdjacency(g).ToDense();
+  for (std::int64_t v = 0; v < n; ++v) {
+    for (std::int64_t u = 0; u < n; ++u) {
+      double want = 0.0;
+      if (u == v) {
+        want = 1.0 / deg[v];
+      } else if (a[v][u] != 0.0) {
+        want = 1.0 / std::sqrt(deg[v] * deg[u]);
+      }
+      ASSERT_NEAR(an(v, u), want, 1e-6) << "entry (" << v << ", " << u << ")";
+    }
+  }
+}
+
+// Infeasible budget: 12 nodes with homophily 1.0 admit at most C(11,2)
+// = 55 intra-class pairs, below the requested 66 edges. The generator
+// must surface the shortfall instead of returning silently.
+SbmSpec InfeasibleSpec() {
+  SbmSpec s;
+  s.num_nodes = 12;
+  s.num_classes = 2;
+  s.feature_dim = 8;
+  s.informative_dims_per_class = 2;
+  s.avg_degree = 11.0;
+  s.homophily = 1.0;
+  return s;
+}
+
+// Regression: exhausting max_attempts used to return the under-budget
+// graph with no observable signal at all.
+TEST(GenerateSbm, ShortfallSurfacedThroughCounters) {
+  const MetricsSnapshot before = MetricsRegistry::Get().Snapshot();
+  Graph g = GenerateSbm(InfeasibleSpec(), 5);
+  const MetricsSnapshot delta =
+      MetricsRegistry::Get().Snapshot().DeltaFrom(before);
+  EXPECT_LT(g.num_edges(), 66);
+  EXPECT_EQ(delta.counter("generator.sbm.shortfall_events"), 1u);
+  EXPECT_EQ(delta.counter("generator.sbm.shortfall_edges"),
+            static_cast<std::uint64_t>(66 - g.num_edges()));
+}
+
+TEST(GenerateSbm, ShortfallReportPinsDeliveredEdgeCount) {
+  SbmGenReport rep;
+  Graph g = GenerateSbm(InfeasibleSpec(), 5, &rep);
+  EXPECT_EQ(rep.target_edges, 66);
+  EXPECT_EQ(rep.edges_placed, g.num_edges());
+  EXPECT_FALSE(rep.budget_met);
+  EXPECT_GT(rep.shortfall(), 0);
+  EXPECT_EQ(rep.edges_placed + rep.shortfall(), rep.target_edges);
+  EXPECT_GT(rep.duplicates_rejected, 0);
+}
+
+TEST(GenerateSbm, FeasibleBudgetReportsMet) {
+  SbmGenReport rep;
+  Graph g = GenerateSbm(DuplicateProneSpec(), 2, &rep);
+  EXPECT_TRUE(rep.budget_met);
+  EXPECT_EQ(rep.shortfall(), 0);
+  EXPECT_EQ(rep.edges_placed, g.num_edges());
+}
+
+// The report overload and the legacy two-argument form must draw the
+// same graph for the same seed.
+TEST(GenerateSbm, ReportOverloadIsSeedCompatible) {
+  SbmGenReport rep;
+  Graph a = GenerateSbm(DuplicateProneSpec(), 7, &rep);
+  Graph b = GenerateSbm(DuplicateProneSpec(), 7);
+  EXPECT_EQ(a.col, b.col);
+  EXPECT_TRUE(a.features == b.features);
 }
 
 TEST(GenerateErdosRenyi, EdgeCountNearExpectation) {

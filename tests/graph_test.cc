@@ -158,5 +158,14 @@ TEST(AverageDegree, MatchesFormula) {
   EXPECT_NEAR(g.AverageDegree(), 2.0 * 7 / 6, 1e-9);
 }
 
+// Node ids are stored as int32 adjacency columns. A node count whose
+// ids cannot round-trip through that type must be rejected up front
+// (PR 5 guarded only CsrMatrix::FromCoo, not BuildGraph), not silently
+// narrowed into negative column ids.
+TEST(BuildGraph, RejectsNodeCountsBeyondInt32IdRange) {
+  const std::int64_t too_many = (std::int64_t{1} << 31) + 1;
+  EXPECT_DEATH(BuildGraph(too_many, {{0, too_many - 1}}), "int32");
+}
+
 }  // namespace
 }  // namespace e2gcl

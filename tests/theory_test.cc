@@ -7,6 +7,7 @@
 //     masking, node dropping, subgraph sampling) — shown constructively.
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -50,28 +51,55 @@ TEST(Theorem3, GreedyNearOptimalOnTinyInstances) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     Graph g = GenerateSbm(spec, seed);
     Matrix r = RawAggregation(g, 2);
-    KMeansOptions km_opts;
-    km_opts.num_clusters = 3;
-    Rng km_rng(seed);
-    KMeansResult km = KMeans(r, km_opts, km_rng);
 
     const std::int64_t k = 3;
-    const double optimum = BruteForceOptimum(r, km, k);
-
     SelectorConfig cfg;
     cfg.budget = k;
     cfg.num_clusters = 3;
     cfg.sample_size = 14;  // full candidate pool: plain greedy
     cfg.auto_sample_size = false;
-    Rng rng(seed * 10);
+
+    // Replicate SelectCoreset's internal clustering exactly (same rng
+    // stream, same options) so greedy and the brute-forced optimum are
+    // compared under the SAME objective — Theorem 3 says nothing about
+    // greedy under one clustering vs the optimum under another.
+    KMeansOptions km_opts;
+    km_opts.num_clusters = 3;
+    km_opts.max_iters = cfg.kmeans_iters;
+    Rng km_rng(seed);
+    KMeansResult km = KMeans(r, km_opts, km_rng);
+    const double optimum = BruteForceOptimum(r, km, k);
+
+    Rng rng(seed);
     SelectionResult greedy = SelectCoreset(r, cfg, rng);
     const double greedy_obj = RepresentativityObjective(r, km, greedy.nodes);
 
-    // Theorem 3 guarantees a (1 - 1/e - eps) fraction of the optimal
-    // *gain*. With RS(empty) huge, gains are ~equal to the objective
-    // drop; empirically the greedy lands within 25% of the optimum on
-    // these instances.
-    EXPECT_LE(greedy_obj, optimum * 1.25 + 1e-6)
+    // Theorem 3 guarantees the greedy captures a (1 - 1/e - eps)
+    // fraction of the optimal *gain* over the empty selection (eps = 0
+    // here: the full pool makes the sampling exact). RS(empty) is
+    // k * d_init per node, with d_init the selector's "unrepresented"
+    // distance — replicate its computation (same float ops) so the
+    // baseline matches what the greedy actually maximized against.
+    float center_spread = 0.0f;
+    for (std::int64_t i = 0; i < km.centers.rows(); ++i) {
+      for (std::int64_t j = i + 1; j < km.centers.rows(); ++j) {
+        center_spread = std::max(
+            center_spread, RowDistance(km.centers, i, km.centers, j));
+      }
+    }
+    float max_radius = 0.0f;
+    for (float rad : km.max_radius) max_radius = std::max(max_radius, rad);
+    const double d_init = center_spread + 2.0f * max_radius + 1.0f;
+    const double f_empty = d_init * static_cast<double>(spec.num_nodes);
+    const double gain_greedy = f_empty - greedy_obj;
+    const double gain_opt = f_empty - optimum;
+    EXPECT_GE(gain_greedy, (1.0 - 1.0 / std::exp(1.0)) * gain_opt - 1e-6)
+        << "seed " << seed << ": greedy gain " << gain_greedy
+        << " vs optimal gain " << gain_opt;
+    // Empirical tripwire, far tighter than the theorem's objective
+    // bound: on these instances the greedy lands within 50% of the
+    // brute-forced optimum.
+    EXPECT_LE(greedy_obj, optimum * 1.5 + 1e-6)
         << "seed " << seed << ": greedy " << greedy_obj << " vs optimum "
         << optimum;
     EXPECT_GE(greedy_obj, optimum - 1e-6);  // optimum really is optimal

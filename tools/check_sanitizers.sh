@@ -89,6 +89,7 @@ TARGETS=(
   net_protocol_test
   net_serve_test
   lint_test
+  shard_test
 )
 
 for LEG in "${LEGS[@]}"; do

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Million-node scale gate: builds bench_scale + bench_compare, runs the
+# sharded out-of-core pre-training smoke on the full `synthetic-1m`
+# graph under a hard peak-RSS budget, and compares the fresh timings
+# against the committed baseline bench/BENCH_scale.json at
+# bench_compare's default 1.25x regression threshold.
+#
+#   tools/check_scale.sh                  # gate against the baseline
+#   tools/check_scale.sh --rebaseline     # rewrite the committed seed
+#   tools/check_scale.sh --fresh-store    # regenerate the graph store
+#   tools/check_scale.sh --threshold 1.5  # override the perf threshold
+#
+# The RSS budget (default 160 MB, E2GCL_SCALE_RSS_MB to override) is
+# chosen so a fully-resident run provably cannot pass: the 1.05M-node
+# graph's feature matrix (134 MB) plus CSR adjacency (~42 MB) alone
+# exceed it before any model state or activations. The graph is
+# generated and stored by a SEPARATE process from the training run, so
+# the training process's VmHWM — the value the gate reads — never
+# includes generation (VmHWM is a process-lifetime high-water mark).
+#
+# Exit codes follow bench_compare: 0 = within threshold + budget,
+# 1 = perf regression(s), 2 = usage/file error, 3 = RSS budget blown.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build"
+BASELINE="$ROOT/bench/BENCH_scale.json"
+STORE="${E2GCL_SCALE_STORE:-$BUILD/scale_store}"
+RSS_MB="${E2GCL_SCALE_RSS_MB:-160}"
+
+REBASELINE=0
+FRESH_STORE=0
+COMPARE_ARGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --rebaseline) REBASELINE=1 ;;
+    --fresh-store) FRESH_STORE=1 ;;
+    *) COMPARE_ARGS+=("$1") ;;
+  esac
+  shift
+done
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target bench_scale bench_compare \
+  >/dev/null
+
+if [ "$FRESH_STORE" = 1 ]; then
+  rm -rf "$STORE"
+fi
+if [ ! -f "$STORE/meta.e2gcl" ]; then
+  "$BUILD/bench/bench_scale" --prepare "$STORE"
+else
+  echo "check_scale: reusing graph store at $STORE (--fresh-store to regen)"
+fi
+
+run_train() {  # run_train <json-out>
+  E2GCL_BENCH_JSON="$1" "$BUILD/bench/bench_scale" \
+    --train "$STORE" --max-rss-mb "$RSS_MB"
+}
+
+if [ "$REBASELINE" = 1 ]; then
+  run_train "$BASELINE"
+  echo "check_scale: baseline rewritten at $BASELINE"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "check_scale: missing baseline $BASELINE (run with --rebaseline)" >&2
+  exit 2
+fi
+
+CANDIDATE="$BUILD/BENCH_scale.json"
+run_train "$CANDIDATE"
+"$BUILD/tools/bench_compare" "${COMPARE_ARGS[@]}" "$BASELINE" "$CANDIDATE"

@@ -28,6 +28,8 @@
 #include "eval/protocol.h"
 #include "graph/datasets.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
+#include "shard/sharded_trainer.h"
 
 namespace {
 
@@ -53,7 +55,18 @@ void Usage(const char* prog) {
       "  --obs-report <path>      write a versioned run_report.json for the "
       "training run (e2gcl only; forces --runs 1)\n"
       "  --obs-off                disable metric/span recording "
-      "(counters in any report read 0)\n",
+      "(counters in any report read 0)\n"
+      "  --shards <int>           partition-parallel sharded pre-training "
+      "with this many shards (e2gcl only; skips the linear probe)\n"
+      "  --halo-hops <int>        halo rings around each shard core "
+      "(default 1)\n"
+      "  --out-of-core            serve the graph from an on-disk store "
+      "instead of keeping it resident (requires --shards)\n"
+      "  --store-dir <dir>        graph-store directory for --out-of-core/"
+      "--prepare-store (default e2gcl_graph_store)\n"
+      "  --prepare-store          generate the dataset, write the graph "
+      "store to --store-dir, and exit (run training in a separate process "
+      "so its peak RSS excludes generation)\n",
       prog);
 }
 
@@ -108,6 +121,11 @@ int main(int argc, char** argv) {
   double ratio = 0.4;
   double scale = 1.0;
   std::uint64_t seed = 1;
+  long long shards = 1;
+  long long halo_hops = 1;
+  bool out_of_core = false;
+  bool prepare_store = false;
+  std::string store_dir = "e2gcl_graph_store";
 
   for (int i = 1; i < argc; ++i) {
     const char* flag = argv[i];
@@ -161,6 +179,19 @@ int main(int argc, char** argv) {
       if (obs_report.empty()) invalid("");
     } else if (std::strcmp(flag, "--obs-off") == 0) {
       obs_off = true;
+    } else if (std::strcmp(flag, "--shards") == 0) {
+      const char* v = value();
+      if (!ParseInt(v, 1, 4096, &shards)) invalid(v);
+    } else if (std::strcmp(flag, "--halo-hops") == 0) {
+      const char* v = value();
+      if (!ParseInt(v, 0, 8, &halo_hops)) invalid(v);
+    } else if (std::strcmp(flag, "--out-of-core") == 0) {
+      out_of_core = true;
+    } else if (std::strcmp(flag, "--store-dir") == 0) {
+      store_dir = value();
+      if (store_dir.empty()) invalid("");
+    } else if (std::strcmp(flag, "--prepare-store") == 0) {
+      prepare_store = true;
     } else if (std::strcmp(flag, "--help") == 0 ||
                std::strcmp(flag, "-h") == 0) {
       Usage(argv[0]);
@@ -208,6 +239,84 @@ int main(int argc, char** argv) {
     }
   }
   if (obs_off) SetObsEnabled(false);
+
+  if (prepare_store) {
+    Graph g = LoadDatasetScaled(dataset, scale, 0x5eed);
+    std::printf("dataset %s (scale %.2f): %lld nodes, %lld edges\n",
+                dataset.c_str(), scale, (long long)g.num_nodes,
+                (long long)g.num_edges());
+    if (!GraphStore::Write(store_dir, g)) {
+      std::fprintf(stderr, "%s: failed to write graph store %s\n", argv[0],
+                   store_dir.c_str());
+      return 1;
+    }
+    std::printf("graph store written to %s\n", store_dir.c_str());
+    return 0;
+  }
+
+  if (shards > 1 || out_of_core) {
+    if (kind != ModelKind::kE2gcl) {
+      std::fprintf(stderr,
+                   "%s: --shards/--out-of-core are only supported for "
+                   "--model e2gcl\n",
+                   argv[0]);
+      return 2;
+    }
+    ShardedConfig scfg;
+    scfg.base.epochs = static_cast<int>(epochs);
+    scfg.base.seed = seed;
+    scfg.base.node_ratio = ratio;
+    scfg.base.checkpoint_dir = checkpoint_dir;
+    scfg.base.checkpoint_every = static_cast<int>(checkpoint_every);
+    scfg.base.resume = resume;
+    scfg.base.report_path = obs_report;
+    scfg.num_shards = static_cast<int>(shards);
+    scfg.halo_hops = static_cast<int>(halo_hops);
+
+    auto run_sharded = [&](ShardedTrainer& trainer) -> int {
+      TrainResult res = trainer.Train();
+      const E2gclStats& st = trainer.stats();
+      std::printf(
+          "sharded e2gcl: status %s, shards %lld, cut %.2f%%, epochs %d, "
+          "selection %.2fs, total %.2fs, peak rss %.1f MB\n",
+          res.ok() ? "ok" : res.message.c_str(), shards,
+          100.0 * trainer.partition().CutFraction(), st.epochs_run,
+          st.selection_seconds, st.total_seconds,
+          static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0));
+      return res.ok() ? 0 : 1;
+    };
+    if (out_of_core) {
+      GraphStore store;
+      if (!store.Open(store_dir)) {
+        std::printf("graph store %s not found; generating %s\n",
+                    store_dir.c_str(), dataset.c_str());
+        {
+          Graph g = LoadDatasetScaled(dataset, scale, 0x5eed);
+          if (!GraphStore::Write(store_dir, g)) {
+            std::fprintf(stderr, "%s: failed to write graph store %s\n",
+                         argv[0], store_dir.c_str());
+            return 1;
+          }
+        }
+        if (!store.Open(store_dir)) {
+          std::fprintf(stderr, "%s: failed to open graph store %s\n",
+                       argv[0], store_dir.c_str());
+          return 1;
+        }
+      }
+      std::printf("out-of-core: %lld nodes, %lld dims from %s\n",
+                  (long long)store.num_nodes(), (long long)store.feature_dim(),
+                  store_dir.c_str());
+      ShardedTrainer trainer(store, scfg);
+      return run_sharded(trainer);
+    }
+    Graph g = LoadDatasetScaled(dataset, scale, 0x5eed);
+    std::printf("dataset %s (scale %.2f): %lld nodes, %lld edges\n",
+                dataset.c_str(), scale, (long long)g.num_nodes,
+                (long long)g.num_edges());
+    ShardedTrainer trainer(g, scfg);
+    return run_sharded(trainer);
+  }
 
   Graph g = LoadDatasetScaled(dataset, scale, 0x5eed);
   std::printf("dataset %s (scale %.2f): %lld nodes, %lld edges, %lld dims, "
